@@ -1,0 +1,360 @@
+//! Deadline-aware dispatch: exploit delay tolerance to batch invocations
+//! onto warm instances (Figure 4 of the reconstructed evaluation).
+//!
+//! A non-time-critical job arrives with *slack*: it only has to finish by
+//! `arrival + slack`. Instead of dispatching immediately (and paying a
+//! cold start for every sporadic arrival), the scheduler may hold jobs and
+//! release them in windows, so that consecutive invocations reuse the same
+//! warm instance. The invariant every policy maintains: **dispatching late
+//! never violates the deadline**, given the completion-time estimate.
+
+use core::fmt;
+
+use ntc_simcore::units::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// When to release a delay-tolerant job to the platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DispatchPolicy {
+    /// Dispatch the moment the job arrives (the time-critical default).
+    Immediate,
+    /// Hold jobs until the next multiple of `window` (aligned to the
+    /// simulation epoch), unless the deadline forces earlier release.
+    Windowed {
+        /// Batching-window length.
+        window: SimDuration,
+    },
+    /// Hold each job as long as its own deadline allows (maximum
+    /// opportunity for off-peak execution and warm reuse).
+    SlackMax,
+    /// Hold jobs until the next `window` boundary that falls inside the
+    /// off-peak band `[start_hour, end_hour)` of the simulated day
+    /// (wrapping past midnight when `start_hour > end_hour`); jobs whose
+    /// deadline cannot reach the band fall back to windowed behaviour.
+    OffPeak {
+        /// Batching-window length inside the band.
+        window: SimDuration,
+        /// First off-peak hour (0–23).
+        start_hour: u8,
+        /// First hour after the band (0–24, may be below `start_hour`).
+        end_hour: u8,
+    },
+}
+
+impl fmt::Display for DispatchPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DispatchPolicy::Immediate => f.write_str("immediate"),
+            DispatchPolicy::Windowed { window } => write!(f, "windowed({window})"),
+            DispatchPolicy::SlackMax => f.write_str("slack-max"),
+            DispatchPolicy::OffPeak { window, start_hour, end_hour } => {
+                write!(f, "off-peak({window}, {start_hour}h-{end_hour}h)")
+            }
+        }
+    }
+}
+
+/// Whether the instant `t` falls inside the daily hour band
+/// `[start_hour, end_hour)`, wrapping past midnight when
+/// `start_hour > end_hour`.
+pub fn in_hour_band(t: SimTime, start_hour: u8, end_hour: u8) -> bool {
+    let hour = (t.as_micros() / 3_600_000_000) % 24;
+    let (s, e) = (u64::from(start_hour), u64::from(end_hour));
+    if s == e {
+        true // degenerate band covers the whole day
+    } else if s < e {
+        hour >= s && hour < e
+    } else {
+        hour >= s || hour < e
+    }
+}
+
+/// The latest instant a job may be dispatched and still meet its deadline,
+/// with a safety `margin` on the completion estimate.
+pub fn latest_safe_dispatch(
+    arrival: SimTime,
+    slack: SimDuration,
+    estimated_completion: SimDuration,
+    margin: SimDuration,
+) -> SimTime {
+    let deadline = arrival + slack;
+    let reserve = estimated_completion + margin;
+    let latest = deadline.saturating_duration_since(SimTime::ZERO).saturating_sub(reserve);
+    let latest = SimTime::from_micros(latest.as_micros());
+    latest.max(arrival)
+}
+
+/// Computes the dispatch instant for a job under `policy`.
+///
+/// Never returns earlier than `arrival`, and never later than the latest
+/// safe dispatch for the given estimate and margin.
+pub fn dispatch_time(
+    policy: DispatchPolicy,
+    arrival: SimTime,
+    slack: SimDuration,
+    estimated_completion: SimDuration,
+    margin: SimDuration,
+) -> SimTime {
+    let latest = latest_safe_dispatch(arrival, slack, estimated_completion, margin);
+    match policy {
+        DispatchPolicy::Immediate => arrival,
+        DispatchPolicy::Windowed { window } => {
+            if window.is_zero() {
+                return arrival;
+            }
+            let w = window.as_micros();
+            let next_boundary = SimTime::from_micros(arrival.as_micros().div_ceil(w) * w);
+            next_boundary.min(latest).max(arrival)
+        }
+        DispatchPolicy::SlackMax => latest,
+        DispatchPolicy::OffPeak { window, start_hour, end_hour } => {
+            if window.is_zero() {
+                return arrival;
+            }
+            let w = window.as_micros();
+            let mut candidate = SimTime::from_micros(arrival.as_micros().div_ceil(w) * w);
+            let first_boundary = candidate;
+            // Walk window boundaries until one lands in the band or the
+            // deadline forecloses the wait.
+            let mut steps = 0u32;
+            while candidate <= latest && steps < 100_000 {
+                if in_hour_band(candidate, start_hour, end_hour) {
+                    return candidate.max(arrival);
+                }
+                candidate += window;
+                steps += 1;
+            }
+            // Band unreachable within the slack: behave like Windowed.
+            first_boundary.min(latest).max(arrival)
+        }
+    }
+}
+
+/// Decision record for one held job (used by the execution engine to
+/// requeue the job at its release instant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeldJob {
+    /// When the job arrived.
+    pub arrival: SimTime,
+    /// When it will be released to the platform.
+    pub dispatch_at: SimTime,
+    /// Its hard completion deadline.
+    pub deadline: SimTime,
+}
+
+impl HeldJob {
+    /// Plans a job's release under `policy`.
+    pub fn plan(
+        policy: DispatchPolicy,
+        arrival: SimTime,
+        slack: SimDuration,
+        estimated_completion: SimDuration,
+        margin: SimDuration,
+    ) -> HeldJob {
+        HeldJob {
+            arrival,
+            dispatch_at: dispatch_time(policy, arrival, slack, estimated_completion, margin),
+            deadline: arrival + slack,
+        }
+    }
+
+    /// The artificial delay introduced by holding.
+    pub fn hold_time(&self) -> SimDuration {
+        self.dispatch_at - self.arrival
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EST: SimDuration = SimDuration::from_secs(30);
+    const MARGIN: SimDuration = SimDuration::from_secs(10);
+
+    #[test]
+    fn immediate_never_holds() {
+        let t = SimTime::from_secs(1234);
+        let d = dispatch_time(DispatchPolicy::Immediate, t, SimDuration::from_hours(8), EST, MARGIN);
+        assert_eq!(d, t);
+    }
+
+    #[test]
+    fn slack_max_uses_all_slack_minus_reserve() {
+        let arrival = SimTime::from_secs(1000);
+        let slack = SimDuration::from_hours(1);
+        let d = dispatch_time(DispatchPolicy::SlackMax, arrival, slack, EST, MARGIN);
+        assert_eq!(d, SimTime::from_secs(1000 + 3600 - 40));
+    }
+
+    #[test]
+    fn zero_slack_dispatches_immediately() {
+        let arrival = SimTime::from_secs(50);
+        for policy in [
+            DispatchPolicy::Immediate,
+            DispatchPolicy::Windowed { window: SimDuration::from_mins(30) },
+            DispatchPolicy::SlackMax,
+        ] {
+            let d = dispatch_time(policy, arrival, SimDuration::ZERO, EST, MARGIN);
+            assert_eq!(d, arrival, "{policy} must not hold a zero-slack job");
+        }
+    }
+
+    #[test]
+    fn windowed_aligns_to_boundaries() {
+        let window = SimDuration::from_mins(10);
+        let arrival = SimTime::from_secs(123);
+        let d = dispatch_time(
+            DispatchPolicy::Windowed { window },
+            arrival,
+            SimDuration::from_hours(4),
+            EST,
+            MARGIN,
+        );
+        assert_eq!(d, SimTime::from_secs(600), "releases at the next 10-min boundary");
+        // A job arriving exactly on a boundary goes immediately.
+        let on_boundary = SimTime::from_secs(1200);
+        let d2 = dispatch_time(
+            DispatchPolicy::Windowed { window },
+            on_boundary,
+            SimDuration::from_hours(4),
+            EST,
+            MARGIN,
+        );
+        assert_eq!(d2, on_boundary);
+    }
+
+    #[test]
+    fn windowed_respects_tight_deadlines() {
+        let window = SimDuration::from_hours(6);
+        let arrival = SimTime::from_secs(100);
+        let slack = SimDuration::from_mins(2);
+        let d = dispatch_time(DispatchPolicy::Windowed { window }, arrival, slack, EST, MARGIN);
+        // Next boundary (6 h) is far past the deadline: clamp to latest safe.
+        assert_eq!(d, SimTime::from_secs(100 + 120 - 40));
+    }
+
+    #[test]
+    fn dispatch_never_violates_deadline_invariant() {
+        // Property-style sweep: over many (arrival, slack, est) combos the
+        // dispatch + reserve always fits the deadline.
+        for a in [0u64, 7, 3600, 86_400] {
+            for s in [0u64, 60, 600, 28_800] {
+                for e in [1u64, 30, 600] {
+                    for policy in [
+                        DispatchPolicy::Immediate,
+                        DispatchPolicy::Windowed { window: SimDuration::from_mins(15) },
+                        DispatchPolicy::SlackMax,
+                    ] {
+                        let arrival = SimTime::from_secs(a);
+                        let slack = SimDuration::from_secs(s);
+                        let est = SimDuration::from_secs(e);
+                        let d = dispatch_time(policy, arrival, slack, est, SimDuration::ZERO);
+                        assert!(d >= arrival);
+                        if est <= slack {
+                            assert!(
+                                d + est <= arrival + slack,
+                                "{policy}: a={a} s={s} e={e} dispatch {d}"
+                            );
+                        } else {
+                            // Infeasible estimate: dispatch immediately.
+                            assert_eq!(d, arrival);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn off_peak_waits_for_the_band() {
+        // Arrive at 14:00 with 24 h slack; off-peak band 00:00–06:00.
+        let arrival = SimTime::from_secs(14 * 3600);
+        let policy = DispatchPolicy::OffPeak {
+            window: SimDuration::from_hours(1),
+            start_hour: 0,
+            end_hour: 6,
+        };
+        let d = dispatch_time(policy, arrival, SimDuration::from_hours(24), EST, MARGIN);
+        assert_eq!(d, SimTime::from_secs(24 * 3600), "released at midnight");
+    }
+
+    #[test]
+    fn off_peak_inside_band_goes_at_next_boundary() {
+        let arrival = SimTime::from_secs(2 * 3600 + 100);
+        let policy = DispatchPolicy::OffPeak {
+            window: SimDuration::from_hours(1),
+            start_hour: 0,
+            end_hour: 6,
+        };
+        let d = dispatch_time(policy, arrival, SimDuration::from_hours(12), EST, MARGIN);
+        assert_eq!(d, SimTime::from_secs(3 * 3600));
+    }
+
+    #[test]
+    fn off_peak_falls_back_when_band_is_unreachable() {
+        // Arrive just past 08:00 with 2 h slack: the midnight band is out
+        // of reach.
+        let arrival = SimTime::from_secs(8 * 3600 + 100);
+        let policy = DispatchPolicy::OffPeak {
+            window: SimDuration::from_mins(30),
+            start_hour: 0,
+            end_hour: 6,
+        };
+        let slack = SimDuration::from_hours(2);
+        let d = dispatch_time(policy, arrival, slack, EST, MARGIN);
+        assert_eq!(d, SimTime::from_secs(8 * 3600 + 1800), "windowed fallback");
+        assert!(d + EST + MARGIN <= arrival + slack);
+    }
+
+    #[test]
+    fn off_peak_respects_deadlines() {
+        let policy = DispatchPolicy::OffPeak {
+            window: SimDuration::from_hours(1),
+            start_hour: 22,
+            end_hour: 6,
+        };
+        for a in [0u64, 3600, 10 * 3600, 23 * 3600] {
+            for s in [600u64, 7200, 86_400] {
+                let arrival = SimTime::from_secs(a);
+                let slack = SimDuration::from_secs(s);
+                let d = dispatch_time(policy, arrival, slack, EST, SimDuration::ZERO);
+                assert!(d >= arrival);
+                if EST <= slack {
+                    assert!(d + EST <= arrival + slack, "a={a} s={s} d={d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hour_band_wraps_midnight() {
+        assert!(in_hour_band(SimTime::from_secs(23 * 3600), 22, 6));
+        assert!(in_hour_band(SimTime::from_secs(3 * 3600), 22, 6));
+        assert!(!in_hour_band(SimTime::from_secs(12 * 3600), 22, 6));
+        assert!(in_hour_band(SimTime::from_secs(12 * 3600), 5, 5), "degenerate band is always on");
+        // Second day wraps too.
+        assert!(in_hour_band(SimTime::from_secs((24 + 2) * 3600), 22, 6));
+    }
+
+    #[test]
+    fn held_job_records_hold_time() {
+        let job = HeldJob::plan(
+            DispatchPolicy::SlackMax,
+            SimTime::from_secs(100),
+            SimDuration::from_secs(500),
+            SimDuration::from_secs(100),
+            SimDuration::ZERO,
+        );
+        assert_eq!(job.hold_time(), SimDuration::from_secs(400));
+        assert_eq!(job.deadline, SimTime::from_secs(600));
+    }
+
+    #[test]
+    fn policy_display() {
+        assert_eq!(DispatchPolicy::Immediate.to_string(), "immediate");
+        assert_eq!(DispatchPolicy::SlackMax.to_string(), "slack-max");
+        assert!(DispatchPolicy::Windowed { window: SimDuration::from_mins(5) }
+            .to_string()
+            .starts_with("windowed("));
+    }
+}

@@ -1,0 +1,143 @@
+//! Cold-start mitigation strategies and their expected-cost comparison
+//! (Figure 2 of the reconstructed evaluation).
+
+use core::fmt;
+
+use ntc_simcore::units::{DataSize, Money, SimDuration};
+use serde::{Deserialize, Serialize};
+
+use ntc_serverless::BillingModel;
+
+/// A strategy for keeping latency tails down between sporadic arrivals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WarmStrategy {
+    /// Rely on the platform's own keep-alive only (free, cold tail when
+    /// arrivals are sparser than the keep-alive TTL).
+    PlatformOnly,
+    /// Fire a tiny "warmer" ping every `period` so the platform keep-alive
+    /// never lapses. Costs one minimal invocation per period.
+    Warmer {
+        /// Ping interval; must be shorter than the platform TTL to help.
+        period: SimDuration,
+    },
+    /// Buy `count` provisioned always-warm instances.
+    Provisioned {
+        /// Number of instances held warm.
+        count: u32,
+    },
+}
+
+impl fmt::Display for WarmStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WarmStrategy::PlatformOnly => f.write_str("platform-only"),
+            WarmStrategy::Warmer { period } => write!(f, "warmer({period})"),
+            WarmStrategy::Provisioned { count } => write!(f, "provisioned({count})"),
+        }
+    }
+}
+
+/// The expected *extra* hourly cost of a strategy (beyond the work
+/// itself), for a function of the given memory size.
+pub fn hourly_overhead(strategy: WarmStrategy, memory: DataSize, billing: &BillingModel) -> Money {
+    match strategy {
+        WarmStrategy::PlatformOnly => Money::ZERO,
+        WarmStrategy::Warmer { period } => {
+            if period.is_zero() {
+                return Money::ZERO;
+            }
+            let pings_per_hour = 3600.0 / period.as_secs_f64();
+            // A warmer ping is a minimal invocation: one billing granule.
+            let per_ping = billing.invocation_cost(memory, SimDuration::from_micros(1));
+            per_ping.mul_f64(pings_per_hour)
+        }
+        WarmStrategy::Provisioned { count } => {
+            billing.provisioned_cost(memory, SimDuration::from_hours(1)).mul_f64(f64::from(count))
+        }
+    }
+}
+
+/// Recommends a strategy for a function with mean inter-arrival time
+/// `interarrival`, platform keep-alive `ttl`, and a target that cold
+/// starts stay rare.
+///
+/// * arrivals denser than the TTL → the platform keeps things warm for
+///   free;
+/// * moderately sparse arrivals → a warmer ping just under the TTL;
+/// * very sparse arrivals where even pinging costs more than the rare
+///   cold start hurts → accept the cold start (platform-only).
+pub fn recommend(interarrival: SimDuration, ttl: SimDuration) -> WarmStrategy {
+    if ttl.is_zero() {
+        // Platform reaps instantly: only provisioning keeps anything warm.
+        return WarmStrategy::Provisioned { count: 1 };
+    }
+    if interarrival <= ttl {
+        return WarmStrategy::PlatformOnly;
+    }
+    // Ping at 90 % of the TTL. Beyond ~100× the TTL the traffic is so rare
+    // that warming is wasted money — accept the cold start.
+    if interarrival > ttl.mul_f64(100.0) {
+        WarmStrategy::PlatformOnly
+    } else {
+        WarmStrategy::Warmer { period: ttl.mul_f64(0.9) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TTL: SimDuration = SimDuration::from_mins(10);
+
+    #[test]
+    fn dense_traffic_needs_nothing() {
+        assert_eq!(recommend(SimDuration::from_secs(30), TTL), WarmStrategy::PlatformOnly);
+        assert_eq!(recommend(TTL, TTL), WarmStrategy::PlatformOnly);
+    }
+
+    #[test]
+    fn sparse_traffic_gets_a_warmer() {
+        let s = recommend(SimDuration::from_mins(45), TTL);
+        match s {
+            WarmStrategy::Warmer { period } => assert!(period < TTL),
+            other => panic!("expected warmer, got {other}"),
+        }
+    }
+
+    #[test]
+    fn ultra_sparse_traffic_accepts_cold_starts() {
+        assert_eq!(recommend(SimDuration::from_hours(100), TTL), WarmStrategy::PlatformOnly);
+    }
+
+    #[test]
+    fn zero_ttl_requires_provisioning() {
+        assert_eq!(
+            recommend(SimDuration::from_secs(1), SimDuration::ZERO),
+            WarmStrategy::Provisioned { count: 1 }
+        );
+    }
+
+    #[test]
+    fn overhead_ordering_is_sane() {
+        let billing = BillingModel::aws_like();
+        let mem = DataSize::from_mib(1024);
+        let none = hourly_overhead(WarmStrategy::PlatformOnly, mem, &billing);
+        let warmer =
+            hourly_overhead(WarmStrategy::Warmer { period: SimDuration::from_mins(9) }, mem, &billing);
+        let prov = hourly_overhead(WarmStrategy::Provisioned { count: 1 }, mem, &billing);
+        assert_eq!(none, Money::ZERO);
+        assert!(warmer > none);
+        assert!(prov > warmer, "provisioned ({prov}) should out-cost pinging ({warmer})");
+    }
+
+    #[test]
+    fn zero_period_warmer_is_free() {
+        let billing = BillingModel::aws_like();
+        let c = hourly_overhead(
+            WarmStrategy::Warmer { period: SimDuration::ZERO },
+            DataSize::from_mib(128),
+            &billing,
+        );
+        assert_eq!(c, Money::ZERO);
+    }
+}

@@ -1,0 +1,94 @@
+//! Criterion micro-benchmarks of the framework's own overheads: the
+//! Design-Science-Research artefact claim is that the machinery itself is
+//! cheap enough to run inside a CI pipeline or an online scheduler.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ntc_core::{Engine, Environment, OffloadPolicy};
+use ntc_partition::{CostParams, MinCutPartitioner, PartitionContext, Partitioner};
+use ntc_profiler::estimator::{DemandEstimator, HybridEstimator, Observation};
+use ntc_serverless::{FunctionConfig, PlatformConfig, ServerlessPlatform};
+use ntc_simcore::event::EventQueue;
+use ntc_simcore::rng::RngStream;
+use ntc_simcore::units::{Cycles, DataSize, SimDuration, SimTime};
+use ntc_taskgraph::{random_layered_dag, RandomDagConfig};
+use ntc_workloads::{Archetype, StreamSpec};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue/push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.push(SimTime::from_micros(i * 7919 % 100_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum = sum.wrapping_add(v);
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn bench_min_cut(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition/min_cut");
+    for &nodes in &[8usize, 16, 32, 64] {
+        let mut rng = RngStream::root(1).derive("bench-dag");
+        let cfg = RandomDagConfig { nodes, layers: (nodes / 3).max(2), ..Default::default() };
+        let graph = random_layered_dag(&mut rng, &cfg);
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &graph, |b, g| {
+            b.iter(|| {
+                let ctx = PartitionContext::new(g, DataSize::from_mib(2), CostParams::default());
+                black_box(MinCutPartitioner.partition(&ctx))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_estimator(c: &mut Criterion) {
+    c.bench_function("profiler/hybrid_observe_predict", |b| {
+        let mut est = HybridEstimator::default();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let input = DataSize::from_kib(i % 1000);
+            est.observe(Observation::new(input, Cycles::new(1000 + 3 * input.as_bytes())));
+            black_box(est.predict(input))
+        })
+    });
+}
+
+fn bench_platform(c: &mut Criterion) {
+    c.bench_function("serverless/invoke_step", |b| {
+        let mut platform = ServerlessPlatform::new(PlatformConfig::default(), RngStream::root(1));
+        let f = platform.register(FunctionConfig::new("f", DataSize::from_mib(1024)));
+        let mut t = SimTime::ZERO;
+        b.iter(|| {
+            t += SimDuration::from_millis(10);
+            black_box(platform.invoke(t, f, Cycles::from_mega(100)).expect("in order"))
+        })
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/end_to_end");
+    group.sample_size(10);
+    let engine = Engine::new(Environment::metro_reference(), 3);
+    let specs = [StreamSpec::poisson(Archetype::PhotoPipeline, 0.05)];
+    group.bench_function("photo_1h", |b| {
+        b.iter(|| black_box(engine.run(&OffloadPolicy::ntc(), &specs, SimDuration::from_hours(1))))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_min_cut,
+    bench_estimator,
+    bench_platform,
+    bench_end_to_end
+);
+criterion_main!(benches);

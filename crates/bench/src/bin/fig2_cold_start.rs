@@ -1,0 +1,139 @@
+//! **Figure 2** — Cold-start impact vs arrival rate, under three warming
+//! strategies.
+//!
+//! Drives the serverless platform directly with Poisson invocations of an
+//! inference-sized function. Expectation (DESIGN.md §4): at sparse
+//! arrival rates the cold-start tail dominates p99 under platform-only
+//! keep-alive; warmers or provisioning recover the tail at bounded cost;
+//! at dense rates the platform keep-alive suffices and everything
+//! converges.
+
+use ntc_alloc::WarmStrategy;
+use ntc_bench::{f3, quick_from_args, seed_from_args, write_json, Table};
+use ntc_serverless::{FunctionConfig, PlatformConfig, ServerlessPlatform};
+use ntc_simcore::rng::RngStream;
+use ntc_simcore::units::{Cycles, DataSize, SimDuration, SimTime};
+use ntc_workloads::ArrivalProcess;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Point {
+    rate_per_sec: f64,
+    strategy: String,
+    invocations: u64,
+    cold_fraction: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    cost_per_hour_usd: f64,
+}
+
+fn run_one(rate: f64, strategy: WarmStrategy, horizon: SimDuration, seed: u64) -> Point {
+    let mut platform = ServerlessPlatform::new(PlatformConfig::default(), RngStream::root(seed));
+    let f = platform.register(
+        FunctionConfig::new("infer", DataSize::from_mib(3072)).with_artifact_size(DataSize::from_mib(250)),
+    );
+    let work = Cycles::from_giga(8);
+
+    let mut rng = RngStream::root(seed).derive("arrivals");
+    let mut arrivals = ArrivalProcess::Poisson { rate_per_sec: rate }.generate(horizon, &mut rng);
+
+    // Interleave warmer pings (in time order) or provision capacity.
+    match strategy {
+        WarmStrategy::Provisioned { count } => platform.set_provisioned(SimTime::ZERO, f, count),
+        WarmStrategy::Warmer { period } => {
+            let mut t = SimTime::ZERO + period;
+            let end = SimTime::ZERO + horizon;
+            while t < end {
+                arrivals.push(t);
+                t += period;
+            }
+            arrivals.sort_unstable();
+        }
+        WarmStrategy::PlatformOnly => {}
+    }
+
+    let is_ping = |at: SimTime, period: SimDuration| at.as_micros().is_multiple_of(period.as_micros());
+    let mut latencies_ms: Vec<f64> = Vec::new();
+    let mut cold = 0u64;
+    let mut real = 0u64;
+    for at in arrivals {
+        let ping = matches!(strategy, WarmStrategy::Warmer { period } if is_ping(at, period));
+        let w = if ping { Cycles::new(1_000) } else { work };
+        let out = platform.invoke(at, f, w).expect("in-order invocations");
+        if !ping {
+            real += 1;
+            if out.was_cold {
+                cold += 1;
+            }
+            latencies_ms.push(out.latency().as_micros() as f64 / 1e3);
+        }
+    }
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let q = |p: f64| ntc_simcore::stats::quantile_sorted(&latencies_ms, p).unwrap_or(0.0);
+    let cost = platform.total_cost(SimTime::ZERO + horizon).as_usd_f64();
+    Point {
+        rate_per_sec: rate,
+        strategy: format!("{strategy}"),
+        invocations: real,
+        cold_fraction: if real == 0 { 0.0 } else { cold as f64 / real as f64 },
+        p50_ms: q(0.50),
+        p99_ms: q(0.99),
+        cost_per_hour_usd: cost / (horizon.as_secs_f64() / 3600.0),
+    }
+}
+
+fn main() {
+    let seed = seed_from_args();
+    let quick = quick_from_args();
+    let horizon = if quick { SimDuration::from_hours(6) } else { SimDuration::from_hours(24) };
+
+    let rates = [0.001, 0.01, 0.1, 1.0];
+    let strategies = [
+        WarmStrategy::PlatformOnly,
+        WarmStrategy::Warmer { period: SimDuration::from_mins(9) },
+        WarmStrategy::Provisioned { count: 1 },
+    ];
+
+    let mut series = Vec::new();
+    let mut table =
+        Table::new(["rate/s", "strategy", "invocations", "cold %", "p50 ms", "p99 ms", "$/hour"]);
+    for &rate in &rates {
+        for &s in &strategies {
+            let p = run_one(rate, s, horizon, seed);
+            table.row([
+                format!("{rate}"),
+                p.strategy.clone(),
+                p.invocations.to_string(),
+                f3(p.cold_fraction * 100.0),
+                f3(p.p50_ms),
+                f3(p.p99_ms),
+                format!("{:.5}", p.cost_per_hour_usd),
+            ]);
+            series.push(p);
+        }
+    }
+
+    println!("Figure 2 — cold-start tail vs arrival rate over {horizon} (seed {seed})\n");
+    table.print();
+    println!();
+    let sparse_platform = series
+        .iter()
+        .find(|p| p.rate_per_sec == 0.001 && p.strategy == "platform-only")
+        .expect("present");
+    let sparse_warmer = series
+        .iter()
+        .find(|p| p.rate_per_sec == 0.001 && p.strategy.starts_with("warmer"))
+        .expect("present");
+    let dense_platform = series
+        .iter()
+        .find(|p| p.rate_per_sec == 1.0 && p.strategy == "platform-only")
+        .expect("present");
+    println!(
+        "shape: sparse traffic is ~all-cold under platform-only ({}%), warmer removes it ({}%) | dense traffic is warm anyway ({}%)",
+        f3(sparse_platform.cold_fraction * 100.0),
+        f3(sparse_warmer.cold_fraction * 100.0),
+        f3(dense_platform.cold_fraction * 100.0),
+    );
+    let path = write_json("fig2_cold_start", &series);
+    println!("series written to {}", path.display());
+}

@@ -1,0 +1,91 @@
+//! **Figure 5** — Sustained throughput and tail latency vs offered load:
+//! edge fleet vs cloud serverless.
+//!
+//! Log-analytics traffic scaled by user population. Expectation
+//! (DESIGN.md §4): the pre-provisioned edge saturates at its slot
+//! capacity — queueing blows up the p95 and deadline misses appear —
+//! while the serverless platform scales out ~linearly.
+
+use ntc_bench::{f3, pct, quick_from_args, seed_from_args, write_json, Table};
+use ntc_core::{Engine, Environment, OffloadPolicy};
+use ntc_simcore::units::SimDuration;
+use ntc_workloads::{Archetype, StreamSpec};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Point {
+    users: u32,
+    rate_per_sec: f64,
+    policy: String,
+    jobs: usize,
+    p50_s: f64,
+    p95_s: f64,
+    miss_rate: f64,
+}
+
+fn main() {
+    let seed = seed_from_args();
+    let quick = quick_from_args();
+    let horizon = if quick { SimDuration::from_mins(30) } else { SimDuration::from_hours(2) };
+    let per_user_rate = 0.002; // one log batch per user every ~8 minutes
+
+    let engine = Engine::new(Environment::metro_reference(), seed);
+    // The edge fleet has 32 slots at ~10 s/job ≈ 3.3 jobs/s capacity; the
+    // sweep deliberately crosses it.
+    let user_counts: &[u32] =
+        if quick { &[10, 100, 1000, 3000] } else { &[10, 50, 100, 250, 500, 1000, 2000, 3000] };
+
+    let mut series = Vec::new();
+    let mut table = Table::new(["users", "rate/s", "policy", "jobs", "p50", "p95", "miss rate"]);
+    for &users in user_counts {
+        let rate = f64::from(users) * per_user_rate;
+        // Tighter-than-typical slack so saturation shows up as misses.
+        let specs = [StreamSpec::poisson(Archetype::LogAnalytics, rate).with_slack_factor(0.05)];
+        for policy in [OffloadPolicy::EdgeAll, OffloadPolicy::CloudAll] {
+            let r = engine.run(&policy, &specs, horizon);
+            let s = r.latency_summary();
+            let (p50, p95) = s.map(|s| (s.p50, s.p95)).unwrap_or((0.0, 0.0));
+            table.row([
+                users.to_string(),
+                f3(rate),
+                policy.name(),
+                r.jobs.len().to_string(),
+                format!("{}s", f3(p50)),
+                format!("{}s", f3(p95)),
+                pct(r.miss_rate()),
+            ]);
+            series.push(Point {
+                users,
+                rate_per_sec: rate,
+                policy: policy.name(),
+                jobs: r.jobs.len(),
+                p50_s: p50,
+                p95_s: p95,
+                miss_rate: r.miss_rate(),
+            });
+        }
+    }
+
+    println!("Figure 5 — load scalability over {horizon} (seed {seed}, quick={quick})\n");
+    table.print();
+    println!();
+    let max_users = *user_counts.last().expect("non-empty");
+    let edge_hi = series
+        .iter()
+        .find(|p| p.users == max_users && p.policy == "edge-all")
+        .expect("present");
+    let cloud_hi = series
+        .iter()
+        .find(|p| p.users == max_users && p.policy == "cloud-all")
+        .expect("present");
+    println!(
+        "shape: at {} users edge p95 {}s vs cloud p95 {}s | edge miss rate {} vs cloud {}",
+        max_users,
+        f3(edge_hi.p95_s),
+        f3(cloud_hi.p95_s),
+        pct(edge_hi.miss_rate),
+        pct(cloud_hi.miss_rate),
+    );
+    let path = write_json("fig5_scalability", &series);
+    println!("series written to {}", path.display());
+}

@@ -1,0 +1,121 @@
+//! **Figure 7 (extension)** — Off-peak steering of delay-tolerant jobs.
+//!
+//! Not part of the reconstructed core evaluation (DESIGN.md §4): this
+//! implements the natural "future work" of contribution C5. With diurnal
+//! WAN congestion (evening bandwidth halves), jobs whose slack reaches the
+//! nightly 00:00–06:00 band are held until then: they ride uncongested
+//! bandwidth (less UE radio time) and coalesce into one nightly mega-batch
+//! per application (more amortisation). Expectation: lower cost and lower
+//! device energy than plain windowed batching, at the price of latency the
+//! workload tolerates by definition — and still zero deadline misses.
+
+use ntc_bench::{f3, pct, quick_from_args, seed_from_args, write_json, Table};
+use ntc_core::{Engine, Environment, NtcConfig, OffloadPolicy};
+use ntc_simcore::units::SimDuration;
+use ntc_workloads::{Archetype, StreamSpec};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    policy: String,
+    jobs: usize,
+    total_cost_usd: f64,
+    misses: u64,
+    p95_s: f64,
+    device_energy_j: f64,
+    mean_hold_min: f64,
+}
+
+fn main() {
+    let seed = seed_from_args();
+    let quick = quick_from_args();
+    let horizon = if quick { SimDuration::from_hours(24) } else { SimDuration::from_hours(48) };
+    let engine = Engine::new(Environment::metro_reference(), seed);
+
+    // Long-slack workloads that can actually reach the night band.
+    let specs = [
+        StreamSpec::diurnal(Archetype::ReportRendering, 0.01).with_slack_factor(2.0), // 16 h slack
+        StreamSpec::diurnal(Archetype::SciSweep, 0.003),                              // 24 h slack
+        StreamSpec::diurnal(Archetype::VideoTranscode, 0.003).with_slack_factor(3.0), // 12 h slack
+    ];
+
+    let policies = [
+        OffloadPolicy::CloudAll,
+        OffloadPolicy::ntc(),
+        OffloadPolicy::Ntc(NtcConfig { off_peak: true, ..Default::default() }),
+    ];
+
+    let mut rows = Vec::new();
+    let mut night_profile: Option<Vec<u64>> = None;
+    let mut table =
+        Table::new(["policy", "jobs", "total $", "misses", "p95", "device J", "mean hold"]);
+    for policy in &policies {
+        let r = engine.run(policy, &specs, horizon);
+        if policy.name() == "ntc[+offpeak]" {
+            night_profile = Some(
+                (0..r.completions_per_hour.len().min(48))
+                    .map(|i| r.completions_per_hour.count(i))
+                    .collect(),
+            );
+        }
+        let p95 = r.latency_summary().map(|s| s.p95).unwrap_or(0.0);
+        let hold: f64 = r
+            .jobs
+            .iter()
+            .map(|j| (j.dispatched - j.arrival).as_secs_f64())
+            .sum::<f64>()
+            / r.jobs.len().max(1) as f64
+            / 60.0;
+        table.row([
+            policy.name(),
+            r.jobs.len().to_string(),
+            format!("{:.4}", r.total_cost().as_usd_f64()),
+            r.deadline_misses().to_string(),
+            format!("{}s", f3(p95)),
+            f3(r.device_energy.as_joules_f64()),
+            format!("{:.1}min", hold),
+        ]);
+        rows.push(Row {
+            policy: policy.name(),
+            jobs: r.jobs.len(),
+            total_cost_usd: r.total_cost().as_usd_f64(),
+            misses: r.deadline_misses(),
+            p95_s: p95,
+            device_energy_j: r.device_energy.as_joules_f64(),
+            mean_hold_min: hold,
+        });
+    }
+
+    println!("Figure 7 (extension) — off-peak steering over {horizon} (seed {seed}, quick={quick})\n");
+    table.print();
+    println!();
+    let by = |name: &str| rows.iter().find(|r| r.policy == name).expect("present");
+    let (ntc, off) = (by("ntc"), by("ntc[+offpeak]"));
+    println!(
+        "shape: off-peak cost ${:.4} <= windowed ${:.4}: {} | off-peak device energy {} vs {} J ({} saved) | misses: {}",
+        off.total_cost_usd,
+        ntc.total_cost_usd,
+        off.total_cost_usd <= ntc.total_cost_usd * 1.001,
+        f3(off.device_energy_j),
+        f3(ntc.device_energy_j),
+        pct(1.0 - off.device_energy_j / ntc.device_energy_j),
+        off.misses,
+    );
+    if let Some(profile) = night_profile {
+        let night: u64 = profile
+            .iter()
+            .enumerate()
+            .filter(|&(h, _)| h % 24 < 7)
+            .map(|(_, &c)| c)
+            .sum();
+        let total: u64 = profile.iter().sum();
+        println!(
+            "completion profile: {} of {} off-peak completions land in hours 00-07 ({})",
+            night,
+            total,
+            pct(night as f64 / total.max(1) as f64),
+        );
+    }
+    let path = write_json("fig7_offpeak_extension", &rows);
+    println!("series written to {}", path.display());
+}

@@ -1,0 +1,93 @@
+//! **Figure 8 (extension)** — Intermittent connectivity.
+//!
+//! Not part of the reconstructed core evaluation (DESIGN.md §4): mobile
+//! users go offline (subway commutes, dead zones). A time-critical
+//! offloaded job stalls on the outage; a non-time-critical one simply
+//! rides it out inside its slack. Expectation: outages inflate the
+//! latency tail of every offloading policy but produce deadline misses
+//! only where slack is tight; local-only is immune; the NTC framework's
+//! deadline-safe holding (which reserves for the worst outage window)
+//! keeps misses at zero.
+
+use ntc_bench::{f3, pct, quick_from_args, seed_from_args, write_json, Table};
+use ntc_core::{Engine, Environment, OffloadPolicy};
+use ntc_net::ConnectivityTrace;
+use ntc_simcore::units::SimDuration;
+use ntc_workloads::{Archetype, StreamSpec};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    connectivity: String,
+    policy: String,
+    jobs: usize,
+    p50_s: f64,
+    p95_s: f64,
+    miss_rate: f64,
+}
+
+fn main() {
+    let seed = seed_from_args();
+    let quick = quick_from_args();
+    let horizon = if quick { SimDuration::from_hours(12) } else { SimDuration::from_hours(24) };
+
+    let traces: [(&str, ConnectivityTrace); 3] = [
+        ("always-on", ConnectivityTrace::always()),
+        ("commuter", ConnectivityTrace::commuter()),
+        ("flaky", ConnectivityTrace::flaky()),
+    ];
+    // Photo batches with their modest 30-minute slack: outages are a real
+    // fraction of the deadline budget.
+    let specs = [StreamSpec::poisson(Archetype::PhotoPipeline, 0.02)];
+
+    let mut rows = Vec::new();
+    let mut table = Table::new(["connectivity", "offline", "policy", "jobs", "p50", "p95", "miss rate"]);
+    for (name, trace) in &traces {
+        let mut env = Environment::metro_reference();
+        env.connectivity = trace.clone();
+        let engine = Engine::new(env, seed);
+        for policy in [OffloadPolicy::LocalOnly, OffloadPolicy::CloudAll, OffloadPolicy::ntc()] {
+            let r = engine.run(&policy, &specs, horizon);
+            let s = r.latency_summary().expect("jobs ran");
+            table.row([
+                (*name).to_string(),
+                pct(trace.offline_fraction()),
+                policy.name(),
+                r.jobs.len().to_string(),
+                format!("{}s", f3(s.p50)),
+                format!("{}s", f3(s.p95)),
+                pct(r.miss_rate()),
+            ]);
+            rows.push(Row {
+                connectivity: (*name).into(),
+                policy: policy.name(),
+                jobs: r.jobs.len(),
+                p50_s: s.p50,
+                p95_s: s.p95,
+                miss_rate: r.miss_rate(),
+            });
+        }
+    }
+
+    println!("Figure 8 (extension) — connectivity outages over {horizon} (seed {seed})\n");
+    table.print();
+    println!();
+    let find = |c: &str, p: &str| {
+        rows.iter().find(|r| r.connectivity == c && r.policy == p).expect("present")
+    };
+    let local_flaky = find("flaky", "local-only");
+    let local_on = find("always-on", "local-only");
+    let cloud_flaky = find("flaky", "cloud-all");
+    let cloud_on = find("always-on", "cloud-all");
+    let ntc_flaky = find("flaky", "ntc");
+    println!(
+        "shape: local-only immune (p95 {}s vs {}s) | cloud-all tail inflates {}s -> {}s | ntc holds through outages with {} misses",
+        f3(local_on.p95_s),
+        f3(local_flaky.p95_s),
+        f3(cloud_on.p95_s),
+        f3(cloud_flaky.p95_s),
+        pct(ntc_flaky.miss_rate),
+    );
+    let path = write_json("fig8_connectivity_extension", &rows);
+    println!("series written to {}", path.display());
+}

@@ -1,0 +1,125 @@
+//! **Table 2** — Partitioning-algorithm quality against the exhaustive
+//! optimum.
+//!
+//! 100 random layered DAGs plus the three pipeline-like archetype graphs.
+//! Expectation (DESIGN.md §4): min-cut matches the optimum exactly;
+//! greedy lands within ~10–20 %; naive full-offload pays the transfer
+//! penalty; keep-local pays the device-compute penalty.
+
+use ntc_bench::{f3, pct, seed_from_args, write_json, Table};
+use ntc_partition::{standard_roster, CostParams, ExhaustivePartitioner, PartitionContext, Partitioner};
+use ntc_simcore::rng::RngStream;
+use ntc_simcore::units::DataSize;
+use ntc_taskgraph::{random_layered_dag, RandomDagConfig, TaskGraph};
+use ntc_workloads::Archetype;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    algorithm: String,
+    mean_gap_pct: f64,
+    max_gap_pct: f64,
+    optimal_rate: f64,
+    mean_bytes_moved_kib: f64,
+    mean_offloaded: f64,
+    mean_makespan_s: f64,
+}
+
+fn graphs(seed: u64) -> Vec<TaskGraph> {
+    let root = RngStream::root(seed).derive("tab2");
+    let mut gs: Vec<TaskGraph> = (0..100)
+        .map(|i| {
+            let mut rng = root.derive_index(i);
+            let cfg = RandomDagConfig {
+                nodes: 6 + (i % 9) as usize,
+                layers: 3 + (i % 3) as usize,
+                ..Default::default()
+            };
+            random_layered_dag(&mut rng, &cfg)
+        })
+        .collect();
+    gs.push(Archetype::PhotoPipeline.graph());
+    gs.push(Archetype::ReportRendering.graph());
+    gs.push(Archetype::LogAnalytics.graph());
+    gs
+}
+
+fn main() {
+    let seed = seed_from_args();
+    let gs = graphs(seed);
+    let input = DataSize::from_mib(2);
+    let params = CostParams::default();
+
+    let roster = standard_roster();
+    let mut gaps: Vec<Vec<f64>> = vec![Vec::new(); roster.len()];
+    let mut bytes: Vec<Vec<f64>> = vec![Vec::new(); roster.len()];
+    let mut offloaded: Vec<Vec<f64>> = vec![Vec::new(); roster.len()];
+    let mut makespans: Vec<Vec<f64>> = vec![Vec::new(); roster.len()];
+
+    for g in &gs {
+        let ctx = PartitionContext::new(g, input, params);
+        let opt = ctx.evaluate(&ExhaustivePartitioner.partition(&ctx)).weighted;
+        for (pi, p) in roster.iter().enumerate() {
+            let plan = p.partition(&ctx);
+            plan.validate(g).expect("roster plans are valid");
+            let cost = ctx.evaluate(&plan);
+            gaps[pi].push((cost.weighted - opt).max(0.0) / opt.max(1.0));
+            bytes[pi].push(cost.bytes_moved.as_bytes() as f64 / 1024.0);
+            offloaded[pi].push(plan.offloaded().count() as f64);
+            makespans[pi].push(cost.makespan.as_secs_f64());
+        }
+    }
+
+    let mut rows = Vec::new();
+    let mut table = Table::new([
+        "algorithm",
+        "mean gap",
+        "max gap",
+        "optimal rate",
+        "bytes moved (KiB)",
+        "mean offloaded",
+        "makespan (s)",
+    ]);
+    for (pi, p) in roster.iter().enumerate() {
+        let n = gaps[pi].len() as f64;
+        let mean_gap = gaps[pi].iter().sum::<f64>() / n;
+        let max_gap = gaps[pi].iter().cloned().fold(0.0, f64::max);
+        let optimal_rate = gaps[pi].iter().filter(|&&g| g < 1e-6).count() as f64 / n;
+        let mean_bytes = bytes[pi].iter().sum::<f64>() / n;
+        let mean_off = offloaded[pi].iter().sum::<f64>() / n;
+        let mean_mk = makespans[pi].iter().sum::<f64>() / n;
+        table.row([
+            p.name().to_string(),
+            pct(mean_gap),
+            pct(max_gap),
+            pct(optimal_rate),
+            f3(mean_bytes),
+            f3(mean_off),
+            f3(mean_mk),
+        ]);
+        rows.push(Row {
+            algorithm: p.name().into(),
+            mean_gap_pct: mean_gap * 100.0,
+            max_gap_pct: max_gap * 100.0,
+            optimal_rate,
+            mean_bytes_moved_kib: mean_bytes,
+            mean_offloaded: mean_off,
+            mean_makespan_s: mean_mk,
+        });
+    }
+
+    println!("Table 2 — partition quality on {} graphs (seed {seed})\n", gs.len());
+    table.print();
+    println!();
+    let mincut = rows.iter().find(|r| r.algorithm == "min-cut").expect("present");
+    let greedy = rows.iter().find(|r| r.algorithm == "greedy").expect("present");
+    let full = rows.iter().find(|r| r.algorithm == "full-offload").expect("present");
+    println!(
+        "shape: min-cut optimal on {} of graphs | greedy within {} on average | full-offload moves {:.0}x the bytes of min-cut",
+        pct(mincut.optimal_rate),
+        pct(greedy.mean_gap_pct / 100.0),
+        full.mean_bytes_moved_kib / mincut.mean_bytes_moved_kib.max(1e-9),
+    );
+    let path = write_json("tab2_partition_quality", &rows);
+    println!("series written to {}", path.display());
+}

@@ -1,0 +1,146 @@
+//! # ntc-bench
+//!
+//! Experiment harness for the `ntc-offload` reproduction: one binary per
+//! table/figure of the reconstructed evaluation (see `DESIGN.md` §4), plus
+//! Criterion micro-benchmarks of the framework's own overheads.
+//!
+//! Every binary accepts `--seed <u64>` (default 42) and prints an aligned
+//! text table; it also writes the raw series as JSON under `results/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// Parses `--seed <u64>` from the process arguments (default 42).
+pub fn seed_from_args() -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2)
+        .find(|w| w[0] == "--seed")
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or(42)
+}
+
+/// Parses `--quick` from the process arguments: experiments shrink their
+/// horizons/replications so CI stays fast.
+pub fn quick_from_args() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Writes `value` as pretty JSON to `results/<id>.json`, creating the
+/// directory as needed. Returns the path written.
+///
+/// # Panics
+///
+/// Panics on serialisation or I/O failure — an experiment that cannot
+/// record its results should fail loudly.
+pub fn write_json<T: Serialize>(id: &str, value: &T) -> PathBuf {
+    let dir = PathBuf::from("results");
+    fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join(format!("{id}.json"));
+    fs::write(&path, serde_json::to_string_pretty(value).expect("serialise results"))
+        .expect("write results file");
+    path
+}
+
+/// A minimal aligned-column text table for experiment output.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (must match the header count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the header length.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], widths: &[usize]| {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&line(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a float with 3 significant decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a ratio as a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["a", "1"]);
+        t.row(["long-name", "22"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert!(lines[3].ends_with("22"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(pct(0.1234), "12.3%");
+    }
+}

@@ -1,0 +1,41 @@
+//! # ntc-cicd
+//!
+//! Deployment-process integration (contribution **C4** of *Computational
+//! Offloading for Non-Time-Critical Applications*, ICDCS 2022): the
+//! offloading decisions ride the ordinary release pipeline — profiling,
+//! partitioning, packaging, deployment and canary validation are pipeline
+//! stages, partition plans are versioned artifacts, and a breached SLO
+//! rolls the whole release back.
+//!
+//! * [`artifact`] — content-addressed, versioned artifact registry.
+//! * [`pipeline`] — the stage machine ([`Pipeline`]) with canary + rollback.
+//!
+//! # Examples
+//!
+//! ```
+//! use ntc_cicd::{Outcome, Pipeline, PipelineConfig, ReleaseSpec};
+//! use ntc_simcore::rng::RngStream;
+//! use ntc_taskgraph::{TaskGraphBuilder, Component, LinearModel};
+//!
+//! let mut b = TaskGraphBuilder::new("svc");
+//! b.add_component(Component::new("work").with_demand(LinearModel::constant(1e9)));
+//! let graph = b.build().unwrap();
+//!
+//! let mut pipe = Pipeline::new(PipelineConfig::default(), RngStream::root(3));
+//! let ok = pipe.run(&ReleaseSpec { version: 1, graph: graph.clone(), demand_factor: 1.0, noise_sigma: 0.05 });
+//! assert!(matches!(ok.outcome, Outcome::Promoted { .. }));
+//! // A 4× demand regression is caught by the canary and rolled back.
+//! let bad = pipe.run(&ReleaseSpec { version: 2, graph, demand_factor: 4.0, noise_sigma: 0.05 });
+//! assert!(matches!(bad.outcome, Outcome::RolledBack { .. }));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod artifact;
+pub mod monitor;
+pub mod pipeline;
+
+pub use artifact::{Artifact, ArtifactRegistry, ContentHash};
+pub use monitor::{MonitorAction, ProductionMonitor};
+pub use pipeline::{Outcome, Pipeline, PipelineConfig, PipelineReport, ReleaseSpec, Stage};

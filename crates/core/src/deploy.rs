@@ -1,0 +1,580 @@
+//! Deployment construction: applying a policy to an application yields a
+//! [`Deployment`] — the partition plan, per-component memory sizes,
+//! dispatch policy and warming strategy the execution engine runs with.
+//!
+//! This is the framework's "release" step: under the NTC policy it chains
+//! contribution C1 (profile), C3 (partition), C2 (allocate) and C5
+//! (batching), exactly as the CI/CD pipeline stages do.
+
+use ntc_alloc::{allocate, AllocationRequest, DispatchPolicy, WarmStrategy};
+use ntc_partition::{
+    CostParams, FullOffload, KeepLocal, MinCutPartitioner, PartitionContext, PartitionPlan, Partitioner, Side,
+};
+use ntc_profiler::AppProfiler;
+use ntc_simcore::rng::RngStream;
+use ntc_simcore::units::{Cycles, DataSize, SimDuration};
+use ntc_taskgraph::{ComponentId, TaskGraph};
+use ntc_workloads::Archetype;
+use serde::{Deserialize, Serialize};
+
+use crate::environment::Environment;
+use crate::policy::{Backend, NtcConfig, OffloadPolicy};
+
+/// The memory size granting one full vCPU — the baseline policies'
+/// deployment size.
+pub const DEFAULT_MEMORY: DataSize = DataSize::from_bytes(1769 * 1024 * 1024);
+
+/// The platform's out-of-the-box memory size (Lambda defaults to
+/// 128 MiB) — what a team gets when nobody tunes the allocation
+/// (the `use_allocator: false` ablation).
+pub const UNTUNED_MEMORY: DataSize = DataSize::from_mib(128);
+
+/// A deployed application: everything the engine needs to execute jobs of
+/// one archetype under one policy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Deployment {
+    /// The application.
+    pub archetype: Archetype,
+    /// Its task graph.
+    pub graph: TaskGraph,
+    /// Component → side assignment (Cloud side = the policy's backend).
+    pub plan: PartitionPlan,
+    /// Where offloaded components run.
+    pub backend: Backend,
+    /// Per-component function memory size (meaningful for offloaded
+    /// components on the cloud backend).
+    pub memory: Vec<DataSize>,
+    /// When to release arriving jobs.
+    pub dispatch: DispatchPolicy,
+    /// Cold-start mitigation for offloaded functions.
+    pub warm: WarmStrategy,
+    /// Estimated end-to-end completion time of one job (for safe holding).
+    pub est_completion: SimDuration,
+    /// The per-component demand estimates the decisions were based on.
+    pub demands: Vec<Cycles>,
+    /// The representative input the estimates refer to.
+    pub reference_input: DataSize,
+    /// Largest number of jobs one coalesced invocation may carry before
+    /// the window is split into chunks (keeps batch executions far from
+    /// the function timeout even under demand-noise and input tails).
+    pub max_batch_members: u32,
+    /// Largest total input one coalesced invocation may carry; windows
+    /// accumulating more input are split into chunks. Derived from the
+    /// slowest offloaded component's demand model, its memory size, and a
+    /// 2x demand-noise margin against the function timeout.
+    pub max_batch_bytes: DataSize,
+    /// Estimated completion of one job run entirely on the device.
+    pub est_local: SimDuration,
+    /// Whether batches that provably cannot make their deadline offloaded
+    /// (but can locally) should execute on the device instead.
+    pub fallback_local: bool,
+}
+
+impl Deployment {
+    /// Whether `id` runs away from the device.
+    pub fn is_offloaded(&self, id: ComponentId) -> bool {
+        self.plan.side(id) == Side::Cloud
+    }
+
+    /// Number of offloaded components.
+    pub fn offloaded_count(&self) -> usize {
+        self.plan.offloaded().count()
+    }
+
+    /// Deterministic end-to-end latency estimate of one job with the
+    /// given input under this deployment (annotation demands, base
+    /// network latencies, no queueing or cold starts).
+    pub fn estimated_latency(&self, env: &Environment, input: DataSize) -> SimDuration {
+        let demands: Vec<Cycles> =
+            self.graph.ids().map(|id| self.graph.component(id).demand_cycles(input)).collect();
+        // Nominal (uncongested) conditions: this is a descriptive figure,
+        // not the conservative planning estimate used to hold jobs.
+        estimate_completion_at_share(
+            env,
+            self.backend,
+            &self.graph,
+            &self.plan,
+            &self.memory,
+            &demands,
+            input,
+            Some(1.0),
+        )
+    }
+}
+
+fn cost_params(env: &Environment, backend: Backend) -> CostParams {
+    let (path, remote_speed) = match backend {
+        Backend::Cloud => {
+            (&env.topology.ue_cloud, env.platform.cpu.effective_speed(DEFAULT_MEMORY))
+        }
+        Backend::Edge => (&env.topology.ue_edge, env.edge.clock),
+    };
+    let (money_per_sec, per_request) = match backend {
+        Backend::Cloud => {
+            let gb = DEFAULT_MEMORY.as_bytes() as f64 / (1024.0 * 1024.0 * 1024.0);
+            (env.platform.billing.per_gb_second.mul_f64(gb), env.platform.billing.per_request)
+        }
+        // Edge infrastructure is pre-paid: marginal money per job is zero.
+        Backend::Edge => (ntc_simcore::units::Money::ZERO, ntc_simcore::units::Money::ZERO),
+    };
+    CostParams {
+        device_speed: env.device.clock,
+        cloud_speed: remote_speed,
+        link_latency: path.base_latency(),
+        link_bandwidth: path.bottleneck_bandwidth(),
+        device_active_power: env.device.active_power,
+        device_tx_power: env.device.tx_power,
+        cloud_money_per_sec: money_per_sec,
+        money_per_request: per_request,
+        weights: Default::default(),
+    }
+}
+
+/// Representative inputs: the mean and the empirical tail (sample
+/// maximum) of a deterministic sample of the archetype's input
+/// distribution.
+fn reference_inputs(archetype: Archetype, rng: &RngStream) -> (DataSize, DataSize) {
+    let mut r = rng.derive("reference-input");
+    let n = 64u64;
+    let samples: Vec<u64> = (0..n).map(|_| archetype.sample_input(&mut r).as_bytes()).collect();
+    let mean = samples.iter().sum::<u64>() / n;
+    let tail = *samples.iter().max().expect("non-empty sample");
+    (DataSize::from_bytes(mean), DataSize::from_bytes(tail))
+}
+
+/// Synthetic profiling run: observe `samples` executions of every
+/// component with the archetype's runtime noise, exactly as the engine
+/// will generate them.
+fn train_profiler(
+    graph: &TaskGraph,
+    archetype: Archetype,
+    cfg: &NtcConfig,
+    rng: &RngStream,
+) -> AppProfiler {
+    let mut profiler = AppProfiler::new(graph, cfg.estimator).with_min_observations(3);
+    let mut r = rng.derive("profiling");
+    let sigma = archetype.demand_noise_sigma();
+    let drift = archetype.demand_drift();
+    for _ in 0..cfg.profile_samples {
+        let input = archetype.sample_input(&mut r);
+        for (id, c) in graph.components() {
+            let actual = c.demand_cycles(input).get() as f64 * drift * r.lognormal(0.0, sigma);
+            profiler.observe(id, input, Cycles::new(actual.round() as u64));
+        }
+    }
+    profiler
+}
+
+/// Estimates the sequential completion time of one job under a plan:
+/// device execution + remote execution at the chosen memory + boundary
+/// transfers + the result return.
+fn estimate_completion(
+    env: &Environment,
+    backend: Backend,
+    graph: &TaskGraph,
+    plan: &PartitionPlan,
+    memory: &[DataSize],
+    demands: &[Cycles],
+    input: DataSize,
+) -> SimDuration {
+    estimate_completion_at_share(env, backend, graph, plan, memory, demands, input, None)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn estimate_completion_at_share(
+    env: &Environment,
+    backend: Backend,
+    graph: &TaskGraph,
+    plan: &PartitionPlan,
+    memory: &[DataSize],
+    demands: &[Cycles],
+    input: DataSize,
+    share_override: Option<f64>,
+) -> SimDuration {
+    let mut total = SimDuration::ZERO;
+    for id in graph.ids() {
+        let work = demands[id.index()];
+        total += match plan.side(id) {
+            Side::Device => env.device.execution_time(work),
+            Side::Cloud => match backend {
+                Backend::Cloud => {
+                    env.platform.cpu.effective_speed(memory[id.index()]).execution_time(work)
+                }
+                Backend::Edge => env.edge.clock.execution_time(work),
+            },
+        };
+    }
+    let (path, worst_share) = match backend {
+        // Plan WAN transfers at the congestion trough so held jobs stay
+        // deadline-safe even if released into the evening peak.
+        Backend::Cloud => (
+            &env.topology.ue_cloud,
+            share_override.unwrap_or_else(|| env.wan_congestion.min_share().max(0.01)),
+        ),
+        Backend::Edge => (&env.topology.ue_edge, 1.0),
+    };
+    let bw = path.bottleneck_bandwidth().mul_f64(worst_share);
+    for flow in plan.cut_flows(graph) {
+        let bytes = flow.payload_bytes(input);
+        total += path.base_latency() + bw.transfer_time(bytes);
+    }
+    total += path.base_latency() + bw.transfer_time(env.result_return);
+    total
+}
+
+/// Builds the deployment of `archetype` under `policy` in `env`, for
+/// traffic at `rate_per_sec` whose jobs carry roughly `expected_slack` of
+/// deadline slack.
+///
+/// Deterministic given the same `rng` stream.
+pub fn deploy(
+    policy: &OffloadPolicy,
+    archetype: Archetype,
+    env: &Environment,
+    rate_per_sec: f64,
+    expected_slack: SimDuration,
+    rng: &RngStream,
+) -> Deployment {
+    let graph = archetype.graph();
+    let rng = rng.derive(&format!("deploy-{}", archetype.name()));
+    let backend = policy.backend();
+    let (input, tail_input) = reference_inputs(archetype, &rng);
+
+    // --- C1: demands. ---
+    let (demands, profiled): (Vec<Cycles>, bool) = match policy {
+        OffloadPolicy::Ntc(cfg) if cfg.use_profiler => {
+            let profiler = train_profiler(&graph, archetype, cfg, &rng);
+            (graph.ids().map(|id| profiler.predict(id, input)).collect(), true)
+        }
+        _ => (graph.ids().map(|id| graph.component(id).demand_cycles(input)).collect(), false),
+    };
+    let _ = profiled;
+
+    // --- C3: the plan. ---
+    let plan = match policy {
+        OffloadPolicy::LocalOnly => KeepLocal.partition(&PartitionContext::new(
+            &graph,
+            input,
+            cost_params(env, backend),
+        )),
+        OffloadPolicy::EdgeAll | OffloadPolicy::CloudAll => FullOffload.partition(
+            &PartitionContext::new(&graph, input, cost_params(env, backend)),
+        ),
+        OffloadPolicy::Ntc(cfg) => {
+            let ctx = PartitionContext::new(&graph, input, cost_params(env, backend))
+                .with_demands(demands.clone());
+            if cfg.use_partitioner {
+                MinCutPartitioner.partition(&ctx)
+            } else {
+                FullOffload.partition(&ctx)
+            }
+        }
+    };
+
+    // --- C5: dispatch + warming (decided first: batching determines how
+    // much work one invocation will carry). ---
+    let slack = expected_slack;
+    let offloaded = plan.offloaded().count().max(1);
+    let (dispatch, warm) = match policy {
+        OffloadPolicy::Ntc(cfg) => {
+            let dispatch = if cfg.use_batching && !slack.is_zero() && plan.offloaded().count() > 0 {
+                let window = slack.mul_f64(0.1);
+                if cfg.off_peak {
+                    DispatchPolicy::OffPeak { window, start_hour: 0, end_hour: 6 }
+                } else {
+                    DispatchPolicy::Windowed { window }
+                }
+            } else {
+                DispatchPolicy::Immediate
+            };
+            let interarrival = if rate_per_sec > 0.0 {
+                SimDuration::from_secs_f64((1.0 / rate_per_sec).min(3.15e7))
+            } else {
+                SimDuration::from_hours(24 * 365)
+            };
+            let warm = if backend == Backend::Cloud {
+                ntc_alloc::recommend(interarrival, env.platform.keep_alive.idle_ttl())
+            } else {
+                WarmStrategy::PlatformOnly
+            };
+            (dispatch, warm)
+        }
+        _ => (DispatchPolicy::Immediate, WarmStrategy::PlatformOnly),
+    };
+
+    // Expected coalesced batch size (with 2x burst headroom) — one
+    // invocation carries this many jobs' worth of input.
+    // Dimensioned per *chunk*: an off-peak release drains a large pile,
+    // but the engine splits it into byte-capped chunks that execute on
+    // separate instances, so each invocation still carries roughly one
+    // window's worth of traffic.
+    let expected_members = match dispatch {
+        DispatchPolicy::Windowed { window } | DispatchPolicy::OffPeak { window, .. } => {
+            (rate_per_sec * window.as_secs_f64() * 2.0).ceil().max(1.0) as u64
+        }
+        _ => 1,
+    };
+    let batch_input = input * expected_members;
+
+    // --- C2: memory sizes, dimensioned for the expected batch. ---
+    let memory: Vec<DataSize> = match policy {
+        // C2 disabled: the platform's untuned default size.
+        OffloadPolicy::Ntc(cfg) if !cfg.use_allocator && backend == Backend::Cloud => {
+            graph.ids().map(|id| UNTUNED_MEMORY.max(graph.component(id).memory())).collect()
+        }
+        OffloadPolicy::Ntc(cfg) if cfg.use_allocator && backend == Backend::Cloud => graph
+            .ids()
+            .map(|id| {
+                if plan.side(id) == Side::Cloud {
+                    // Scale the profiled single-job demand to batch size
+                    // using the annotation's input dependence.
+                    let ann_single = graph.component(id).demand_cycles(input).get().max(1);
+                    let ann_batch =
+                        graph.component(id).batch_demand_cycles(expected_members, batch_input).get();
+                    // What the profiler learned about this component,
+                    // relative to its annotation (drift recovery).
+                    let learned_ratio = demands[id.index()].get() as f64 / ann_single as f64;
+                    let factor = ann_batch as f64 / ann_single as f64;
+                    let work = demands[id.index()].mul_f64(factor.max(1.0));
+                    // Timeout safety must also survive a lone tail-input
+                    // job with worst-case demand noise (~2x).
+                    let tail_work = graph
+                        .component(id)
+                        .demand_cycles(tail_input)
+                        .mul_f64(2.0 * learned_ratio.max(0.25));
+                    let guard_work = work.max(tail_work);
+                    let req = AllocationRequest {
+                        work,
+                        rate_per_sec,
+                        slack,
+                        slack_share: 0.5 / offloaded as f64,
+                    };
+                    let a = allocate(
+                        &req,
+                        &env.platform.cpu,
+                        &env.platform.billing,
+                        env.platform.keep_alive,
+                    );
+                    // Respect the component's own footprint floor, and never
+                    // pick a size whose batch execution could hit the
+                    // function timeout.
+                    let mut pick = a.memory.memory.max(graph.component(id).memory());
+                    let timeout_guard = |m: DataSize| {
+                        env.platform.cpu.effective_speed(m).execution_time(guard_work)
+                            <= SimDuration::from_mins(10)
+                    };
+                    if !timeout_guard(pick) {
+                        let bumped = ntc_alloc::standard_sizes()
+                            .into_iter()
+                            .find(|&candidate| candidate > pick && timeout_guard(candidate));
+                        // No ladder size is safe: take the largest.
+                        pick = bumped.unwrap_or(DataSize::from_mib(10240)).max(pick);
+                    }
+                    pick
+                } else {
+                    DEFAULT_MEMORY
+                }
+            })
+            .collect(),
+        _ => graph.ids().map(|id| DEFAULT_MEMORY.max(graph.component(id).memory())).collect(),
+    };
+
+    // Completion estimate used to hold jobs safely: when batching, a
+    // window's worth of jobs coalesce into one invocation, so the estimate
+    // covers the *expected batch* (conservatively, annotation demands at
+    // the batch-sized input).
+    let window_of = |d: DispatchPolicy| match d {
+        DispatchPolicy::Windowed { window } | DispatchPolicy::OffPeak { window, .. } => Some(window),
+        _ => None,
+    };
+    let mut est_completion = if let Some(window) = window_of(dispatch) {
+        let expected = (rate_per_sec * window.as_secs_f64()).ceil().max(1.0) as u64;
+        let est_batch_input = input * expected;
+        let batch_demands: Vec<Cycles> = graph
+            .ids()
+            .map(|id| {
+                let ann_single = graph.component(id).demand_cycles(input).get().max(1);
+                let learned_ratio = demands[id.index()].get() as f64 / ann_single as f64;
+                graph
+                    .component(id)
+                    .batch_demand_cycles(expected, est_batch_input)
+                    .mul_f64(learned_ratio.max(0.25))
+            })
+            .collect();
+        estimate_completion(env, backend, &graph, &plan, &memory, &batch_demands, est_batch_input)
+    } else {
+        estimate_completion(env, backend, &graph, &plan, &memory, &demands, input)
+    };
+    if matches!(dispatch, DispatchPolicy::OffPeak { .. }) {
+        // A nightly release may hand this job a *full* byte-capped chunk:
+        // by construction such a chunk runs up to 5 min at estimated
+        // demand (10 min with the 2x noise margin). Reserve for it.
+        est_completion += SimDuration::from_mins(10);
+    }
+
+    // Device-only completion estimate, for the connectivity-outage local
+    // fallback: no transfers, just serial device execution.
+    let local_plan = PartitionPlan::all_device(&graph);
+    let est_local =
+        estimate_completion(env, backend, &graph, &local_plan, &memory, &demands, input);
+    let fallback_local = matches!(policy, OffloadPolicy::Ntc(cfg) if cfg.local_fallback);
+
+    // Cap coalesced batch size: a chunk's estimated execution at its
+    // component's memory must stay within a third of the 15-minute
+    // function timeout, leaving room for input tails and demand noise.
+    let (max_batch_members, max_batch_bytes) = if matches!(
+        dispatch,
+        DispatchPolicy::Windowed { .. } | DispatchPolicy::OffPeak { .. }
+    ) && backend == Backend::Cloud
+    {
+        // A chunk must finish within 5 minutes at estimated demand — with
+        // the 2x noise margin that is still under the 15-minute timeout.
+        let budget_secs = 300.0;
+        let noise_margin = 2.0;
+        let budget = SimDuration::from_secs_f64(budget_secs / noise_margin);
+        let mut byte_cap = u64::MAX;
+        let mut member_cap = 64u64;
+        for id in plan.offloaded() {
+            let speed = env.platform.cpu.effective_speed(memory[id.index()]);
+            let model = graph.component(id).demand();
+            // Input-proportional demand bounds the chunk's total bytes.
+            if model.per_input_byte > 0.0 {
+                let cycles_budget = speed.as_hz() as f64 * budget_secs / noise_margin - model.fixed;
+                let cap = (cycles_budget / model.per_input_byte).max(0.0) as u64;
+                byte_cap = byte_cap.min(cap);
+            }
+            // Non-batchable fixed demand bounds the member count directly.
+            let mut k = 1u64;
+            while k < 64 {
+                let w = graph.component(id).batch_demand_cycles(k + 1, input * (k + 1));
+                if speed.execution_time(w) > budget {
+                    break;
+                }
+                k += 1;
+            }
+            member_cap = member_cap.min(k);
+        }
+        (member_cap.max(1) as u32, DataSize::from_bytes(byte_cap))
+    } else {
+        (u32::MAX, DataSize::from_bytes(u64::MAX))
+    };
+
+    Deployment {
+        archetype,
+        graph,
+        plan,
+        backend,
+        memory,
+        dispatch,
+        warm,
+        est_completion,
+        demands,
+        reference_input: input,
+        max_batch_members,
+        max_batch_bytes,
+        est_local,
+        fallback_local,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env() -> Environment {
+        Environment::metro_reference()
+    }
+
+    fn rng() -> RngStream {
+        RngStream::root(42)
+    }
+
+    #[test]
+    fn local_only_offloads_nothing() {
+        let d = deploy(&OffloadPolicy::LocalOnly, Archetype::PhotoPipeline, &env(), 0.1, Archetype::PhotoPipeline.typical_slack(), &rng());
+        assert_eq!(d.offloaded_count(), 0);
+        assert_eq!(d.dispatch, DispatchPolicy::Immediate);
+    }
+
+    #[test]
+    fn cloud_all_offloads_everything_offloadable() {
+        let d = deploy(&OffloadPolicy::CloudAll, Archetype::PhotoPipeline, &env(), 0.1, Archetype::PhotoPipeline.typical_slack(), &rng());
+        assert_eq!(d.offloaded_count(), d.graph.len() - 1); // entry pinned
+        assert_eq!(d.backend, Backend::Cloud);
+    }
+
+    #[test]
+    fn edge_all_targets_edge() {
+        let d = deploy(&OffloadPolicy::EdgeAll, Archetype::MlInference, &env(), 0.1, Archetype::MlInference.typical_slack(), &rng());
+        assert_eq!(d.backend, Backend::Edge);
+        assert!(d.offloaded_count() > 0);
+    }
+
+    #[test]
+    fn ntc_batches_and_offloads_heavy_components() {
+        let d = deploy(&OffloadPolicy::ntc(), Archetype::SciSweep, &env(), 0.01, Archetype::SciSweep.typical_slack(), &rng());
+        assert!(d.offloaded_count() >= 1, "the 60 Gcyc simulate step must offload");
+        assert!(matches!(d.dispatch, DispatchPolicy::Windowed { .. }));
+        assert!(d.est_completion > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn ablation_flags_change_the_deployment() {
+        let base = deploy(&OffloadPolicy::ntc(), Archetype::ReportRendering, &env(), 0.05, Archetype::ReportRendering.typical_slack(), &rng());
+        let no_batch = deploy(
+            &OffloadPolicy::Ntc(NtcConfig { use_batching: false, ..Default::default() }),
+            Archetype::ReportRendering,
+            &env(),
+            0.05,
+            Archetype::ReportRendering.typical_slack(),
+            &rng(),
+        );
+        assert!(matches!(base.dispatch, DispatchPolicy::Windowed { .. }));
+        assert_eq!(no_batch.dispatch, DispatchPolicy::Immediate);
+
+        let no_alloc = deploy(
+            &OffloadPolicy::Ntc(NtcConfig { use_allocator: false, ..Default::default() }),
+            Archetype::ReportRendering,
+            &env(),
+            0.05,
+            Archetype::ReportRendering.typical_slack(),
+            &rng(),
+        );
+        for id in no_alloc.graph.ids() {
+            let floor = no_alloc.graph.component(id).memory();
+            assert_eq!(no_alloc.memory[id.index()], UNTUNED_MEMORY.max(floor));
+        }
+    }
+
+    #[test]
+    fn deployment_is_deterministic() {
+        let a = deploy(&OffloadPolicy::ntc(), Archetype::LogAnalytics, &env(), 0.1, Archetype::LogAnalytics.typical_slack(), &rng());
+        let b = deploy(&OffloadPolicy::ntc(), Archetype::LogAnalytics, &env(), 0.1, Archetype::LogAnalytics.typical_slack(), &rng());
+        assert_eq!(a.plan, b.plan);
+        assert_eq!(a.memory, b.memory);
+        assert_eq!(a.demands, b.demands);
+    }
+
+    #[test]
+    fn profiler_estimates_are_near_annotations() {
+        let d = deploy(&OffloadPolicy::ntc(), Archetype::PhotoPipeline, &env(), 0.1, Archetype::PhotoPipeline.typical_slack(), &rng());
+        for (id, c) in d.graph.components() {
+            let annotated = c.demand_cycles(d.reference_input).get() as f64;
+            let estimated = d.demands[id.index()].get() as f64;
+            if annotated > 0.0 {
+                let rel = (estimated - annotated).abs() / annotated;
+                assert!(rel < 0.5, "{}: {rel}", c.name());
+            }
+        }
+    }
+
+    #[test]
+    fn memory_respects_component_footprint() {
+        let d = deploy(&OffloadPolicy::ntc(), Archetype::MlInference, &env(), 0.1, Archetype::MlInference.typical_slack(), &rng());
+        for (id, c) in d.graph.components() {
+            if d.is_offloaded(id) {
+                assert!(d.memory[id.index()] >= c.memory());
+            }
+        }
+    }
+}

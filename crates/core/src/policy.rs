@@ -1,0 +1,162 @@
+//! Offloading policies: the strategies compared throughout the
+//! evaluation, including the full NTC framework and its ablations.
+
+use core::fmt;
+
+use ntc_profiler::EstimatorKind;
+use serde::{Deserialize, Serialize};
+
+/// Where offloaded components execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Backend {
+    /// Cloud serverless platform.
+    Cloud,
+    /// Edge fleet.
+    Edge,
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Backend::Cloud => "cloud",
+            Backend::Edge => "edge",
+        })
+    }
+}
+
+/// Configuration of the full NTC framework, with ablation switches
+/// (Figure 6): each `use_*` flag disables one contribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NtcConfig {
+    /// C1: learn demands by profiling (off → static annotations).
+    pub use_profiler: bool,
+    /// C3: min-cut partitioning (off → offload everything offloadable).
+    pub use_partitioner: bool,
+    /// C2: memory-size allocation (off → platform default size).
+    pub use_allocator: bool,
+    /// C5: deadline-aware batching (off → dispatch immediately).
+    pub use_batching: bool,
+    /// Run a batch on the device when offloading provably cannot meet its
+    /// deadline (e.g. a connectivity outage longer than the remaining
+    /// slack) but local execution can.
+    pub local_fallback: bool,
+    /// C5 extension: steer held jobs into the nightly off-peak band
+    /// (00:00–06:00) when their slack reaches it, to ride uncongested
+    /// WAN bandwidth and bigger coalesced batches.
+    pub off_peak: bool,
+    /// Estimator family for the profiler.
+    pub estimator: EstimatorKind,
+    /// Profiling invocations per archetype at deployment time.
+    pub profile_samples: u32,
+}
+
+impl Default for NtcConfig {
+    fn default() -> Self {
+        NtcConfig {
+            use_profiler: true,
+            use_partitioner: true,
+            use_allocator: true,
+            use_batching: true,
+            local_fallback: true,
+            off_peak: false,
+            estimator: EstimatorKind::Hybrid,
+            profile_samples: 40,
+        }
+    }
+}
+
+/// A complete offloading strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OffloadPolicy {
+    /// Everything runs on the UE.
+    LocalOnly,
+    /// Every offloadable component runs on the edge fleet.
+    EdgeAll,
+    /// Every offloadable component runs on cloud functions at the
+    /// platform-default memory size, dispatched immediately.
+    CloudAll,
+    /// The paper's framework: profile → partition → allocate → batch,
+    /// targeting the cloud.
+    Ntc(NtcConfig),
+}
+
+impl OffloadPolicy {
+    /// The full framework with default settings.
+    pub fn ntc() -> Self {
+        OffloadPolicy::Ntc(NtcConfig::default())
+    }
+
+    /// The backend offloaded components use under this policy.
+    pub fn backend(&self) -> Backend {
+        match self {
+            OffloadPolicy::EdgeAll => Backend::Edge,
+            _ => Backend::Cloud,
+        }
+    }
+
+    /// A short stable name for result tables.
+    pub fn name(&self) -> String {
+        match self {
+            OffloadPolicy::LocalOnly => "local-only".into(),
+            OffloadPolicy::EdgeAll => "edge-all".into(),
+            OffloadPolicy::CloudAll => "cloud-all".into(),
+            OffloadPolicy::Ntc(cfg) => {
+                if *cfg == NtcConfig::default() {
+                    "ntc".into()
+                } else {
+                    let mut offs = Vec::new();
+                    if !cfg.use_profiler {
+                        offs.push("profiler");
+                    }
+                    if !cfg.use_partitioner {
+                        offs.push("partitioner");
+                    }
+                    if !cfg.use_allocator {
+                        offs.push("allocator");
+                    }
+                    if !cfg.use_batching {
+                        offs.push("batching");
+                    }
+                    if offs.is_empty() {
+                        if cfg.off_peak {
+                            "ntc[+offpeak]".into()
+                        } else {
+                            format!("ntc[{}x{}]", cfg.estimator, cfg.profile_samples)
+                        }
+                    } else {
+                        format!("ntc[-{}]", offs.join(",-"))
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for OffloadPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(OffloadPolicy::LocalOnly.name(), "local-only");
+        assert_eq!(OffloadPolicy::EdgeAll.name(), "edge-all");
+        assert_eq!(OffloadPolicy::CloudAll.name(), "cloud-all");
+        assert_eq!(OffloadPolicy::ntc().name(), "ntc");
+        let ablated = OffloadPolicy::Ntc(NtcConfig { use_batching: false, ..Default::default() });
+        assert_eq!(ablated.name(), "ntc[-batching]");
+    }
+
+    #[test]
+    fn backends() {
+        assert_eq!(OffloadPolicy::EdgeAll.backend(), Backend::Edge);
+        assert_eq!(OffloadPolicy::CloudAll.backend(), Backend::Cloud);
+        assert_eq!(OffloadPolicy::ntc().backend(), Backend::Cloud);
+        assert_eq!(Backend::Edge.to_string(), "edge");
+    }
+}

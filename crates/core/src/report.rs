@@ -1,0 +1,255 @@
+//! Result records of an end-to-end run: per-job outcomes and aggregate
+//! metrics, serialisable for the experiment harness.
+
+use std::collections::BTreeMap;
+
+use ntc_simcore::stats::Summary;
+use ntc_simcore::timeseries::TimeSeries;
+use ntc_simcore::units::{DataSize, Energy, Money, SimDuration, SimTime};
+use ntc_workloads::Archetype;
+use serde::{Deserialize, Serialize};
+
+/// The outcome of one job.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobResult {
+    /// The job's stream id.
+    pub id: u64,
+    /// Which application it invoked.
+    pub archetype: Archetype,
+    /// When it arrived.
+    pub arrival: SimTime,
+    /// When it was released to execution (after any deliberate holding).
+    pub dispatched: SimTime,
+    /// When its results reached the device.
+    pub finish: SimTime,
+    /// Its deadline.
+    pub deadline: SimTime,
+    /// Whether a cloud/edge failure (timeout) lost the job.
+    pub failed: bool,
+}
+
+impl JobResult {
+    /// End-to-end latency (arrival to results on device).
+    pub fn latency(&self) -> SimDuration {
+        self.finish - self.arrival
+    }
+
+    /// Whether the job finished by its deadline (failed jobs never do).
+    pub fn met_deadline(&self) -> bool {
+        !self.failed && self.finish <= self.deadline
+    }
+}
+
+/// Aggregate outcome of one policy over one job stream.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// The policy that produced this run.
+    pub policy: String,
+    /// Per-job outcomes, in arrival order.
+    pub jobs: Vec<JobResult>,
+    /// Total serverless bill (invocations + provisioning + warmers).
+    pub cloud_cost: Money,
+    /// Flat edge-infrastructure bill over the horizon.
+    pub edge_cost: Money,
+    /// UE battery energy consumed across all jobs.
+    pub device_energy: Energy,
+    /// The UE energy expressed as money (electricity-equivalent price).
+    pub device_energy_cost: Money,
+    /// Bytes uploaded from devices.
+    pub bytes_up: DataSize,
+    /// Bytes downloaded to devices.
+    pub bytes_down: DataSize,
+    /// Job completions per simulated hour.
+    pub completions_per_hour: TimeSeries,
+    /// The simulated horizon.
+    pub horizon: SimDuration,
+}
+
+impl RunResult {
+    /// Total monetary cost: cloud + edge + device electricity.
+    pub fn total_cost(&self) -> Money {
+        self.cloud_cost + self.edge_cost + self.device_energy_cost
+    }
+
+    /// Number of jobs that missed their deadline or failed.
+    pub fn deadline_misses(&self) -> u64 {
+        self.jobs.iter().filter(|j| !j.met_deadline()).count() as u64
+    }
+
+    /// Deadline-miss rate in `[0, 1]`; zero for an empty run.
+    pub fn miss_rate(&self) -> f64 {
+        if self.jobs.is_empty() {
+            0.0
+        } else {
+            self.deadline_misses() as f64 / self.jobs.len() as f64
+        }
+    }
+
+    /// Number of jobs lost to platform failures.
+    pub fn failures(&self) -> u64 {
+        self.jobs.iter().filter(|j| j.failed).count() as u64
+    }
+
+    /// Latency summary in seconds, or `None` for an empty run.
+    pub fn latency_summary(&self) -> Option<Summary> {
+        let xs: Vec<f64> = self.jobs.iter().map(|j| j.latency().as_secs_f64()).collect();
+        Summary::of(&xs)
+    }
+
+    /// Mean cost per job, or zero for an empty run.
+    pub fn cost_per_job(&self) -> Money {
+        if self.jobs.is_empty() {
+            Money::ZERO
+        } else {
+            self.total_cost() / self.jobs.len() as i64
+        }
+    }
+
+    /// Per-archetype outcome breakdown, sorted by archetype name.
+    pub fn by_archetype(&self) -> Vec<ArchetypeBreakdown> {
+        let mut groups: BTreeMap<&'static str, Vec<&JobResult>> = BTreeMap::new();
+        for j in &self.jobs {
+            groups.entry(j.archetype.name()).or_default().push(j);
+        }
+        groups
+            .into_values()
+            .map(|js| {
+                let archetype = js[0].archetype;
+                let latencies: Vec<f64> = js.iter().map(|j| j.latency().as_secs_f64()).collect();
+                let holds: f64 = js
+                    .iter()
+                    .map(|j| (j.dispatched - j.arrival).as_secs_f64())
+                    .sum::<f64>()
+                    / js.len() as f64;
+                ArchetypeBreakdown {
+                    archetype,
+                    jobs: js.len(),
+                    misses: js.iter().filter(|j| !j.met_deadline()).count() as u64,
+                    failures: js.iter().filter(|j| j.failed).count() as u64,
+                    latency: Summary::of(&latencies),
+                    mean_hold_s: holds,
+                }
+            })
+            .collect()
+    }
+
+    /// Serialises the full result as pretty JSON.
+    ///
+    /// # Panics
+    ///
+    /// Panics if serialisation fails (all fields are plain data; it
+    /// cannot in practice).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("RunResult serialises")
+    }
+}
+
+/// One archetype's slice of a [`RunResult`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArchetypeBreakdown {
+    /// The application.
+    pub archetype: Archetype,
+    /// Jobs of this archetype.
+    pub jobs: usize,
+    /// Deadline misses (including failures).
+    pub misses: u64,
+    /// Platform failures.
+    pub failures: u64,
+    /// Latency summary in seconds.
+    pub latency: Option<Summary>,
+    /// Mean deliberate hold before dispatch, in seconds.
+    pub mean_hold_s: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: u64, arrival_s: u64, finish_s: u64, deadline_s: u64, failed: bool) -> JobResult {
+        JobResult {
+            id,
+            archetype: Archetype::PhotoPipeline,
+            arrival: SimTime::from_secs(arrival_s),
+            dispatched: SimTime::from_secs(arrival_s),
+            finish: SimTime::from_secs(finish_s),
+            deadline: SimTime::from_secs(deadline_s),
+            failed,
+        }
+    }
+
+    fn run(jobs: Vec<JobResult>) -> RunResult {
+        RunResult {
+            policy: "test".into(),
+            jobs,
+            cloud_cost: Money::from_cents(30),
+            edge_cost: Money::from_cents(50),
+            device_energy: Energy::from_joules(100),
+            device_energy_cost: Money::from_cents(20),
+            bytes_up: DataSize::from_mib(1),
+            bytes_down: DataSize::from_mib(2),
+            completions_per_hour: TimeSeries::new(SimDuration::from_hours(1)),
+            horizon: SimDuration::from_hours(1),
+        }
+    }
+
+    #[test]
+    fn deadline_accounting() {
+        let r = run(vec![
+            job(0, 0, 10, 20, false),  // met
+            job(1, 0, 30, 20, false),  // missed
+            job(2, 0, 10, 20, true),   // failed → counts as miss
+        ]);
+        assert_eq!(r.deadline_misses(), 2);
+        assert_eq!(r.failures(), 1);
+        assert!((r.miss_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let r = run(vec![job(0, 0, 10, 20, false), job(1, 0, 10, 20, false)]);
+        assert_eq!(r.total_cost(), Money::from_cents(100));
+        assert_eq!(r.cost_per_job(), Money::from_cents(50));
+    }
+
+    #[test]
+    fn latency_summary_reflects_jobs() {
+        let r = run(vec![job(0, 0, 5, 100, false), job(1, 10, 25, 100, false)]);
+        let s = r.latency_summary().unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.min, 5.0);
+        assert_eq!(s.max, 15.0);
+    }
+
+    #[test]
+    fn empty_run_is_well_behaved() {
+        let r = run(vec![]);
+        assert_eq!(r.miss_rate(), 0.0);
+        assert_eq!(r.cost_per_job(), Money::ZERO);
+        assert!(r.latency_summary().is_none());
+        assert!(r.by_archetype().is_empty());
+    }
+
+    #[test]
+    fn by_archetype_groups_and_counts() {
+        let mut jobs = vec![job(0, 0, 10, 20, false), job(1, 0, 30, 20, false)];
+        jobs.push(JobResult { archetype: Archetype::SciSweep, ..job(2, 0, 5, 50, false) });
+        let r = run(jobs);
+        let groups = r.by_archetype();
+        assert_eq!(groups.len(), 2);
+        let photo = groups.iter().find(|g| g.archetype == Archetype::PhotoPipeline).unwrap();
+        assert_eq!(photo.jobs, 2);
+        assert_eq!(photo.misses, 1);
+        let sci = groups.iter().find(|g| g.archetype == Archetype::SciSweep).unwrap();
+        assert_eq!(sci.jobs, 1);
+        assert_eq!(sci.misses, 0);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let r = run(vec![job(0, 0, 10, 20, false)]);
+        let s = r.to_json();
+        let back: RunResult = serde_json::from_str(&s).unwrap();
+        assert_eq!(back.jobs, r.jobs);
+        assert_eq!(back.cloud_cost, r.cloud_cost);
+    }
+}

@@ -1,0 +1,136 @@
+//! Parallel experiment runner: independent replications with
+//! deterministic per-replication seeds, executed across threads.
+//!
+//! The simulation kernel is single-threaded by design (determinism); the
+//! parallelism here is across *replications*, which share nothing. Results
+//! come back in replication order regardless of thread scheduling, so a
+//! parallel run is bit-identical to a sequential one.
+
+use ntc_simcore::stats::Welford;
+use ntc_simcore::units::SimDuration;
+use ntc_workloads::StreamSpec;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::engine::Engine;
+use crate::environment::Environment;
+use crate::policy::OffloadPolicy;
+use crate::report::RunResult;
+
+/// Runs `replications` independent copies of (policy, specs, horizon),
+/// seeding replication `i` with `base_seed + i`, in parallel across up to
+/// `threads` threads.
+///
+/// Results are returned in replication order.
+///
+/// # Panics
+///
+/// Panics if `replications` is zero or `threads` is zero.
+pub fn run_replications(
+    env: &Environment,
+    policy: &OffloadPolicy,
+    specs: &[StreamSpec],
+    horizon: SimDuration,
+    base_seed: u64,
+    replications: u32,
+    threads: usize,
+) -> Vec<RunResult> {
+    assert!(replications > 0, "need at least one replication");
+    assert!(threads > 0, "need at least one thread");
+    let mut results: Vec<Option<RunResult>> = (0..replications).map(|_| None).collect();
+    let next = Mutex::new(0u32);
+    let slots = Mutex::new(&mut results);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads.min(replications as usize) {
+            scope.spawn(|_| loop {
+                let i = {
+                    let mut n = next.lock();
+                    if *n >= replications {
+                        break;
+                    }
+                    let i = *n;
+                    *n += 1;
+                    i
+                };
+                let engine = Engine::new(env.clone(), base_seed + u64::from(i));
+                let result = engine.run(policy, specs, horizon);
+                slots.lock()[i as usize] = Some(result);
+            });
+        }
+    })
+    .expect("replication worker panicked");
+
+    results.into_iter().map(|r| r.expect("all replications completed")).collect()
+}
+
+/// Mean ± stddev of a metric across replications.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetricSummary {
+    /// Number of replications.
+    pub n: u64,
+    /// Mean across replications.
+    pub mean: f64,
+    /// Sample standard deviation across replications.
+    pub std_dev: f64,
+}
+
+/// Summarises `metric` over replication results.
+pub fn across<T: Fn(&RunResult) -> f64>(results: &[RunResult], metric: T) -> MetricSummary {
+    let mut w = Welford::new();
+    for r in results {
+        w.record(metric(r));
+    }
+    MetricSummary { n: w.count(), mean: w.mean(), std_dev: w.std_dev() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntc_workloads::Archetype;
+
+    fn tiny() -> ([StreamSpec; 1], SimDuration) {
+        ([StreamSpec::poisson(Archetype::MlInference, 0.02)], SimDuration::from_mins(30))
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let env = Environment::metro_reference();
+        let (specs, horizon) = tiny();
+        let seq =
+            run_replications(&env, &OffloadPolicy::CloudAll, &specs, horizon, 100, 4, 1);
+        let par =
+            run_replications(&env, &OffloadPolicy::CloudAll, &specs, horizon, 100, 4, 4);
+        assert_eq!(seq.len(), 4);
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.jobs, b.jobs, "parallel execution must not change results");
+            assert_eq!(a.cloud_cost, b.cloud_cost);
+        }
+    }
+
+    #[test]
+    fn replications_differ_from_each_other() {
+        let env = Environment::metro_reference();
+        let (specs, horizon) = tiny();
+        let rs = run_replications(&env, &OffloadPolicy::CloudAll, &specs, horizon, 5, 2, 2);
+        assert_ne!(rs[0].jobs, rs[1].jobs);
+    }
+
+    #[test]
+    fn across_summarises() {
+        let env = Environment::metro_reference();
+        let (specs, horizon) = tiny();
+        let rs = run_replications(&env, &OffloadPolicy::CloudAll, &specs, horizon, 7, 3, 3);
+        let s = across(&rs, |r| r.jobs.len() as f64);
+        assert_eq!(s.n, 3);
+        assert!(s.mean > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replication")]
+    fn zero_replications_panics() {
+        let env = Environment::metro_reference();
+        let (specs, horizon) = tiny();
+        run_replications(&env, &OffloadPolicy::LocalOnly, &specs, horizon, 0, 0, 1);
+    }
+}

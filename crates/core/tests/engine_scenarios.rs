@@ -1,0 +1,127 @@
+//! Scenario tests of the execution engine under varied environments:
+//! rural networks, IoT hardware, constrained platforms, congestion, and
+//! the off-peak extension.
+
+use ntc_core::{DeviceModel, Engine, Environment, NtcConfig, OffloadPolicy};
+use ntc_net::{BandwidthTrace, Topology};
+use ntc_simcore::units::SimDuration;
+use ntc_workloads::{Archetype, StreamSpec};
+
+#[test]
+fn rural_topology_shifts_the_balance_toward_local() {
+    // Slower WAN makes offloading photo batches less attractive in
+    // latency; the cloud still wins on battery.
+    let mut env = Environment::metro_reference();
+    env.topology = Topology::rural_reference();
+    let engine = Engine::new(env, 21);
+    let specs = [StreamSpec::poisson(Archetype::PhotoPipeline, 0.02)];
+    let horizon = SimDuration::from_hours(2);
+    let local = engine.run(&OffloadPolicy::LocalOnly, &specs, horizon);
+    let cloud = engine.run(&OffloadPolicy::CloudAll, &specs, horizon);
+    assert!(cloud.device_energy < local.device_energy);
+    // The rural WAN inflates cloud latency well past the metro case.
+    let metro = Engine::new(Environment::metro_reference(), 21)
+        .run(&OffloadPolicy::CloudAll, &specs, horizon);
+    let rural_p50 = cloud.latency_summary().unwrap().p50;
+    let metro_p50 = metro.latency_summary().unwrap().p50;
+    assert!(rural_p50 > metro_p50 * 1.3, "rural {rural_p50} vs metro {metro_p50}");
+}
+
+#[test]
+fn iot_gateway_benefits_even_more_from_offloading() {
+    let mut env = Environment::metro_reference();
+    env.device = DeviceModel::iot_gateway();
+    let engine = Engine::new(env, 22);
+    let specs = [StreamSpec::poisson(Archetype::SciSweep, 0.002)];
+    let horizon = SimDuration::from_hours(3);
+    let local = engine.run(&OffloadPolicy::LocalOnly, &specs, horizon);
+    let cloud = engine.run(&OffloadPolicy::CloudAll, &specs, horizon);
+    let l50 = local.latency_summary().unwrap().p50;
+    let c50 = cloud.latency_summary().unwrap().p50;
+    // 800 MHz gateway vs a 2.5 GHz vCPU: at least 2.5x faster offloaded.
+    assert!(c50 < l50 / 2.5, "cloud {c50}s vs local {l50}s");
+}
+
+#[test]
+fn congestion_free_world_is_faster_for_cloud_transfers() {
+    let mut free = Environment::metro_reference();
+    free.wan_congestion = BandwidthTrace::constant();
+    let congested = Environment::metro_reference();
+    let specs = [StreamSpec::poisson(Archetype::VideoTranscode, 0.003)];
+    // Must span the congested hours (08:00 onwards, worst 18:00-23:00).
+    let horizon = SimDuration::from_hours(24);
+    let fast = Engine::new(free, 23).run(&OffloadPolicy::CloudAll, &specs, horizon);
+    let slow = Engine::new(congested, 23).run(&OffloadPolicy::CloudAll, &specs, horizon);
+    let f95 = fast.latency_summary().unwrap().p95;
+    let s95 = slow.latency_summary().unwrap().p95;
+    assert!(f95 < s95, "constant-bandwidth p95 {f95} should beat congested {s95}");
+    // Less time on the radio also means less battery.
+    assert!(fast.device_energy <= slow.device_energy);
+}
+
+#[test]
+fn off_peak_policy_meets_deadlines_and_holds_into_the_night() {
+    let engine = Engine::new(Environment::metro_reference(), 24);
+    let specs = [StreamSpec::poisson(Archetype::SciSweep, 0.002)]; // 24 h slack
+    let horizon = SimDuration::from_hours(30);
+    let policy = OffloadPolicy::Ntc(NtcConfig { off_peak: true, ..Default::default() });
+    let r = engine.run(&policy, &specs, horizon);
+    assert_eq!(r.deadline_misses(), 0);
+    assert_eq!(policy.name(), "ntc[+offpeak]");
+    // Jobs arriving during the day are held to the 00:00–06:00 band.
+    let held_to_night = r
+        .jobs
+        .iter()
+        .filter(|j| {
+            let arrival_hour = (j.arrival.as_micros() / 3_600_000_000) % 24;
+            let dispatch_hour = (j.dispatched.as_micros() / 3_600_000_000) % 24;
+            (6..24).contains(&arrival_hour) && dispatch_hour < 6
+        })
+        .count();
+    assert!(held_to_night > 0, "daytime arrivals should ride the night band");
+}
+
+#[test]
+fn tiny_edge_fleet_saturates_where_cloud_does_not() {
+    let mut env = Environment::metro_reference();
+    env.edge.servers = 1;
+    env.edge.slots_per_server = 1;
+    let engine = Engine::new(env, 25);
+    // Tight slack so queueing converts to misses.
+    let specs = [StreamSpec::poisson(Archetype::LogAnalytics, 0.2).with_slack_factor(0.05)];
+    let horizon = SimDuration::from_hours(1);
+    let edge = engine.run(&OffloadPolicy::EdgeAll, &specs, horizon);
+    let cloud = engine.run(&OffloadPolicy::CloudAll, &specs, horizon);
+    assert!(edge.miss_rate() > 0.5, "a one-slot fleet must drown: {}", edge.miss_rate());
+    assert!(cloud.miss_rate() < 0.05, "the elastic cloud must not: {}", cloud.miss_rate());
+}
+
+#[test]
+fn free_billing_makes_ntc_and_cloud_all_cost_nothing() {
+    let mut env = Environment::metro_reference();
+    env.platform.billing = ntc_serverless::BillingModel::free();
+    env.energy_price_per_joule = ntc_simcore::units::Money::ZERO;
+    let engine = Engine::new(env, 26);
+    let specs = [StreamSpec::poisson(Archetype::MlInference, 0.02)];
+    let horizon = SimDuration::from_hours(1);
+    for policy in [OffloadPolicy::CloudAll, OffloadPolicy::ntc()] {
+        let r = engine.run(&policy, &specs, horizon);
+        assert_eq!(r.total_cost(), ntc_simcore::units::Money::ZERO, "{policy}");
+    }
+}
+
+#[test]
+fn horizon_tail_jobs_still_complete() {
+    // Jobs arriving just before the horizon drain after it; nothing is
+    // silently dropped.
+    let engine = Engine::new(Environment::metro_reference(), 27);
+    let specs = [StreamSpec::poisson(Archetype::ReportRendering, 0.05)];
+    let horizon = SimDuration::from_mins(30);
+    let r = engine.run(&OffloadPolicy::ntc(), &specs, horizon);
+    let generated = ntc_workloads::generate_jobs(
+        &specs,
+        horizon,
+        &ntc_simcore::rng::RngStream::root(27).derive("engine").derive("jobs"),
+    );
+    assert_eq!(r.jobs.len(), generated.len(), "every generated job must have a result");
+}

@@ -1,0 +1,292 @@
+//! UE connectivity schedules: when the device can reach the network at
+//! all.
+//!
+//! Mobile users lose connectivity — elevators, subways, flights, dead
+//! zones. A time-critical offloaded job fails or stalls; a
+//! non-time-critical job simply waits. This module provides deterministic
+//! on/off schedules the engine consults before starting any UE-side
+//! transfer.
+
+use ntc_simcore::units::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A periodic on/off connectivity schedule.
+///
+/// Like [`crate::BandwidthTrace`], the schedule repeats with its period,
+/// so a 24-hour commuter profile covers arbitrarily long runs.
+///
+/// # Examples
+///
+/// ```
+/// use ntc_net::connectivity::ConnectivityTrace;
+/// use ntc_simcore::units::SimTime;
+///
+/// let t = ConnectivityTrace::commuter();
+/// assert!(t.is_online(SimTime::from_secs(12 * 3600)));  // midday: online
+/// assert!(!t.is_online(SimTime::from_secs(8 * 3600 + 60))); // morning subway
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConnectivityTrace {
+    period: SimDuration,
+    // (offset from period start, online); sorted, first at ZERO.
+    segments: Vec<(SimDuration, bool)>,
+}
+
+impl ConnectivityTrace {
+    /// A schedule that is always online.
+    pub fn always() -> Self {
+        ConnectivityTrace { period: SimDuration::from_hours(24), segments: vec![(SimDuration::ZERO, true)] }
+    }
+
+    /// Builds a schedule from `(offset, online)` segments repeating every
+    /// `period`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` is empty, unsorted, does not start at offset
+    /// zero, or reaches past `period`.
+    pub fn new(period: SimDuration, segments: Vec<(SimDuration, bool)>) -> Self {
+        assert!(!segments.is_empty(), "trace needs at least one segment");
+        assert_eq!(segments[0].0, SimDuration::ZERO, "first segment must start at zero");
+        assert!(segments.windows(2).all(|w| w[0].0 < w[1].0), "segments must be sorted");
+        assert!(segments.last().expect("non-empty").0 < period, "segments must fit in the period");
+        ConnectivityTrace { period, segments }
+    }
+
+    /// A commuter's day: offline 08:00–08:45 and 17:30–18:15 (subway),
+    /// online otherwise.
+    pub fn commuter() -> Self {
+        let m = |mins: u64| SimDuration::from_mins(mins);
+        ConnectivityTrace::new(
+            SimDuration::from_hours(24),
+            vec![
+                (SimDuration::ZERO, true),
+                (m(8 * 60), false),
+                (m(8 * 60 + 45), true),
+                (m(17 * 60 + 30), false),
+                (m(18 * 60 + 15), true),
+            ],
+        )
+    }
+
+    /// A flaky rural link: 20 minutes offline out of every 2 hours.
+    pub fn flaky() -> Self {
+        ConnectivityTrace::new(
+            SimDuration::from_hours(2),
+            vec![(SimDuration::ZERO, true), (SimDuration::from_mins(100), false)],
+        )
+    }
+
+    /// The repeat period.
+    pub fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    fn segment_index(&self, at: SimTime) -> usize {
+        let offset = SimDuration::from_micros(at.as_micros() % self.period.as_micros());
+        match self.segments.binary_search_by(|&(o, _)| o.cmp(&offset)) {
+            Ok(i) => i,
+            Err(0) => unreachable!("first segment starts at zero"),
+            Err(i) => i - 1,
+        }
+    }
+
+    /// Whether the device can reach the network at `at`.
+    pub fn is_online(&self, at: SimTime) -> bool {
+        self.segments[self.segment_index(at)].1
+    }
+
+    /// The earliest instant `>= at` at which the device is online
+    /// (`at` itself when already online).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule has no online segment at all.
+    pub fn next_online(&self, at: SimTime) -> SimTime {
+        assert!(self.segments.iter().any(|&(_, on)| on), "schedule is never online");
+        if self.is_online(at) {
+            return at;
+        }
+        let period_us = self.period.as_micros();
+        let cycle_start = at.as_micros() - at.as_micros() % period_us;
+        // Scan forward within this cycle, then wrap to the next.
+        let idx = self.segment_index(at);
+        for &(offset, on) in &self.segments[idx + 1..] {
+            if on {
+                return SimTime::from_micros(cycle_start + offset.as_micros());
+            }
+        }
+        let next_cycle = cycle_start + period_us;
+        let first_on = self
+            .segments
+            .iter()
+            .find(|&&(_, on)| on)
+            .expect("checked above")
+            .0;
+        SimTime::from_micros(next_cycle + first_on.as_micros())
+    }
+
+    /// The worst-case wait a transfer initiated anywhere in
+    /// `[from, until]` could incur before the device is online: the
+    /// longest remaining-outage time over all initiation instants in the
+    /// interval. Zero when the whole interval is online.
+    pub fn worst_wait_within(&self, from: SimTime, until: SimTime) -> SimDuration {
+        if until < from {
+            return SimDuration::ZERO;
+        }
+        let mut worst = self.next_online(from).saturating_duration_since(from);
+        // A transfer started the instant an outage begins waits the whole
+        // window: check every offline segment start inside the interval.
+        let period_us = self.period.as_micros();
+        let mut cycle_start = from.as_micros() - from.as_micros() % period_us;
+        while cycle_start <= until.as_micros() {
+            for &(offset, on) in &self.segments {
+                if !on {
+                    let s = cycle_start + offset.as_micros();
+                    if s >= from.as_micros() && s <= until.as_micros() {
+                        let start = SimTime::from_micros(s);
+                        let wait = self.next_online(start).saturating_duration_since(start);
+                        if wait > worst {
+                            worst = wait;
+                        }
+                    }
+                }
+            }
+            cycle_start += period_us;
+        }
+        worst
+    }
+
+    /// The longest single offline window in one period.
+    pub fn longest_offline(&self) -> SimDuration {
+        let mut longest = SimDuration::ZERO;
+        for (i, &(start, on)) in self.segments.iter().enumerate() {
+            if !on {
+                let end = self.segments.get(i + 1).map(|&(o, _)| o).unwrap_or(self.period);
+                let span = end - start;
+                if span > longest {
+                    longest = span;
+                }
+            }
+        }
+        longest
+    }
+
+    /// Total offline time per period, as a fraction in `[0, 1)`.
+    pub fn offline_fraction(&self) -> f64 {
+        let mut offline = SimDuration::ZERO;
+        for (i, &(start, on)) in self.segments.iter().enumerate() {
+            if !on {
+                let end =
+                    self.segments.get(i + 1).map(|&(o, _)| o).unwrap_or(self.period);
+                offline += end - start;
+            }
+        }
+        offline.as_secs_f64() / self.period.as_secs_f64()
+    }
+}
+
+impl Default for ConnectivityTrace {
+    fn default() -> Self {
+        Self::always()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_is_always_online() {
+        let t = ConnectivityTrace::always();
+        for h in 0..30 {
+            let at = SimTime::from_secs(h * 3600);
+            assert!(t.is_online(at));
+            assert_eq!(t.next_online(at), at);
+        }
+        assert_eq!(t.offline_fraction(), 0.0);
+    }
+
+    #[test]
+    fn commuter_windows_are_respected() {
+        let t = ConnectivityTrace::commuter();
+        assert!(t.is_online(SimTime::from_secs(7 * 3600)));
+        assert!(!t.is_online(SimTime::from_secs(8 * 3600)));
+        assert!(!t.is_online(SimTime::from_secs(8 * 3600 + 44 * 60)));
+        assert!(t.is_online(SimTime::from_secs(8 * 3600 + 45 * 60)));
+        assert!(!t.is_online(SimTime::from_secs(17 * 3600 + 45 * 60)));
+        assert!(t.is_online(SimTime::from_secs(19 * 3600)));
+    }
+
+    #[test]
+    fn next_online_lands_on_the_reconnect_edge() {
+        let t = ConnectivityTrace::commuter();
+        let mid_outage = SimTime::from_secs(8 * 3600 + 600);
+        assert_eq!(t.next_online(mid_outage), SimTime::from_secs(8 * 3600 + 45 * 60));
+        // Second day wraps correctly.
+        let day2 = SimTime::from_secs(24 * 3600 + 8 * 3600 + 600);
+        assert_eq!(
+            t.next_online(day2),
+            SimTime::from_secs(24 * 3600 + 8 * 3600 + 45 * 60)
+        );
+    }
+
+    #[test]
+    fn trailing_offline_segment_wraps_to_next_cycle() {
+        let t = ConnectivityTrace::flaky();
+        // Offline from minute 100 to the end of the 2 h cycle.
+        let at = SimTime::from_secs(110 * 60);
+        assert!(!t.is_online(at));
+        assert_eq!(t.next_online(at), SimTime::from_secs(2 * 3600));
+        let frac = t.offline_fraction();
+        assert!((frac - 20.0 / 120.0).abs() < 1e-12, "frac={frac}");
+    }
+
+    #[test]
+    fn longest_offline_finds_the_worst_window() {
+        assert_eq!(ConnectivityTrace::always().longest_offline(), SimDuration::ZERO);
+        assert_eq!(ConnectivityTrace::commuter().longest_offline(), SimDuration::from_mins(45));
+        assert_eq!(ConnectivityTrace::flaky().longest_offline(), SimDuration::from_mins(20));
+    }
+
+    #[test]
+    fn worst_wait_within_sees_only_overlapping_outages() {
+        let t = ConnectivityTrace::commuter();
+        // Midday window with no outage: zero wait.
+        let from = SimTime::from_secs(10 * 3600);
+        let until = SimTime::from_secs(16 * 3600);
+        assert_eq!(t.worst_wait_within(from, until), SimDuration::ZERO);
+        // Window covering the morning subway: full 45-minute wait.
+        let from = SimTime::from_secs(7 * 3600);
+        let until = SimTime::from_secs(9 * 3600);
+        assert_eq!(t.worst_wait_within(from, until), SimDuration::from_mins(45));
+        // Starting mid-outage: the remaining outage counts.
+        let from = SimTime::from_secs(8 * 3600 + 30 * 60);
+        assert_eq!(
+            t.worst_wait_within(from, from),
+            SimDuration::from_mins(15)
+        );
+        // Inverted interval is empty.
+        assert_eq!(
+            t.worst_wait_within(SimTime::from_secs(100), SimTime::from_secs(50)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn commuter_offline_fraction() {
+        let t = ConnectivityTrace::commuter();
+        let expected = (45.0 + 45.0) / (24.0 * 60.0);
+        assert!((t.offline_fraction() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "never online")]
+    fn never_online_schedule_panics_on_next_online() {
+        let t = ConnectivityTrace::new(
+            SimDuration::from_hours(1),
+            vec![(SimDuration::ZERO, false)],
+        );
+        let _ = t.next_online(SimTime::ZERO);
+    }
+}

@@ -1,0 +1,109 @@
+//! Estimator accuracy evaluation (Table 3 of the reconstructed
+//! evaluation): one-step-ahead prediction error over a trace.
+
+use ntc_simcore::stats::quantile;
+use ntc_simcore::units::{Cycles, DataSize};
+use serde::{Deserialize, Serialize};
+
+use crate::estimator::{DemandEstimator, Observation};
+
+/// One-step-ahead accuracy of an estimator over a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyReport {
+    /// Number of scored predictions (trace length minus warm-up).
+    pub scored: u64,
+    /// Mean absolute percentage error, in percent.
+    pub mape: f64,
+    /// 95th percentile of absolute percentage error, in percent.
+    pub p95_ape: f64,
+    /// Fraction of predictions that *under*-estimated demand (risky for
+    /// timeout selection).
+    pub underestimate_rate: f64,
+}
+
+/// Replays `trace` through `estimator`, scoring each prediction *before*
+/// feeding the observation (honest one-step-ahead evaluation). The first
+/// `warmup` observations are fed but not scored.
+///
+/// Returns `None` if no predictions were scored (trace shorter than the
+/// warm-up, or every actual demand was zero).
+pub fn evaluate(
+    estimator: &mut dyn DemandEstimator,
+    trace: &[(DataSize, Cycles)],
+    warmup: usize,
+) -> Option<AccuracyReport> {
+    let mut apes = Vec::new();
+    let mut under = 0u64;
+    for (i, &(input, cycles)) in trace.iter().enumerate() {
+        if i >= warmup && cycles.get() > 0 {
+            let predicted = estimator.predict(input).get() as f64;
+            let actual = cycles.get() as f64;
+            apes.push(100.0 * (actual - predicted).abs() / actual);
+            if predicted < actual {
+                under += 1;
+            }
+        }
+        estimator.observe(Observation::new(input, cycles));
+    }
+    if apes.is_empty() {
+        return None;
+    }
+    let mape = apes.iter().sum::<f64>() / apes.len() as f64;
+    Some(AccuracyReport {
+        scored: apes.len() as u64,
+        mape,
+        p95_ape: quantile(&apes, 0.95).expect("apes is non-empty and NaN-free"),
+        underestimate_rate: under as f64 / apes.len() as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::{EwmaEstimator, RegressionEstimator};
+
+    #[test]
+    fn perfect_predictor_has_zero_error() {
+        // Constant demand: EWMA converges immediately after 1 observation.
+        let trace: Vec<_> = (0..100).map(|_| (DataSize::ZERO, Cycles::new(1000))).collect();
+        let mut e = EwmaEstimator::default();
+        let r = evaluate(&mut e, &trace, 1).unwrap();
+        assert_eq!(r.mape, 0.0);
+        assert_eq!(r.p95_ape, 0.0);
+        assert_eq!(r.scored, 99);
+    }
+
+    #[test]
+    fn regression_beats_ewma_on_linear_demand() {
+        let trace: Vec<_> = (0..200u64)
+            .map(|i| {
+                let input = DataSize::from_bytes((i % 17) * 10_000);
+                (input, Cycles::new(1000 + 5 * input.as_bytes()))
+            })
+            .collect();
+        let r_reg = evaluate(&mut RegressionEstimator::new(), &trace, 10).unwrap();
+        let r_ewma = evaluate(&mut EwmaEstimator::default(), &trace, 10).unwrap();
+        assert!(r_reg.mape < r_ewma.mape, "reg {} vs ewma {}", r_reg.mape, r_ewma.mape);
+        assert!(r_reg.mape < 1.0);
+    }
+
+    #[test]
+    fn short_trace_returns_none() {
+        let trace = vec![(DataSize::ZERO, Cycles::new(10))];
+        assert!(evaluate(&mut EwmaEstimator::default(), &trace, 5).is_none());
+    }
+
+    #[test]
+    fn zero_demand_observations_are_skipped() {
+        let trace: Vec<_> = (0..20).map(|_| (DataSize::ZERO, Cycles::ZERO)).collect();
+        assert!(evaluate(&mut EwmaEstimator::default(), &trace, 0).is_none());
+    }
+
+    #[test]
+    fn underestimate_rate_counts_risky_predictions() {
+        // Demand grows: any smoothing estimator always lags below.
+        let trace: Vec<_> = (1..100u64).map(|i| (DataSize::ZERO, Cycles::new(i * 1000))).collect();
+        let r = evaluate(&mut EwmaEstimator::default(), &trace, 1).unwrap();
+        assert!(r.underestimate_rate > 0.95, "rate={}", r.underestimate_rate);
+    }
+}

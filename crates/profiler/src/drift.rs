@@ -1,0 +1,198 @@
+//! Runtime drift detection: notice when a deployed component's demand
+//! departs from the profile it was released with.
+//!
+//! The CI/CD pipeline profiles a release once (contribution C1/C4); after
+//! promotion, demand can drift — library updates, fatter inputs, cache
+//! behaviour. The [`PageHinkley`] detector watches the stream of
+//! observed-vs-expected ratios and raises a signal when the cumulative
+//! deviation leaves the tolerance band, prompting a re-profile/re-release
+//! (the "many iterations" of the paper's Design Science methodology).
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Direction of a detected drift.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Drift {
+    /// Values drifted upward (demand grew: risk of misses/timeouts).
+    Up,
+    /// Values drifted downward (demand shrank: over-provisioned).
+    Down,
+}
+
+impl fmt::Display for Drift {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Drift::Up => "up",
+            Drift::Down => "down",
+        })
+    }
+}
+
+/// Two-sided Page–Hinkley change detector.
+///
+/// Feed it a stream of values (typically `observed / expected` ratios,
+/// which hover around 1.0 in steady state). It maintains cumulative
+/// deviations from the running mean in both directions; when either
+/// exceeds `lambda`, the corresponding [`Drift`] fires and the detector
+/// resets.
+///
+/// * `delta` — per-observation tolerance (noise allowance);
+/// * `lambda` — detection threshold (bigger = fewer, later detections).
+///
+/// # Examples
+///
+/// ```
+/// use ntc_profiler::drift::{Drift, PageHinkley};
+///
+/// let mut d = PageHinkley::new(0.05, 2.0);
+/// // Stable phase: no alarms.
+/// for _ in 0..100 {
+///     assert_eq!(d.observe(1.0), None);
+/// }
+/// // Demand jumps 60 %: the detector fires within a bounded delay.
+/// let fired = (0..100).find_map(|_| d.observe(1.6));
+/// assert_eq!(fired, Some(Drift::Up));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PageHinkley {
+    delta: f64,
+    lambda: f64,
+    count: u64,
+    mean: f64,
+    cum_up: f64,
+    min_up: f64,
+    cum_down: f64,
+    max_down: f64,
+}
+
+impl PageHinkley {
+    /// Creates a detector with noise tolerance `delta` and threshold
+    /// `lambda`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` is negative or `lambda` is not positive.
+    pub fn new(delta: f64, lambda: f64) -> Self {
+        assert!(delta >= 0.0 && delta.is_finite(), "delta must be non-negative");
+        assert!(lambda > 0.0 && lambda.is_finite(), "lambda must be positive");
+        PageHinkley {
+            delta,
+            lambda,
+            count: 0,
+            mean: 0.0,
+            cum_up: 0.0,
+            min_up: 0.0,
+            cum_down: 0.0,
+            max_down: 0.0,
+        }
+    }
+
+    /// A configuration suited to demand ratios (`observed/expected`):
+    /// tolerates ~10 % noise, fires after a sustained ~30 % shift.
+    pub fn for_demand_ratios() -> Self {
+        Self::new(0.1, 3.0)
+    }
+
+    /// Observations since the last reset.
+    pub fn observations(&self) -> u64 {
+        self.count
+    }
+
+    /// Clears all state (fresh baseline).
+    pub fn reset(&mut self) {
+        *self = PageHinkley::new(self.delta, self.lambda);
+    }
+
+    /// Feeds one value; returns a [`Drift`] if a change is detected
+    /// (the detector resets itself on detection).
+    pub fn observe(&mut self, x: f64) -> Option<Drift> {
+        self.count += 1;
+        self.mean += (x - self.mean) / self.count as f64;
+
+        self.cum_up += x - self.mean - self.delta;
+        self.min_up = self.min_up.min(self.cum_up);
+        self.cum_down += x - self.mean + self.delta;
+        self.max_down = self.max_down.max(self.cum_down);
+
+        if self.cum_up - self.min_up > self.lambda {
+            self.reset();
+            return Some(Drift::Up);
+        }
+        if self.max_down - self.cum_down > self.lambda {
+            self.reset();
+            return Some(Drift::Down);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntc_simcore::rng::RngStream;
+
+    #[test]
+    fn stable_stream_never_fires() {
+        let mut d = PageHinkley::for_demand_ratios();
+        let mut rng = RngStream::root(1).derive("stable");
+        for _ in 0..5_000 {
+            let x = rng.lognormal(0.0, 0.08);
+            assert_eq!(d.observe(x), None, "false alarm on stationary noise");
+        }
+    }
+
+    #[test]
+    fn upward_shift_is_detected_quickly() {
+        let mut d = PageHinkley::for_demand_ratios();
+        let mut rng = RngStream::root(2).derive("up");
+        for _ in 0..500 {
+            assert_eq!(d.observe(rng.lognormal(0.0, 0.08)), None);
+        }
+        let detection = (0..200).position(|_| d.observe(1.5 * rng.lognormal(0.0, 0.08)).is_some());
+        let k = detection.expect("a 50 % shift must be caught within 200 samples");
+        assert!(k < 60, "detected after {k} samples — too slow");
+    }
+
+    #[test]
+    fn downward_shift_is_detected_with_direction() {
+        let mut d = PageHinkley::for_demand_ratios();
+        for _ in 0..300 {
+            assert_eq!(d.observe(1.0), None);
+        }
+        let fired = (0..200).find_map(|_| d.observe(0.5));
+        assert_eq!(fired, Some(Drift::Down));
+    }
+
+    #[test]
+    fn detector_resets_after_firing() {
+        let mut d = PageHinkley::new(0.05, 1.0);
+        for _ in 0..50 {
+            d.observe(1.0);
+        }
+        let fired = (0..100).find_map(|_| d.observe(2.0));
+        assert_eq!(fired, Some(Drift::Up));
+        assert_eq!(d.observations(), 0, "state must clear after detection");
+        // The new regime becomes the new baseline: no immediate re-fire.
+        for _ in 0..20 {
+            assert_eq!(d.observe(2.0), None);
+        }
+    }
+
+    #[test]
+    fn manual_reset_clears_history() {
+        let mut d = PageHinkley::new(0.0, 5.0);
+        for _ in 0..100 {
+            d.observe(1.0);
+        }
+        d.reset();
+        assert_eq!(d.observations(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn non_positive_lambda_panics() {
+        let _ = PageHinkley::new(0.1, 0.0);
+    }
+}

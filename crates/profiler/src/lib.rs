@@ -1,0 +1,44 @@
+//! # ntc-profiler
+//!
+//! Computational-demand determination (contribution **C1** of
+//! *Computational Offloading for Non-Time-Critical Applications*,
+//! ICDCS 2022): online estimators that learn each component's compute
+//! demand from observed executions, per-application profilers, and an
+//! accuracy-evaluation harness.
+//!
+//! * [`estimator`] — EWMA, windowed-quantile, online-regression and hybrid
+//!   estimators behind the [`DemandEstimator`] trait.
+//! * [`profile`] — [`AppProfiler`]: one estimator per component with
+//!   static-annotation fallback, and fitted-model extraction for the
+//!   partitioner.
+//! * [`accuracy`] — honest one-step-ahead accuracy scoring (Table 3).
+//!
+//! # Examples
+//!
+//! ```
+//! use ntc_profiler::estimator::{DemandEstimator, Observation, RegressionEstimator};
+//! use ntc_simcore::units::{Cycles, DataSize};
+//!
+//! let mut est = RegressionEstimator::new();
+//! for kib in 1..=50u64 {
+//!     let input = DataSize::from_kib(kib);
+//!     est.observe(Observation::new(input, Cycles::new(2 * input.as_bytes())));
+//! }
+//! assert_eq!(est.predict(DataSize::from_kib(100)), Cycles::new(2 * 100 * 1024));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accuracy;
+pub mod drift;
+pub mod estimator;
+pub mod profile;
+
+pub use accuracy::{evaluate, AccuracyReport};
+pub use drift::{Drift, PageHinkley};
+pub use estimator::{
+    DemandEstimator, EwmaEstimator, HoltEstimator, HybridEstimator, Observation, QuantileEstimator,
+    RegressionEstimator,
+};
+pub use profile::{AppProfiler, EstimatorKind};

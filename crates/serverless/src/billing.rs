@@ -1,0 +1,134 @@
+//! FaaS billing: pay-per-request plus GB-seconds, Lambda-style.
+
+use ntc_simcore::units::{DataSize, Money, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// The billing schedule of a serverless platform.
+///
+/// Cost of an invocation: `per_request + memory_gb × billed_seconds ×
+/// per_gb_second`, where the billed duration is rounded up to
+/// `billing_granularity`. Idle *provisioned* capacity accrues
+/// `per_gb_second_provisioned`.
+///
+/// # Examples
+///
+/// ```
+/// use ntc_serverless::billing::BillingModel;
+/// use ntc_simcore::units::{DataSize, SimDuration};
+///
+/// let b = BillingModel::aws_like();
+/// let cost = b.invocation_cost(DataSize::from_mib(1024), SimDuration::from_millis(100));
+/// // 1 GB for 100 ms ≈ $0.00000166667 + $0.0000002 request fee.
+/// assert!((cost.as_usd_f64() - 1.8667e-6).abs() < 1e-8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BillingModel {
+    /// Flat fee per invocation.
+    pub per_request: Money,
+    /// Fee per GB of configured memory per second of billed duration.
+    pub per_gb_second: Money,
+    /// Fee per GB-second for *idle provisioned* capacity.
+    pub per_gb_second_provisioned: Money,
+    /// Billed durations are rounded up to a multiple of this.
+    pub billing_granularity: SimDuration,
+}
+
+impl BillingModel {
+    /// A schedule shaped like AWS Lambda's public 2022 pricing
+    /// (us-east-1): $0.20 per 1M requests, $0.0000166667 per GB-s,
+    /// $0.0000041667 per provisioned GB-s, 1 ms granularity.
+    pub fn aws_like() -> Self {
+        BillingModel {
+            per_request: Money::from_usd_f64(0.0000002),
+            per_gb_second: Money::from_usd_f64(0.0000166667),
+            per_gb_second_provisioned: Money::from_usd_f64(0.0000041667),
+            billing_granularity: SimDuration::from_millis(1),
+        }
+    }
+
+    /// A free-tier-like schedule (everything costs nothing); useful for
+    /// isolating performance effects in tests.
+    pub fn free() -> Self {
+        BillingModel {
+            per_request: Money::ZERO,
+            per_gb_second: Money::ZERO,
+            per_gb_second_provisioned: Money::ZERO,
+            billing_granularity: SimDuration::from_millis(1),
+        }
+    }
+
+    /// Rounds a raw duration up to the billing granularity.
+    pub fn billed_duration(&self, raw: SimDuration) -> SimDuration {
+        let g = self.billing_granularity.as_micros().max(1);
+        let us = raw.as_micros();
+        SimDuration::from_micros(us.div_ceil(g) * g)
+    }
+
+    /// The cost of one invocation at the given memory size and raw
+    /// execution duration.
+    pub fn invocation_cost(&self, memory: DataSize, raw_duration: SimDuration) -> Money {
+        let gb = memory.as_bytes() as f64 / (1024.0 * 1024.0 * 1024.0);
+        let secs = self.billed_duration(raw_duration).as_secs_f64();
+        self.per_request + self.per_gb_second.mul_f64(gb * secs)
+    }
+
+    /// The cost of holding provisioned capacity of the given memory size
+    /// warm for `held`.
+    pub fn provisioned_cost(&self, memory: DataSize, held: SimDuration) -> Money {
+        let gb = memory.as_bytes() as f64 / (1024.0 * 1024.0 * 1024.0);
+        self.per_gb_second_provisioned.mul_f64(gb * held.as_secs_f64())
+    }
+}
+
+impl Default for BillingModel {
+    fn default() -> Self {
+        Self::aws_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn billed_duration_rounds_up() {
+        let b = BillingModel::aws_like();
+        assert_eq!(b.billed_duration(SimDuration::from_micros(1)), SimDuration::from_millis(1));
+        assert_eq!(b.billed_duration(SimDuration::from_millis(1)), SimDuration::from_millis(1));
+        assert_eq!(b.billed_duration(SimDuration::from_micros(1001)), SimDuration::from_millis(2));
+        assert_eq!(b.billed_duration(SimDuration::ZERO), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn cost_is_monotone_in_duration_and_memory() {
+        let b = BillingModel::aws_like();
+        let m = DataSize::from_mib(512);
+        let c1 = b.invocation_cost(m, SimDuration::from_millis(50));
+        let c2 = b.invocation_cost(m, SimDuration::from_millis(100));
+        let c3 = b.invocation_cost(DataSize::from_mib(1024), SimDuration::from_millis(50));
+        assert!(c1 < c2);
+        assert!(c1 < c3);
+    }
+
+    #[test]
+    fn free_tier_costs_nothing() {
+        let b = BillingModel::free();
+        assert_eq!(b.invocation_cost(DataSize::from_gib(8), SimDuration::from_hours(1)), Money::ZERO);
+        assert_eq!(b.provisioned_cost(DataSize::from_gib(8), SimDuration::from_hours(1)), Money::ZERO);
+    }
+
+    #[test]
+    fn provisioned_rate_is_cheaper_than_on_demand() {
+        let b = BillingModel::aws_like();
+        let m = DataSize::from_gib(1);
+        let hour = SimDuration::from_hours(1);
+        assert!(b.provisioned_cost(m, hour) < b.per_gb_second.mul_f64(3600.0));
+    }
+
+    #[test]
+    fn request_fee_is_charged_even_for_zero_work() {
+        let b = BillingModel::aws_like();
+        let c = b.invocation_cost(DataSize::from_mib(128), SimDuration::ZERO);
+        assert_eq!(c, b.per_request);
+    }
+}

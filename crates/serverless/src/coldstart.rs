@@ -1,0 +1,144 @@
+//! Cold-start and instance keep-alive modelling.
+
+use ntc_simcore::rng::RngStream;
+use ntc_simcore::units::{DataSize, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// How long a cold start takes: platform placement overhead, artifact
+/// fetch proportional to code size, and runtime initialisation, with
+/// lognormal jitter on the total.
+///
+/// # Examples
+///
+/// ```
+/// use ntc_serverless::coldstart::ColdStartModel;
+/// use ntc_simcore::rng::RngStream;
+/// use ntc_simcore::units::DataSize;
+///
+/// let m = ColdStartModel::default();
+/// let mut rng = RngStream::root(1).derive("cold");
+/// let d = m.sample(DataSize::from_mib(50), &mut rng);
+/// assert!(d.as_millis() >= 100);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ColdStartModel {
+    /// Fixed platform overhead (scheduling, sandbox creation).
+    pub placement: SimDuration,
+    /// Artifact fetch time per MiB of code.
+    pub fetch_per_mib: SimDuration,
+    /// Runtime/initialisation time (language runtime boot, global init).
+    pub init: SimDuration,
+    /// Lognormal jitter sigma applied to the total.
+    pub jitter_sigma: f64,
+}
+
+impl ColdStartModel {
+    /// A model shaped like measured Lambda cold starts: ~125 ms placement,
+    /// ~4 ms/MiB fetch, ~175 ms init, 25 % jitter — roughly 300–800 ms for
+    /// typical artifact sizes.
+    pub fn lambda_like() -> Self {
+        ColdStartModel {
+            placement: SimDuration::from_millis(125),
+            fetch_per_mib: SimDuration::from_millis(4),
+            init: SimDuration::from_millis(175),
+            jitter_sigma: 0.25,
+        }
+    }
+
+    /// A zero-cost model (instances are always instantly available); useful
+    /// for isolating cold-start effects in ablations.
+    pub fn none() -> Self {
+        ColdStartModel {
+            placement: SimDuration::ZERO,
+            fetch_per_mib: SimDuration::ZERO,
+            init: SimDuration::ZERO,
+            jitter_sigma: 0.0,
+        }
+    }
+
+    /// The deterministic mean cold-start duration for an artifact size.
+    pub fn mean(&self, artifact: DataSize) -> SimDuration {
+        self.placement + self.fetch_per_mib.mul_f64(artifact.as_mib_f64()) + self.init
+    }
+
+    /// Samples a cold-start duration for an artifact size.
+    pub fn sample(&self, artifact: DataSize, rng: &mut RngStream) -> SimDuration {
+        let mean = self.mean(artifact);
+        if self.jitter_sigma == 0.0 {
+            return mean;
+        }
+        mean.mul_f64(rng.lognormal(0.0, self.jitter_sigma))
+    }
+}
+
+impl Default for ColdStartModel {
+    fn default() -> Self {
+        Self::lambda_like()
+    }
+}
+
+/// How long the platform keeps an idle instance warm before reaping it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum KeepAlive {
+    /// Instances are reaped immediately after each invocation: every
+    /// invocation is a cold start.
+    None,
+    /// Idle instances survive for a fixed duration (Lambda: ~10 min).
+    Fixed(SimDuration),
+}
+
+impl KeepAlive {
+    /// The idle time-to-live under this policy.
+    pub fn idle_ttl(&self) -> SimDuration {
+        match self {
+            KeepAlive::None => SimDuration::ZERO,
+            KeepAlive::Fixed(d) => *d,
+        }
+    }
+}
+
+impl Default for KeepAlive {
+    fn default() -> Self {
+        KeepAlive::Fixed(SimDuration::from_mins(10))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_scales_with_artifact() {
+        let m = ColdStartModel::lambda_like();
+        let small = m.mean(DataSize::from_mib(1));
+        let big = m.mean(DataSize::from_mib(100));
+        assert!(big > small);
+        assert_eq!(big - small, SimDuration::from_millis(4 * 99));
+    }
+
+    #[test]
+    fn none_model_is_zero() {
+        let m = ColdStartModel::none();
+        let mut rng = RngStream::root(0).derive("x");
+        assert_eq!(m.sample(DataSize::from_gib(1), &mut rng), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn sample_jitters_around_mean() {
+        let m = ColdStartModel::lambda_like();
+        let mut rng = RngStream::root(3).derive("cold");
+        let art = DataSize::from_mib(10);
+        let mean_us = m.mean(art).as_micros() as f64;
+        let n = 500;
+        let avg: f64 =
+            (0..n).map(|_| m.sample(art, &mut rng).as_micros() as f64).sum::<f64>() / n as f64;
+        assert!((avg / mean_us - 1.0).abs() < 0.15, "avg={avg} mean={mean_us}");
+    }
+
+    #[test]
+    fn keep_alive_ttls() {
+        assert_eq!(KeepAlive::None.idle_ttl(), SimDuration::ZERO);
+        assert_eq!(KeepAlive::Fixed(SimDuration::from_mins(5)).idle_ttl(), SimDuration::from_mins(5));
+        assert_eq!(KeepAlive::default().idle_ttl(), SimDuration::from_mins(10));
+    }
+}

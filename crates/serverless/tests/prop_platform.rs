@@ -1,0 +1,113 @@
+//! Property-based tests of the serverless platform's lifecycle and
+//! billing invariants.
+
+use proptest::prelude::*;
+
+use ntc_serverless::{BillingModel, ColdStartModel, FunctionConfig, KeepAlive, PlatformConfig, ServerlessPlatform};
+use ntc_simcore::rng::RngStream;
+use ntc_simcore::units::{Cycles, DataSize, Money, SimDuration, SimTime};
+
+fn no_jitter_config() -> PlatformConfig {
+    let mut cfg = PlatformConfig::default();
+    cfg.cold_start.jitter_sigma = 0.0;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Keep-alive semantics: a gap strictly longer than the TTL after an
+    /// idle instance's last finish always causes a cold start; a gap
+    /// within the TTL never does.
+    #[test]
+    fn keep_alive_boundary_is_exact(
+        ttl_secs in 1u64..3_600,
+        gap_secs in 1u64..7_200,
+        work_mega in 1u64..5_000,
+    ) {
+        let mut cfg = no_jitter_config();
+        cfg.keep_alive = KeepAlive::Fixed(SimDuration::from_secs(ttl_secs));
+        let mut p = ServerlessPlatform::new(cfg, RngStream::root(1));
+        let f = p.register(FunctionConfig::new("f", DataSize::from_mib(1024)));
+        let first = p.invoke(SimTime::ZERO, f, Cycles::from_mega(work_mega)).unwrap();
+        prop_assert!(first.was_cold);
+        let at = first.finish + SimDuration::from_secs(gap_secs);
+        let second = p.invoke(at, f, Cycles::from_mega(work_mega)).unwrap();
+        prop_assert_eq!(second.was_cold, gap_secs > ttl_secs, "ttl={} gap={}", ttl_secs, gap_secs);
+    }
+
+    /// The platform never creates more instances than the per-function
+    /// concurrency limit, no matter the burst size.
+    #[test]
+    fn concurrency_limit_is_respected(
+        limit in 1u32..20,
+        burst in 1usize..60,
+    ) {
+        let mut p = ServerlessPlatform::new(no_jitter_config(), RngStream::root(2));
+        let f = p.register(
+            FunctionConfig::new("f", DataSize::from_mib(1769)).with_concurrency_limit(limit),
+        );
+        for _ in 0..burst {
+            p.invoke(SimTime::ZERO, f, Cycles::from_giga(25)).unwrap();
+        }
+        prop_assert!(p.live_instances(f) <= limit as usize);
+        let queued_expected = burst.saturating_sub(limit as usize) as u64;
+        prop_assert_eq!(p.stats(f).queued, queued_expected);
+    }
+
+    /// Total cost equals the sum of per-invocation costs plus provisioned
+    /// accrual — no money appears or disappears.
+    #[test]
+    fn money_is_conserved(
+        n in 1usize..40,
+        gap_ms in 1u64..60_000,
+        provisioned in 0u32..3,
+        horizon_extra_secs in 0u64..3_600,
+    ) {
+        let mut p = ServerlessPlatform::new(no_jitter_config(), RngStream::root(3));
+        let f = p.register(FunctionConfig::new("f", DataSize::from_mib(512)));
+        p.set_provisioned(SimTime::ZERO, f, provisioned);
+        let mut t = SimTime::ZERO;
+        let mut invoice = Money::ZERO;
+        for _ in 0..n {
+            t += SimDuration::from_millis(gap_ms);
+            invoice += p.invoke(t, f, Cycles::from_mega(200)).unwrap().cost;
+        }
+        let end = t + SimDuration::from_secs(horizon_extra_secs);
+        let total = p.total_cost(end);
+        let stats = p.stats(f);
+        prop_assert_eq!(stats.invocation_cost, invoice);
+        prop_assert_eq!(total, stats.invocation_cost + stats.provisioned_cost);
+        if provisioned == 0 {
+            prop_assert_eq!(stats.provisioned_cost, Money::ZERO);
+        } else {
+            let expected = BillingModel::aws_like()
+                .provisioned_cost(DataSize::from_mib(512), end - SimTime::ZERO)
+                .mul_f64(f64::from(provisioned));
+            let diff = (stats.provisioned_cost.as_nano_usd() - expected.as_nano_usd()).abs();
+            prop_assert!(diff <= provisioned as i64 + 1, "accrual drift {diff}");
+        }
+    }
+
+    /// Billed duration is always >= the raw duration and within one
+    /// granule of it.
+    #[test]
+    fn billed_duration_bounds(raw_us in 0u64..100_000_000) {
+        let b = BillingModel::aws_like();
+        let raw = SimDuration::from_micros(raw_us);
+        let billed = b.billed_duration(raw);
+        prop_assert!(billed >= raw);
+        prop_assert!(billed.as_micros() - raw.as_micros() < 1_000);
+    }
+
+    /// Cold-start sampling is always at least the placement time and
+    /// grows with artifact size in expectation.
+    #[test]
+    fn cold_start_scales_with_artifact(mib in 1u64..2_000, seed in 0u64..1_000) {
+        let m = ColdStartModel::lambda_like();
+        let mut rng = RngStream::root(seed).derive("cs");
+        let d = m.sample(DataSize::from_mib(mib), &mut rng);
+        prop_assert!(d > SimDuration::ZERO);
+        prop_assert!(m.mean(DataSize::from_mib(mib)) >= m.mean(DataSize::from_mib(1)));
+    }
+}

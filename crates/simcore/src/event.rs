@@ -1,0 +1,285 @@
+//! Deterministic discrete-event scheduling.
+//!
+//! [`EventQueue`] is a time-ordered priority queue with a stable FIFO
+//! tie-break: two events scheduled for the same instant pop in the order
+//! they were pushed. [`Simulator`] wraps a queue with a virtual clock and
+//! enforces causality (no scheduling in the past).
+//!
+//! # Examples
+//!
+//! ```
+//! use ntc_simcore::event::Simulator;
+//! use ntc_simcore::units::SimDuration;
+//!
+//! let mut sim = Simulator::new();
+//! sim.schedule_after(SimDuration::from_secs(2), "second");
+//! sim.schedule_after(SimDuration::from_secs(1), "first");
+//! assert_eq!(sim.step().unwrap().1, "first");
+//! assert_eq!(sim.step().unwrap().1, "second");
+//! assert_eq!(sim.now().as_secs_f64(), 2.0);
+//! ```
+
+use core::cmp::Ordering;
+use core::fmt;
+use std::collections::BinaryHeap;
+
+use crate::units::{SimDuration, SimTime};
+
+/// Error returned when an event would be scheduled before the current
+/// simulated instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduleInPastError {
+    /// The instant the caller asked for.
+    pub requested: SimTime,
+    /// The simulator's current instant.
+    pub now: SimTime,
+}
+
+impl fmt::Display for ScheduleInPastError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "event scheduled at {} which is before current time {}", self.requested, self.now)
+    }
+}
+
+impl std::error::Error for ScheduleInPastError {}
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    // Reversed so the BinaryHeap (a max-heap) pops the earliest entry.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered event queue with stable FIFO ordering among equal-time
+/// events.
+///
+/// The queue itself has no clock; see [`Simulator`] for a clocked wrapper.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Schedules `payload` to fire at `time`.
+    pub fn push(&mut self, time: SimTime, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, payload });
+    }
+
+    /// The instant of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Removes and returns the earliest pending event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.time, e.payload))
+    }
+
+    /// The number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Removes all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("len", &self.heap.len())
+            .field("next_time", &self.peek_time())
+            .finish()
+    }
+}
+
+/// A virtual clock driving an [`EventQueue`].
+///
+/// Popping an event advances the clock to the event's instant; scheduling
+/// before the current instant is rejected, which makes causality violations
+/// loud instead of silently reordering history.
+#[derive(Debug)]
+pub struct Simulator<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+    processed: u64,
+}
+
+impl<E> Default for Simulator<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Simulator<E> {
+    /// Creates a simulator with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Simulator { queue: EventQueue::new(), now: SimTime::ZERO, processed: 0 }
+    }
+
+    /// The current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Schedules `payload` at the absolute instant `at`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleInPastError`] if `at` is earlier than [`Self::now`].
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) -> Result<(), ScheduleInPastError> {
+        if at < self.now {
+            return Err(ScheduleInPastError { requested: at, now: self.now });
+        }
+        self.queue.push(at, payload);
+        Ok(())
+    }
+
+    /// Schedules `payload` to fire `delay` after the current instant.
+    pub fn schedule_after(&mut self, delay: SimDuration, payload: E) {
+        let at = self.now + delay;
+        self.queue.push(at, payload);
+    }
+
+    /// Pops the next event, advancing the clock to its instant.
+    ///
+    /// Returns `None` when no events remain.
+    pub fn step(&mut self) -> Option<(SimTime, E)> {
+        let (time, payload) = self.queue.pop()?;
+        debug_assert!(time >= self.now, "event queue yielded an event from the past");
+        self.now = time;
+        self.processed += 1;
+        Some((time, payload))
+    }
+
+    /// The instant of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// The number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Advances the clock to `at` without processing events.
+    ///
+    /// Useful to account for idle tail time at the end of a run. Does nothing
+    /// if `at` is in the past.
+    pub fn advance_to(&mut self, at: SimTime) {
+        if at > self.now {
+            self.now = at;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(3), "c");
+        q.push(SimTime::from_secs(1), "a");
+        q.push(SimTime::from_secs(2), "b");
+        assert_eq!(q.pop(), Some((SimTime::from_secs(1), "a")));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(2), "b")));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(3), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(5);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn simulator_advances_clock() {
+        let mut sim = Simulator::new();
+        sim.schedule_after(SimDuration::from_secs(10), ());
+        assert_eq!(sim.now(), SimTime::ZERO);
+        sim.step();
+        assert_eq!(sim.now(), SimTime::from_secs(10));
+        assert_eq!(sim.events_processed(), 1);
+    }
+
+    #[test]
+    fn scheduling_in_past_is_rejected() {
+        let mut sim = Simulator::new();
+        sim.schedule_after(SimDuration::from_secs(10), 1u8);
+        sim.step();
+        let err = sim.schedule_at(SimTime::from_secs(5), 2u8).unwrap_err();
+        assert_eq!(err.now, SimTime::from_secs(10));
+        assert!(err.to_string().contains("before current time"));
+    }
+
+    #[test]
+    fn advance_to_never_goes_backwards() {
+        let mut sim = Simulator::<()>::new();
+        sim.advance_to(SimTime::from_secs(7));
+        sim.advance_to(SimTime::from_secs(3));
+        assert_eq!(sim.now(), SimTime::from_secs(7));
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let q: EventQueue<u8> = EventQueue::new();
+        assert!(!format!("{q:?}").is_empty());
+    }
+}

@@ -1,0 +1,414 @@
+//! Measurement instruments for simulations: counters, log-linear
+//! histograms, and time-weighted gauges.
+//!
+//! The histogram uses HDR-style log-linear bucketing: values are grouped by
+//! order of magnitude, with a fixed number of linear sub-buckets per
+//! magnitude, giving bounded relative error (< 1/`SUB_BUCKETS`) across the
+//! full `u64` range with constant memory.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::units::{SimDuration, SimTime};
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Increments by one.
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increments by `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// The current count.
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+const SUB_BUCKET_BITS: u32 = 5;
+const SUB_BUCKETS: u64 = 1 << SUB_BUCKET_BITS; // 32 sub-buckets per magnitude
+// Shifts range over 0..=58 (64-bit values normalised into [32, 64)), so the
+// largest index is 32*58 + 63 = 1919.
+const BUCKET_COUNT: usize = 1920;
+
+/// A fixed-memory log-linear histogram over `u64` values.
+///
+/// Quantile queries return the *upper bound* of the containing bucket, so the
+/// reported quantile is never an underestimate and the relative error is
+/// bounded by `1/32 ≈ 3%`.
+///
+/// # Examples
+///
+/// ```
+/// use ntc_simcore::metrics::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in 1..=1000u64 {
+///     h.record(v);
+/// }
+/// let p50 = h.value_at_quantile(0.5);
+/// assert!((450..=560).contains(&p50));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; BUCKET_COUNT],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    // Values below 32 index directly. Otherwise the value is normalised by a
+    // right shift into [32, 64), and buckets for shift `s` occupy the index
+    // range [32*(s+1), 32*(s+1)+31]: index = 32*s + (value >> s).
+    fn bucket_index(value: u64) -> usize {
+        if value < SUB_BUCKETS {
+            return value as usize;
+        }
+        let magnitude = 63 - value.leading_zeros();
+        let shift = magnitude - SUB_BUCKET_BITS;
+        (u64::from(shift) * SUB_BUCKETS + (value >> shift)) as usize
+    }
+
+    /// The largest value that maps to the bucket at `index` (inclusive).
+    fn bucket_upper_bound(index: usize) -> u64 {
+        let idx = index as u64;
+        if idx < SUB_BUCKETS {
+            return idx;
+        }
+        let shift = idx / SUB_BUCKETS - 1;
+        let base = idx - SUB_BUCKETS * shift;
+        // (base + 1) << shift − 1, written to avoid overflow in the top bucket.
+        (base << shift) | ((1u64 << shift) - 1)
+    }
+
+    /// Records one observation of `value`.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_index(value)] += 1;
+        self.total += 1;
+        self.sum += u128::from(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Records a duration observation in microseconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_micros());
+    }
+
+    /// The number of observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// The arithmetic mean of all observations (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// The minimum observation, or `None` if empty.
+    pub fn min(&self) -> Option<u64> {
+        if self.total == 0 {
+            None
+        } else {
+            Some(self.min)
+        }
+    }
+
+    /// The maximum observation, or `None` if empty.
+    pub fn max(&self) -> Option<u64> {
+        if self.total == 0 {
+            None
+        } else {
+            Some(self.max)
+        }
+    }
+
+    /// The value at quantile `q` (0 ≤ q ≤ 1), as a bucket upper bound
+    /// clamped to the observed maximum. Returns 0 for an empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.total == 0 {
+            return 0;
+        }
+        let target = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut cumulative = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= target {
+                return Self::bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The quantile value as a [`SimDuration`] (for histograms recorded with
+    /// [`Histogram::record_duration`]).
+    pub fn duration_at_quantile(&self, q: f64) -> SimDuration {
+        SimDuration::from_micros(self.value_at_quantile(q))
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A piecewise-constant gauge whose average is weighted by how long each
+/// value was held — e.g. "mean number of warm instances over the run".
+///
+/// # Examples
+///
+/// ```
+/// use ntc_simcore::metrics::TimeWeightedGauge;
+/// use ntc_simcore::units::SimTime;
+///
+/// let mut g = TimeWeightedGauge::new(SimTime::ZERO, 0.0);
+/// g.set(SimTime::from_secs(10), 4.0);  // 0 for 10s
+/// g.set(SimTime::from_secs(30), 0.0);  // 4 for 20s
+/// assert!((g.time_average(SimTime::from_secs(40)) - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimeWeightedGauge {
+    value: f64,
+    last_change: SimTime,
+    weighted_sum: f64,
+    origin: SimTime,
+    peak: f64,
+}
+
+impl TimeWeightedGauge {
+    /// Creates a gauge holding `initial` from instant `start`.
+    pub fn new(start: SimTime, initial: f64) -> Self {
+        TimeWeightedGauge { value: initial, last_change: start, weighted_sum: 0.0, origin: start, peak: initial }
+    }
+
+    /// Sets the gauge to `value` at instant `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the previous update.
+    pub fn set(&mut self, now: SimTime, value: f64) {
+        let held = now
+            .checked_duration_since(self.last_change)
+            .expect("gauge updated with a timestamp in the past");
+        self.weighted_sum += self.value * held.as_secs_f64();
+        self.value = value;
+        self.last_change = now;
+        if value > self.peak {
+            self.peak = value;
+        }
+    }
+
+    /// Adds `delta` to the current value at instant `now`.
+    pub fn add(&mut self, now: SimTime, delta: f64) {
+        let v = self.value + delta;
+        self.set(now, v);
+    }
+
+    /// The current value.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// The largest value ever held.
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+
+    /// The time-weighted average over `[start, until]`.
+    ///
+    /// Returns the current value if no time has elapsed.
+    pub fn time_average(&self, until: SimTime) -> f64 {
+        let tail = until.saturating_duration_since(self.last_change).as_secs_f64();
+        let span = until.saturating_duration_since(self.origin).as_secs_f64();
+        if span == 0.0 {
+            return self.value;
+        }
+        (self.weighted_sum + self.value * tail) / span
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.value(), 5);
+        assert_eq!(c.to_string(), "5");
+    }
+
+    #[test]
+    fn histogram_small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..32 {
+            h.record(v);
+        }
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(31));
+        assert_eq!(h.value_at_quantile(0.0), 0);
+        assert_eq!(h.value_at_quantile(1.0), 31);
+        assert_eq!(h.count(), 32);
+    }
+
+    #[test]
+    fn histogram_quantile_relative_error_is_bounded() {
+        let mut h = Histogram::new();
+        let values: Vec<u64> = (0..10_000).map(|i| 1 + i * 137).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            let exact = values[((q * (values.len() - 1) as f64) as usize).min(values.len() - 1)];
+            let approx = h.value_at_quantile(q);
+            let rel = (approx as f64 - exact as f64).abs() / exact as f64;
+            assert!(rel < 0.05, "q={q} exact={exact} approx={approx} rel={rel}");
+            assert!(approx as f64 >= exact as f64 * 0.97, "quantile should not underestimate much");
+        }
+    }
+
+    #[test]
+    fn histogram_empty_behaviour() {
+        let h = Histogram::new();
+        assert_eq!(h.value_at_quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+    }
+
+    #[test]
+    fn histogram_mean_is_exact() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        assert_eq!(h.mean(), 20.0);
+    }
+
+    #[test]
+    fn histogram_merge_equals_combined() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for v in 0..500u64 {
+            let v = v * 7 + 3;
+            if v % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), both.count());
+        assert_eq!(a.mean(), both.mean());
+        assert_eq!(a.value_at_quantile(0.9), both.value_at_quantile(0.9));
+    }
+
+    #[test]
+    fn histogram_duration_roundtrip() {
+        let mut h = Histogram::new();
+        h.record_duration(SimDuration::from_millis(5));
+        assert_eq!(h.duration_at_quantile(1.0), SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn gauge_time_average_and_peak() {
+        let mut g = TimeWeightedGauge::new(SimTime::ZERO, 1.0);
+        g.set(SimTime::from_secs(10), 3.0);
+        g.add(SimTime::from_secs(20), -2.0);
+        // 1.0 for 10s, 3.0 for 10s, 1.0 for 10s => avg 5/3
+        let avg = g.time_average(SimTime::from_secs(30));
+        assert!((avg - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(g.peak(), 3.0);
+        assert_eq!(g.value(), 1.0);
+    }
+
+    #[test]
+    fn gauge_zero_span_returns_value() {
+        let g = TimeWeightedGauge::new(SimTime::from_secs(5), 7.0);
+        assert_eq!(g.time_average(SimTime::from_secs(5)), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn gauge_rejects_time_travel() {
+        let mut g = TimeWeightedGauge::new(SimTime::from_secs(5), 0.0);
+        g.set(SimTime::from_secs(1), 1.0);
+    }
+
+    #[test]
+    fn bucket_bounds_are_monotone() {
+        let mut prev = 0;
+        for i in 0..BUCKET_COUNT {
+            let ub = Histogram::bucket_upper_bound(i);
+            assert!(ub >= prev, "bucket {i}: {ub} < {prev}");
+            prev = ub;
+        }
+    }
+
+    #[test]
+    fn bucket_index_maps_into_bound() {
+        for v in [0u64, 1, 31, 32, 33, 100, 1000, 65_535, 1 << 30, u64::MAX / 2] {
+            let idx = Histogram::bucket_index(v);
+            assert!(idx < BUCKET_COUNT);
+            let ub = Histogram::bucket_upper_bound(idx);
+            assert!(ub >= v, "value {v} above its bucket upper bound {ub}");
+        }
+    }
+}

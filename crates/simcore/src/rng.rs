@@ -1,0 +1,244 @@
+//! Deterministic, hierarchically splittable random-number streams.
+//!
+//! Every source of randomness in a simulation derives from one master seed
+//! through named [`RngStream::derive`] calls, e.g.
+//! `root.derive("arrivals").derive("user-42")`. Adding a new consumer of
+//! randomness therefore never perturbs the draws seen by existing consumers,
+//! which keeps experiments comparable across code revisions — the classic
+//! "common random numbers" variance-reduction setup.
+//!
+//! # Examples
+//!
+//! ```
+//! use ntc_simcore::rng::RngStream;
+//! use rand::Rng;
+//!
+//! let root = RngStream::root(42);
+//! let mut a = root.derive("arrivals");
+//! let mut b = root.derive("arrivals");
+//! // Same path ⇒ same stream.
+//! assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+//! ```
+
+use core::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// FNV-1a 64-bit hash, used to fold stream labels into child seeds.
+fn fnv1a(init: u64, bytes: &[u8]) -> u64 {
+    const PRIME: u64 = 0x100000001b3;
+    let mut h = init ^ 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// SplitMix64 finalizer: turns a structured seed into well-mixed bits.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// A named, deterministic random stream.
+///
+/// Streams form a tree: [`RngStream::root`] creates the root from a master
+/// seed, and [`RngStream::derive`] creates children addressed by label.
+/// Deriving reads only the stream's identity (seed + label), never its
+/// position, so the set of children is independent of how many values have
+/// been drawn from the parent.
+pub struct RngStream {
+    rng: StdRng,
+    derivation_seed: u64,
+}
+
+impl RngStream {
+    /// Creates the root stream of a seed tree.
+    pub fn root(master_seed: u64) -> Self {
+        let derivation_seed = splitmix64(master_seed);
+        RngStream { rng: StdRng::seed_from_u64(splitmix64(derivation_seed ^ 0x5eed)), derivation_seed }
+    }
+
+    /// Derives an independent child stream addressed by `label`.
+    ///
+    /// The same `(parent, label)` pair always yields the same stream.
+    pub fn derive(&self, label: &str) -> RngStream {
+        let child_seed = splitmix64(fnv1a(self.derivation_seed, label.as_bytes()));
+        RngStream { rng: StdRng::seed_from_u64(splitmix64(child_seed ^ 0x5eed)), derivation_seed: child_seed }
+    }
+
+    /// Derives an independent child stream addressed by a numeric index.
+    pub fn derive_index(&self, index: u64) -> RngStream {
+        self.derive(&index.to_string())
+    }
+
+    /// Draws a uniform float in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+
+    /// Draws a uniform integer in `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low >= high`.
+    pub fn uniform_range(&mut self, low: u64, high: u64) -> u64 {
+        assert!(low < high, "uniform_range requires low < high");
+        self.rng.gen_range(low..high)
+    }
+
+    /// Draws an exponential variate with the given mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not positive and finite.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean.is_finite() && mean > 0.0, "exponential mean must be positive");
+        let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        -mean * u.ln()
+    }
+
+    /// Draws a standard normal variate via Box–Muller.
+    pub fn standard_normal(&mut self) -> f64 {
+        let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = self.rng.gen::<f64>();
+        (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos()
+    }
+
+    /// Draws a normal variate with the given mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative or either parameter is not finite.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(mean.is_finite() && std_dev.is_finite() && std_dev >= 0.0);
+        mean + std_dev * self.standard_normal()
+    }
+
+    /// Draws a lognormal variate parameterised by the mean and standard
+    /// deviation of the *underlying normal*.
+    pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        self.rng.gen::<f64>() < p
+    }
+
+    /// Picks a uniformly random element of `items`, or `None` if empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            let i = self.uniform_range(0, items.len() as u64) as usize;
+            Some(&items[i])
+        }
+    }
+}
+
+impl RngCore for RngStream {
+    fn next_u32(&mut self) -> u32 {
+        self.rng.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.rng.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.rng.try_fill_bytes(dest)
+    }
+}
+
+impl fmt::Debug for RngStream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RngStream").field("derivation_seed", &self.derivation_seed).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_path_same_stream() {
+        let root = RngStream::root(7);
+        let mut a = root.derive("x").derive("y");
+        let mut b = root.derive("x").derive("y");
+        let va: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn different_labels_differ() {
+        let root = RngStream::root(7);
+        assert_ne!(root.derive("a").next_u64(), root.derive("b").next_u64());
+    }
+
+    #[test]
+    fn different_master_seeds_differ() {
+        assert_ne!(RngStream::root(1).derive("a").next_u64(), RngStream::root(2).derive("a").next_u64());
+    }
+
+    #[test]
+    fn derivation_is_position_independent() {
+        let root = RngStream::root(99);
+        let mut consumed = root.derive("p");
+        for _ in 0..100 {
+            consumed.next_u64();
+        }
+        // Deriving from `consumed` after drawing matches deriving before.
+        let fresh = root.derive("p");
+        assert_eq!(consumed.derive("c").next_u64(), fresh.derive("c").next_u64());
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut s = RngStream::root(5).derive("exp");
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| s.exponential(3.0)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean={mean}");
+    }
+
+    #[test]
+    fn normal_moments_are_close() {
+        let mut s = RngStream::root(5).derive("norm");
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| s.normal(10.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean={mean}");
+        assert!((var - 4.0).abs() < 0.3, "var={var}");
+    }
+
+    #[test]
+    fn chance_frequency_is_close() {
+        let mut s = RngStream::root(5).derive("chance");
+        let hits = (0..10_000).filter(|_| s.chance(0.25)).count();
+        assert!((hits as f64 / 10_000.0 - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    fn choose_covers_all_items() {
+        let mut s = RngStream::root(5).derive("choose");
+        let items = [1, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[*s.choose(&items).unwrap() as usize - 1] = true;
+        }
+        assert_eq!(seen, [true, true, true]);
+        assert_eq!(s.choose::<u8>(&[]), None);
+    }
+}

@@ -1,0 +1,167 @@
+//! Random task-graph generation for tests, property tests and the
+//! partition-quality experiments (Table 2).
+
+use ntc_simcore::rng::RngStream;
+use ntc_simcore::units::DataSize;
+
+use crate::component::{Component, LinearModel, Pinning};
+use crate::graph::{TaskGraph, TaskGraphBuilder};
+
+/// Parameters for [`random_layered_dag`].
+#[derive(Debug, Clone)]
+pub struct RandomDagConfig {
+    /// Total number of components (≥ 2).
+    pub nodes: usize,
+    /// Number of layers the nodes are spread over (≥ 2, ≤ nodes).
+    pub layers: usize,
+    /// Probability of an edge between nodes in adjacent layers.
+    pub edge_probability: f64,
+    /// Mean compute demand per component, in megacycles.
+    pub mean_demand_mega: f64,
+    /// Mean payload per flow, in KiB.
+    pub mean_payload_kib: f64,
+    /// Probability that a component is pinned to the device.
+    pub pin_probability: f64,
+}
+
+impl Default for RandomDagConfig {
+    fn default() -> Self {
+        RandomDagConfig {
+            nodes: 10,
+            layers: 4,
+            edge_probability: 0.5,
+            mean_demand_mega: 200.0,
+            mean_payload_kib: 256.0,
+            pin_probability: 0.15,
+        }
+    }
+}
+
+/// Generates a random layered DAG.
+///
+/// Nodes are assigned round-robin to layers; candidate edges run between
+/// consecutive layers and are kept with `edge_probability`. Every node is
+/// then connected forward (and the first layer backward) so the graph has no
+/// stranded components. The first node is always pinned to the device
+/// (applications start from UE-side input), others are pinned with
+/// `pin_probability`.
+///
+/// # Panics
+///
+/// Panics if `nodes < 2`, `layers < 2`, or `layers > nodes`.
+pub fn random_layered_dag(rng: &mut RngStream, config: &RandomDagConfig) -> TaskGraph {
+    assert!(config.nodes >= 2, "need at least two nodes");
+    assert!(config.layers >= 2 && config.layers <= config.nodes, "invalid layer count");
+
+    let mut builder = TaskGraphBuilder::new("random-dag");
+    let mut layer_of = Vec::with_capacity(config.nodes);
+    let mut ids = Vec::with_capacity(config.nodes);
+    for i in 0..config.nodes {
+        let layer = i * config.layers / config.nodes;
+        let pinned = i == 0 || rng.chance(config.pin_probability);
+        let demand = rng.exponential(config.mean_demand_mega) * 1e6;
+        let per_byte = rng.uniform() * 50.0;
+        let c = Component::new(format!("n{i}"))
+            .with_demand(LinearModel::scaling(demand, per_byte))
+            .with_memory(DataSize::from_mib(64 + rng.uniform_range(0, 4) * 64))
+            .with_pinning(if pinned { Pinning::Device } else { Pinning::Offloadable });
+        ids.push(builder.add_component(c));
+        layer_of.push(layer);
+    }
+
+    let mut has_in = vec![false; config.nodes];
+    let mut has_out = vec![false; config.nodes];
+    let payload = |rng: &mut RngStream| {
+        LinearModel::scaling(rng.exponential(config.mean_payload_kib) * 1024.0, rng.uniform() * 0.2)
+    };
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for i in 0..config.nodes {
+        for j in 0..config.nodes {
+            if layer_of[j] == layer_of[i] + 1 && rng.chance(config.edge_probability) {
+                edges.push((i, j));
+                has_out[i] = true;
+                has_in[j] = true;
+            }
+        }
+    }
+    // Connect stragglers: any node without an inbound edge (except layer 0)
+    // gets one from a random node in the previous layer, and any node
+    // without an outbound edge (except the last layer) gets one forward.
+    for j in 0..config.nodes {
+        if layer_of[j] > 0 && !has_in[j] {
+            let prev: Vec<usize> = (0..config.nodes).filter(|&i| layer_of[i] == layer_of[j] - 1).collect();
+            let i = *rng.choose(&prev).expect("previous layer is non-empty");
+            edges.push((i, j));
+            has_out[i] = true;
+            has_in[j] = true;
+        }
+    }
+    for i in 0..config.nodes {
+        if layer_of[i] < config.layers - 1 && !has_out[i] {
+            let next: Vec<usize> = (0..config.nodes).filter(|&j| layer_of[j] == layer_of[i] + 1).collect();
+            let j = *rng.choose(&next).expect("next layer is non-empty");
+            edges.push((i, j));
+            has_out[i] = true;
+            has_in[j] = true;
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    for (i, j) in edges {
+        builder.add_flow(ids[i], ids[j], payload(rng));
+    }
+    builder.build().expect("layered construction is acyclic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_valid_graphs_across_seeds() {
+        for seed in 0..30 {
+            let mut rng = RngStream::root(seed).derive("dag");
+            let g = random_layered_dag(&mut rng, &RandomDagConfig::default());
+            assert_eq!(g.len(), 10);
+            // build() already validated acyclicity; spot-check connectivity.
+            assert!(!g.entries().is_empty());
+            assert!(!g.exits().is_empty());
+            assert_eq!(g.topo_order().len(), g.len());
+        }
+    }
+
+    #[test]
+    fn first_node_is_pinned() {
+        let mut rng = RngStream::root(3).derive("dag");
+        let g = random_layered_dag(&mut rng, &RandomDagConfig::default());
+        let first = g.ids().next().unwrap();
+        assert!(!g.component(first).is_offloadable());
+    }
+
+    #[test]
+    fn same_seed_same_graph() {
+        let cfg = RandomDagConfig { nodes: 14, ..Default::default() };
+        let a = random_layered_dag(&mut RngStream::root(9).derive("dag"), &cfg);
+        let b = random_layered_dag(&mut RngStream::root(9).derive("dag"), &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn every_non_entry_node_is_reachable() {
+        let mut rng = RngStream::root(11).derive("dag");
+        let cfg = RandomDagConfig { nodes: 20, layers: 5, edge_probability: 0.3, ..Default::default() };
+        let g = random_layered_dag(&mut rng, &cfg);
+        for id in g.ids() {
+            let has_pred = g.predecessors(id).next().is_some();
+            let has_succ = g.successors(id).next().is_some();
+            assert!(has_pred || has_succ, "node {id} is isolated");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two nodes")]
+    fn tiny_config_panics() {
+        let mut rng = RngStream::root(0);
+        random_layered_dag(&mut rng, &RandomDagConfig { nodes: 1, ..Default::default() });
+    }
+}

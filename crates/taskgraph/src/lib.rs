@@ -1,0 +1,47 @@
+//! # ntc-taskgraph
+//!
+//! Application model for the `ntc-offload` framework: an application is a
+//! DAG of [`Component`]s (the partitionable code units of *Computational
+//! Offloading for Non-Time-Critical Applications*, ICDCS 2022) connected by
+//! [`graph::DataFlow`]s whose payloads scale with job input size.
+//!
+//! * [`component`] — components, demand models, placement pinning.
+//! * [`graph`] — the validated [`TaskGraph`] and DAG algorithms
+//!   (topological order, critical path, reachability, DOT export).
+//! * [`flow`] — max-flow/min-cut ([`flow::FlowNetwork`], Dinic), the
+//!   machinery behind min-cut partitioning.
+//! * [`generate`] — seeded random layered DAGs for tests and experiments.
+//!
+//! # Examples
+//!
+//! ```
+//! use ntc_taskgraph::{TaskGraphBuilder, Component, LinearModel, Pinning};
+//! use ntc_simcore::units::DataSize;
+//!
+//! let mut b = TaskGraphBuilder::new("photo-app");
+//! let capture = b.add_component(Component::new("capture").with_pinning(Pinning::Device));
+//! let enhance = b.add_component(
+//!     Component::new("enhance").with_demand(LinearModel::scaling(2e9, 500.0)),
+//! );
+//! let publish = b.add_component(Component::new("publish"));
+//! b.add_flow(capture, enhance, LinearModel::scaling(0.0, 1.0));
+//! b.add_flow(enhance, publish, LinearModel::scaling(0.0, 0.3));
+//! let app = b.build()?;
+//!
+//! assert_eq!(app.entries().len(), 1);
+//! assert!(app.total_work(DataSize::from_mib(4)).get() > 2_000_000_000);
+//! # Ok::<(), ntc_taskgraph::GraphError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod component;
+pub mod flow;
+pub mod generate;
+pub mod graph;
+
+pub use component::{Component, ComponentId, LinearModel, Pinning};
+pub use flow::FlowNetwork;
+pub use generate::{random_layered_dag, RandomDagConfig};
+pub use graph::{DataFlow, GraphError, TaskGraph, TaskGraphBuilder};

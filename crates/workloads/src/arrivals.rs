@@ -1,0 +1,217 @@
+//! Arrival processes: Poisson, diurnal (time-varying rate via thinning),
+//! and bursty (two-state MMPP).
+
+use ntc_simcore::rng::RngStream;
+use ntc_simcore::units::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// An arrival process generating job submission instants.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Homogeneous Poisson process.
+    Poisson {
+        /// Mean arrivals per second.
+        rate_per_sec: f64,
+    },
+    /// Non-homogeneous Poisson with a 24-hour rate profile: the base rate
+    /// is modulated by an hour-of-day factor (thinning).
+    Diurnal {
+        /// Peak arrivals per second.
+        peak_rate_per_sec: f64,
+        /// Per-hour modulation factors in `[0, 1]`, 24 entries.
+        hourly_profile: [f64; 24],
+    },
+    /// Markov-modulated Poisson process with two states (calm/burst).
+    Bursty {
+        /// Rate in the calm state.
+        calm_rate_per_sec: f64,
+        /// Rate in the burst state.
+        burst_rate_per_sec: f64,
+        /// Mean sojourn in the calm state.
+        mean_calm: SimDuration,
+        /// Mean sojourn in the burst state.
+        mean_burst: SimDuration,
+    },
+}
+
+impl ArrivalProcess {
+    /// A standard office-hours diurnal profile: near-zero overnight,
+    /// ramping to the peak in the afternoon and evening.
+    pub fn office_diurnal(peak_rate_per_sec: f64) -> Self {
+        let hourly_profile = [
+            0.05, 0.03, 0.02, 0.02, 0.03, 0.08, // 00–06
+            0.20, 0.45, 0.70, 0.85, 0.90, 0.95, // 06–12
+            0.90, 0.95, 1.00, 0.95, 0.90, 0.85, // 12–18
+            0.80, 0.75, 0.60, 0.40, 0.20, 0.10, // 18–24
+        ];
+        ArrivalProcess::Diurnal { peak_rate_per_sec, hourly_profile }
+    }
+
+    /// The long-run mean rate in arrivals per second.
+    pub fn mean_rate(&self) -> f64 {
+        match self {
+            ArrivalProcess::Poisson { rate_per_sec } => *rate_per_sec,
+            ArrivalProcess::Diurnal { peak_rate_per_sec, hourly_profile } => {
+                peak_rate_per_sec * hourly_profile.iter().sum::<f64>() / 24.0
+            }
+            ArrivalProcess::Bursty { calm_rate_per_sec, burst_rate_per_sec, mean_calm, mean_burst } => {
+                let c = mean_calm.as_secs_f64();
+                let b = mean_burst.as_secs_f64();
+                (calm_rate_per_sec * c + burst_rate_per_sec * b) / (c + b)
+            }
+        }
+    }
+
+    /// Generates all arrival instants in `[0, horizon)`.
+    ///
+    /// Deterministic for a given `rng` stream state.
+    pub fn generate(&self, horizon: SimDuration, rng: &mut RngStream) -> Vec<SimTime> {
+        match self {
+            ArrivalProcess::Poisson { rate_per_sec } => {
+                poisson_thinned(horizon, *rate_per_sec, |_| 1.0, rng)
+            }
+            ArrivalProcess::Diurnal { peak_rate_per_sec, hourly_profile } => {
+                poisson_thinned(
+                    horizon,
+                    *peak_rate_per_sec,
+                    |t| {
+                        let hour = (t.as_micros() / 3_600_000_000) % 24;
+                        hourly_profile[hour as usize]
+                    },
+                    rng,
+                )
+            }
+            ArrivalProcess::Bursty { calm_rate_per_sec, burst_rate_per_sec, mean_calm, mean_burst } => {
+                // Pre-compute state intervals, then thin at the max rate.
+                let max_rate = calm_rate_per_sec.max(*burst_rate_per_sec);
+                if max_rate <= 0.0 {
+                    return Vec::new();
+                }
+                let mut switches: Vec<(SimTime, f64)> = Vec::new();
+                let mut t = SimTime::ZERO;
+                let mut burst = false;
+                let mut state_rng = rng.derive("mmpp-states");
+                while t < SimTime::ZERO + horizon {
+                    let rate = if burst { *burst_rate_per_sec } else { *calm_rate_per_sec };
+                    switches.push((t, rate));
+                    let mean = if burst { *mean_burst } else { *mean_calm };
+                    t += SimDuration::from_secs_f64(state_rng.exponential(mean.as_secs_f64()));
+                    burst = !burst;
+                }
+                poisson_thinned(
+                    horizon,
+                    max_rate,
+                    |t| {
+                        let idx = switches.partition_point(|&(s, _)| s <= t) - 1;
+                        switches[idx].1 / max_rate
+                    },
+                    rng,
+                )
+            }
+        }
+    }
+}
+
+/// Thinning algorithm: candidates at `max_rate`, kept with probability
+/// `accept(t)`.
+fn poisson_thinned(
+    horizon: SimDuration,
+    max_rate: f64,
+    accept: impl Fn(SimTime) -> f64,
+    rng: &mut RngStream,
+) -> Vec<SimTime> {
+    assert!(max_rate.is_finite() && max_rate >= 0.0, "rate must be non-negative");
+    let mut out = Vec::new();
+    if max_rate == 0.0 {
+        return out;
+    }
+    let end = SimTime::ZERO + horizon;
+    let mut t = SimTime::ZERO;
+    loop {
+        let gap = rng.exponential(1.0 / max_rate);
+        t += SimDuration::from_secs_f64(gap);
+        if t >= end {
+            break;
+        }
+        if rng.chance(accept(t).clamp(0.0, 1.0)) {
+            out.push(t);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> RngStream {
+        RngStream::root(77).derive("arrivals")
+    }
+
+    #[test]
+    fn poisson_rate_is_respected() {
+        let p = ArrivalProcess::Poisson { rate_per_sec: 2.0 };
+        let arrivals = p.generate(SimDuration::from_secs(5_000), &mut rng());
+        let rate = arrivals.len() as f64 / 5_000.0;
+        assert!((rate - 2.0).abs() < 0.1, "rate={rate}");
+        assert!(arrivals.windows(2).all(|w| w[0] <= w[1]), "sorted output");
+    }
+
+    #[test]
+    fn zero_rate_generates_nothing() {
+        let p = ArrivalProcess::Poisson { rate_per_sec: 0.0 };
+        assert!(p.generate(SimDuration::from_hours(10), &mut rng()).is_empty());
+    }
+
+    #[test]
+    fn diurnal_is_quiet_at_night_and_busy_at_peak() {
+        let p = ArrivalProcess::office_diurnal(1.0);
+        let arrivals = p.generate(SimDuration::from_hours(24), &mut rng());
+        let count_in = |from: u64, to: u64| {
+            arrivals
+                .iter()
+                .filter(|t| t.as_micros() >= from * 3_600_000_000 && t.as_micros() < to * 3_600_000_000)
+                .count()
+        };
+        let night = count_in(1, 4);
+        let afternoon = count_in(13, 16);
+        assert!(afternoon > night * 5, "afternoon {afternoon} vs night {night}");
+    }
+
+    #[test]
+    fn diurnal_mean_rate_matches_profile() {
+        let p = ArrivalProcess::office_diurnal(1.0);
+        let arrivals = p.generate(SimDuration::from_hours(240), &mut rng());
+        let empirical = arrivals.len() as f64 / (240.0 * 3600.0);
+        assert!((empirical - p.mean_rate()).abs() / p.mean_rate() < 0.1);
+    }
+
+    #[test]
+    fn bursty_alternates_intensity() {
+        let p = ArrivalProcess::Bursty {
+            calm_rate_per_sec: 0.1,
+            burst_rate_per_sec: 20.0,
+            mean_calm: SimDuration::from_secs(100),
+            mean_burst: SimDuration::from_secs(10),
+        };
+        let arrivals = p.generate(SimDuration::from_secs(10_000), &mut rng());
+        let empirical = arrivals.len() as f64 / 10_000.0;
+        let expected = p.mean_rate();
+        assert!((empirical - expected).abs() / expected < 0.3, "{empirical} vs {expected}");
+        // Burstiness: squared-CV of inter-arrivals well above Poisson's 1.
+        let gaps: Vec<f64> =
+            arrivals.windows(2).map(|w| (w[1] - w[0]).as_secs_f64()).collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+        let cv2 = var / (mean * mean);
+        assert!(cv2 > 2.0, "cv²={cv2} should exceed Poisson");
+    }
+
+    #[test]
+    fn same_seed_same_arrivals() {
+        let p = ArrivalProcess::Poisson { rate_per_sec: 1.0 };
+        let a = p.generate(SimDuration::from_secs(100), &mut rng());
+        let b = p.generate(SimDuration::from_secs(100), &mut rng());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,34 @@
+//! # ntc-workloads
+//!
+//! The non-time-critical workloads that motivate *Computational Offloading
+//! for Non-Time-Critical Applications* (ICDCS 2022): six application
+//! archetypes with realistic demand/payload scaling, arrival processes
+//! (Poisson, office-hours diurnal, bursty MMPP), and merged job-stream
+//! generation with per-job inputs and deadline slack.
+//!
+//! # Examples
+//!
+//! ```
+//! use ntc_workloads::{generate_jobs, Archetype, StreamSpec};
+//! use ntc_simcore::rng::RngStream;
+//! use ntc_simcore::units::SimDuration;
+//!
+//! // A photo app and a log pipeline sharing one simulated day.
+//! let specs = [
+//!     StreamSpec::diurnal(Archetype::PhotoPipeline, 0.05),
+//!     StreamSpec::poisson(Archetype::LogAnalytics, 0.02),
+//! ];
+//! let jobs = generate_jobs(&specs, SimDuration::from_hours(24), &RngStream::root(42));
+//! assert!(jobs.iter().all(|j| j.deadline() > j.arrival));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod archetypes;
+pub mod arrivals;
+pub mod jobs;
+
+pub use archetypes::Archetype;
+pub use arrivals::ArrivalProcess;
+pub use jobs::{generate_jobs, Job, StreamSpec};

@@ -1,0 +1,94 @@
+//! Property-based tests of workload generation.
+
+use proptest::prelude::*;
+
+use ntc_simcore::rng::RngStream;
+use ntc_simcore::units::SimDuration;
+use ntc_workloads::{generate_jobs, Archetype, ArrivalProcess, StreamSpec};
+
+fn any_archetype() -> impl Strategy<Value = Archetype> {
+    prop::sample::select(Archetype::all().to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Job streams are sorted, densely identified, and bounded by the
+    /// horizon; slack and input are always positive.
+    #[test]
+    fn job_streams_are_well_formed(
+        seed in 0u64..5_000,
+        a in any_archetype(),
+        b in any_archetype(),
+        rate_a in 0.001f64..0.2,
+        rate_b in 0.001f64..0.2,
+        horizon_mins in 10u64..600,
+    ) {
+        let horizon = SimDuration::from_mins(horizon_mins);
+        let specs = [StreamSpec::poisson(a, rate_a), StreamSpec::poisson(b, rate_b)];
+        let jobs = generate_jobs(&specs, horizon, &RngStream::root(seed));
+        for (i, j) in jobs.iter().enumerate() {
+            prop_assert_eq!(j.id, i as u64, "ids must be dense");
+            prop_assert!(j.arrival.as_micros() < horizon.as_micros(), "arrival past horizon");
+            prop_assert!(j.input.as_bytes() > 0);
+            prop_assert!(j.deadline() >= j.arrival);
+        }
+        for w in jobs.windows(2) {
+            prop_assert!(w[0].arrival <= w[1].arrival, "stream must be time-sorted");
+        }
+    }
+
+    /// Poisson counts concentrate around rate × horizon (4-sigma bound).
+    #[test]
+    fn poisson_counts_concentrate(seed in 0u64..2_000, rate_milli in 10u64..500) {
+        let rate = rate_milli as f64 / 1000.0;
+        let horizon = SimDuration::from_hours(10);
+        let p = ArrivalProcess::Poisson { rate_per_sec: rate };
+        let n = p.generate(horizon, &mut RngStream::root(seed).derive("a")).len() as f64;
+        let mean = rate * horizon.as_secs_f64();
+        let sigma = mean.sqrt();
+        prop_assert!((n - mean).abs() < 4.0 * sigma + 5.0, "n={n} mean={mean}");
+    }
+
+    /// The diurnal mean rate formula matches empirical counts.
+    #[test]
+    fn diurnal_mean_rate_formula_holds(seed in 0u64..500, peak_milli in 50u64..500) {
+        let peak = peak_milli as f64 / 1000.0;
+        let p = ArrivalProcess::office_diurnal(peak);
+        let horizon = SimDuration::from_hours(96);
+        let n = p.generate(horizon, &mut RngStream::root(seed).derive("d")).len() as f64;
+        let mean = p.mean_rate() * horizon.as_secs_f64();
+        let sigma = mean.sqrt();
+        prop_assert!((n - mean).abs() < 5.0 * sigma + 5.0, "n={n} mean={mean}");
+    }
+
+    /// Sampled inputs respect each archetype's scale ordering in the
+    /// median (video ≫ photo ≫ inference payloads).
+    #[test]
+    fn input_scales_are_ordered(seed in 0u64..2_000) {
+        let mut rng = RngStream::root(seed).derive("inputs");
+        let median = |a: Archetype, rng: &mut RngStream| {
+            let mut v: Vec<u64> = (0..64).map(|_| a.sample_input(rng).as_bytes()).collect();
+            v.sort_unstable();
+            v[32]
+        };
+        let video = median(Archetype::VideoTranscode, &mut rng);
+        let photo = median(Archetype::PhotoPipeline, &mut rng);
+        let ml = median(Archetype::MlInference, &mut rng);
+        prop_assert!(video > photo);
+        prop_assert!(photo > ml);
+    }
+}
+
+#[test]
+fn archetype_table_is_complete() {
+    // Every archetype has a graph, a name used by its graph, positive
+    // slack, bounded noise and a positive drift.
+    for a in Archetype::all() {
+        let g = a.graph();
+        assert_eq!(g.name(), a.name());
+        assert!(a.typical_slack() > SimDuration::ZERO);
+        assert!(a.demand_noise_sigma() > 0.0 && a.demand_noise_sigma() <= 0.5);
+        assert!(a.demand_drift() > 0.0 && a.demand_drift() < 3.0);
+    }
+}

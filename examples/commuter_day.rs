@@ -1,0 +1,49 @@
+//! A commuter's day: the device goes offline on the subway twice a day.
+//! Delay-tolerant offloading rides the outages out; when an outage is
+//! longer than a job's remaining slack, the framework runs that batch on
+//! the device instead of missing the deadline.
+//!
+//! Run with: `cargo run --release --example commuter_day`
+
+use ntc_core::{Engine, Environment, OffloadPolicy};
+use ntc_net::ConnectivityTrace;
+use ntc_simcore::units::SimDuration;
+use ntc_workloads::{Archetype, StreamSpec};
+
+fn main() {
+    let mut env = Environment::metro_reference();
+    env.connectivity = ConnectivityTrace::commuter();
+    println!(
+        "Connectivity: commuter profile — offline {:.1}% of the day (worst window {}).\n",
+        env.connectivity.offline_fraction() * 100.0,
+        env.connectivity.longest_offline(),
+    );
+
+    let engine = Engine::new(env, 8);
+    let specs = [StreamSpec::poisson(Archetype::PhotoPipeline, 0.02)];
+    let horizon = SimDuration::from_hours(24);
+
+    println!(
+        "{:<11} {:>6} {:>10} {:>10} {:>7}",
+        "policy", "jobs", "p50 (s)", "p95 (s)", "miss"
+    );
+    for policy in [OffloadPolicy::LocalOnly, OffloadPolicy::CloudAll, OffloadPolicy::ntc()] {
+        let r = engine.run(&policy, &specs, horizon);
+        let s = r.latency_summary().expect("jobs ran");
+        println!(
+            "{:<11} {:>6} {:>10.2} {:>10.2} {:>6.1}%",
+            policy.name(),
+            r.jobs.len(),
+            s.p50,
+            s.p95,
+            r.miss_rate() * 100.0,
+        );
+    }
+
+    println!();
+    println!("cloud-all stalls every photo captured on the subway: its tail explodes and");
+    println!("jobs whose 30-minute slack is shorter than the 45-minute outage miss their");
+    println!("deadlines outright. The ntc policy sees the outage coming (its completion");
+    println!("reserve covers the worst offline window overlapping each batch), runs the");
+    println!("threatened batches on the device, and keeps offloading everything else.");
+}

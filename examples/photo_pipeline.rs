@@ -1,0 +1,52 @@
+//! The motivating mobile scenario: a photo-enhancement batch app serving
+//! a city of users across one diurnal day, compared under all four
+//! policies.
+//!
+//! Run with: `cargo run --release --example photo_pipeline`
+
+use ntc_core::{Engine, Environment, OffloadPolicy};
+use ntc_simcore::units::SimDuration;
+use ntc_workloads::{Archetype, StreamSpec};
+
+fn main() {
+    let env = Environment::metro_reference();
+    let engine = Engine::new(env, 7);
+
+    // Office-hours diurnal traffic peaking at ~1 photo batch every 20 s.
+    let specs = [StreamSpec::diurnal(Archetype::PhotoPipeline, 0.05)];
+    let horizon = SimDuration::from_hours(24);
+
+    println!("One diurnal day of photo-pipeline traffic ({horizon}):\n");
+    println!(
+        "{:<11} {:>6} {:>10} {:>10} {:>7} {:>11} {:>11} {:>12}",
+        "policy", "jobs", "p50 (s)", "p95 (s)", "miss", "total $", "UE energy", "bytes up"
+    );
+    for policy in [
+        OffloadPolicy::LocalOnly,
+        OffloadPolicy::EdgeAll,
+        OffloadPolicy::CloudAll,
+        OffloadPolicy::ntc(),
+    ] {
+        let r = engine.run(&policy, &specs, horizon);
+        let s = r.latency_summary().expect("jobs ran");
+        println!(
+            "{:<11} {:>6} {:>10.2} {:>10.2} {:>6.1}% {:>11.4} {:>11} {:>12}",
+            policy.name(),
+            r.jobs.len(),
+            s.p50,
+            s.p95,
+            r.miss_rate() * 100.0,
+            r.total_cost().as_usd_f64(),
+            r.device_energy,
+            r.bytes_up,
+        );
+    }
+
+    println!();
+    println!("Reading the table:");
+    println!("  * local-only melts the battery (every enhancement runs on the phone);");
+    println!("  * edge-all is fastest but pays for servers around the clock;");
+    println!("  * cloud-all is elastic and pay-per-use but dispatches eagerly;");
+    println!("  * ntc batches within the 30-minute slack: the cheapest bill, zero");
+    println!("    deadline misses, and the same battery relief as cloud-all.");
+}

@@ -1,0 +1,68 @@
+//! Quickstart: define an application, let the framework profile,
+//! partition and allocate it, then simulate an hour of traffic and read
+//! the bill.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use ntc_core::{Engine, Environment, OffloadPolicy};
+use ntc_simcore::units::SimDuration;
+use ntc_workloads::{Archetype, StreamSpec};
+
+fn main() {
+    // The world: a smartphone, metro networks, a Lambda-like cloud and a
+    // small edge site. Everything is deterministic given the seed.
+    let env = Environment::metro_reference();
+    let engine = Engine::new(env, 42);
+
+    // The workload: a photo-enhancement app invoked about twice a minute,
+    // with the archetype's typical 30-minute deadline slack.
+    let specs = [StreamSpec::poisson(Archetype::PhotoPipeline, 0.03)];
+    let horizon = SimDuration::from_hours(1);
+
+    println!("policy      jobs   p50        p95        miss   cloud $    device energy");
+    println!("--------------------------------------------------------------------------");
+    for policy in [
+        OffloadPolicy::LocalOnly,
+        OffloadPolicy::CloudAll,
+        OffloadPolicy::ntc(),
+    ] {
+        let result = engine.run(&policy, &specs, horizon);
+        let s = result.latency_summary().expect("jobs ran");
+        println!(
+            "{:<10}  {:<5}  {:<9.2}  {:<9.2}  {:<5.1}  {:<9.6}  {}",
+            policy.name(),
+            result.jobs.len(),
+            s.p50,
+            s.p95,
+            result.miss_rate() * 100.0,
+            result.cloud_cost.as_usd_f64(),
+            result.device_energy,
+        );
+    }
+
+    // Inspect what the NTC framework actually decided for this app.
+    let rng = ntc_simcore::rng::RngStream::root(42).derive("engine");
+    let deployment = ntc_core::deploy(
+        &OffloadPolicy::ntc(),
+        Archetype::PhotoPipeline,
+        engine.env(),
+        0.03,
+        Archetype::PhotoPipeline.typical_slack(),
+        &rng,
+    );
+    println!("\nNTC deployment of {}:", deployment.archetype);
+    for (id, c) in deployment.graph.components() {
+        println!(
+            "  {:<10} -> {:<7} {}",
+            c.name(),
+            deployment.plan.side(id).to_string(),
+            if deployment.is_offloaded(id) {
+                format!("({} function)", deployment.memory[id.index()])
+            } else {
+                String::new()
+            },
+        );
+    }
+    println!("  dispatch policy: {}", deployment.dispatch);
+    println!("  estimated completion: {}", deployment.est_completion);
+}

@@ -1,0 +1,219 @@
+//! `ntc` — command-line front end of the ntc-offload framework.
+//!
+//! ```console
+//! $ ntc archetypes
+//! $ ntc simulate --archetype photo-pipeline --policy ntc --rate 0.02 --hours 4
+//! $ ntc compare  --archetype report-rendering --rate 0.01 --hours 24
+//! $ ntc plan     --archetype sci-sweep --policy ntc --rate 0.002
+//! ```
+
+use std::process::ExitCode;
+
+use ntc_core::{deploy, Engine, Environment, NtcConfig, OffloadPolicy};
+use ntc_simcore::rng::RngStream;
+use ntc_simcore::units::SimDuration;
+use ntc_workloads::{Archetype, StreamSpec};
+
+struct Args {
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Result<Args, String> {
+        let mut flags = Vec::new();
+        let mut it = raw.iter();
+        while let Some(a) = it.next() {
+            let Some(name) = a.strip_prefix("--") else {
+                return Err(format!("unexpected argument '{a}'"));
+            };
+            let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+            flags.push((name.to_string(), value.clone()));
+        }
+        Ok(Args { flags })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    fn f64_or(&self, name: &str, default: f64) -> Result<f64, String> {
+        match self.get(name) {
+            Some(v) => v.parse().map_err(|_| format!("--{name}: '{v}' is not a number")),
+            None => Ok(default),
+        }
+    }
+
+    fn u64_or(&self, name: &str, default: u64) -> Result<u64, String> {
+        match self.get(name) {
+            Some(v) => v.parse().map_err(|_| format!("--{name}: '{v}' is not an integer")),
+            None => Ok(default),
+        }
+    }
+}
+
+fn parse_archetype(name: &str) -> Result<Archetype, String> {
+    Archetype::all()
+        .into_iter()
+        .find(|a| a.name() == name)
+        .ok_or_else(|| format!("unknown archetype '{name}' (see `ntc archetypes`)"))
+}
+
+fn parse_policy(name: &str) -> Result<OffloadPolicy, String> {
+    match name {
+        "local-only" => Ok(OffloadPolicy::LocalOnly),
+        "edge-all" => Ok(OffloadPolicy::EdgeAll),
+        "cloud-all" => Ok(OffloadPolicy::CloudAll),
+        "ntc" => Ok(OffloadPolicy::ntc()),
+        "ntc+offpeak" => Ok(OffloadPolicy::Ntc(NtcConfig { off_peak: true, ..Default::default() })),
+        other => Err(format!(
+            "unknown policy '{other}' (local-only | edge-all | cloud-all | ntc | ntc+offpeak)"
+        )),
+    }
+}
+
+fn print_run(policy: &OffloadPolicy, r: &ntc_core::RunResult) {
+    let s = r.latency_summary();
+    let (p50, p95) = s.map(|s| (s.p50, s.p95)).unwrap_or((0.0, 0.0));
+    println!(
+        "{:<13} {:>6} jobs  p50 {:>9.2}s  p95 {:>9.2}s  miss {:>5.1}%  total ${:<9.4} UE {:>10}  up {}",
+        policy.name(),
+        r.jobs.len(),
+        p50,
+        p95,
+        r.miss_rate() * 100.0,
+        r.total_cost().as_usd_f64(),
+        r.device_energy.to_string(),
+        r.bytes_up,
+    );
+}
+
+fn cmd_archetypes() {
+    println!("{:<18} {:>10} {:>12} {:>8} {:>7}", "archetype", "components", "slack", "noise", "drift");
+    for a in Archetype::all() {
+        println!(
+            "{:<18} {:>10} {:>12} {:>8.2} {:>7.2}",
+            a.name(),
+            a.graph().len(),
+            a.typical_slack().to_string(),
+            a.demand_noise_sigma(),
+            a.demand_drift(),
+        );
+    }
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), String> {
+    let archetype = parse_archetype(args.get("archetype").unwrap_or("photo-pipeline"))?;
+    let policy = parse_policy(args.get("policy").unwrap_or("ntc"))?;
+    let rate = args.f64_or("rate", 0.02)?;
+    let hours = args.u64_or("hours", 4)?;
+    let seed = args.u64_or("seed", 42)?;
+
+    let engine = Engine::new(Environment::metro_reference(), seed);
+    let specs = [StreamSpec::poisson(archetype, rate)];
+    let r = engine.run(&policy, &specs, SimDuration::from_hours(hours));
+    println!("{archetype} at {rate}/s for {hours}h (seed {seed}):");
+    print_run(&policy, &r);
+    Ok(())
+}
+
+fn cmd_compare(args: &Args) -> Result<(), String> {
+    let archetype = parse_archetype(args.get("archetype").unwrap_or("photo-pipeline"))?;
+    let rate = args.f64_or("rate", 0.02)?;
+    let hours = args.u64_or("hours", 24)?;
+    let seed = args.u64_or("seed", 42)?;
+
+    let engine = Engine::new(Environment::metro_reference(), seed);
+    let specs = [StreamSpec::poisson(archetype, rate)];
+    let horizon = SimDuration::from_hours(hours);
+    println!("{archetype} at {rate}/s for {hours}h (seed {seed}):");
+    for policy in [
+        OffloadPolicy::LocalOnly,
+        OffloadPolicy::EdgeAll,
+        OffloadPolicy::CloudAll,
+        OffloadPolicy::ntc(),
+    ] {
+        let r = engine.run(&policy, &specs, horizon);
+        print_run(&policy, &r);
+    }
+    Ok(())
+}
+
+fn cmd_plan(args: &Args) -> Result<(), String> {
+    let archetype = parse_archetype(args.get("archetype").unwrap_or("photo-pipeline"))?;
+    let policy = parse_policy(args.get("policy").unwrap_or("ntc"))?;
+    let rate = args.f64_or("rate", 0.02)?;
+    let seed = args.u64_or("seed", 42)?;
+
+    let env = Environment::metro_reference();
+    let rng = RngStream::root(seed).derive("engine");
+    let d = deploy(&policy, archetype, &env, rate, archetype.typical_slack(), &rng);
+    println!("{} deployment of {archetype} (rate {rate}/s, seed {seed}):", policy.name());
+    for (id, c) in d.graph.components() {
+        let placement = if d.is_offloaded(id) {
+            format!("{} @ {}", d.backend, d.memory[id.index()])
+        } else {
+            "device".into()
+        };
+        println!(
+            "  {:<16} demand {:<12} -> {placement}",
+            c.name(),
+            d.demands[id.index()].to_string(),
+        );
+    }
+    println!("  dispatch: {}", d.dispatch);
+    println!("  warming:  {}", d.warm);
+    println!("  est. completion: {} (local fallback: {})", d.est_completion, d.fallback_local);
+    let byte_cap = if d.max_batch_bytes.as_bytes() == u64::MAX {
+        "unbounded".to_string()
+    } else {
+        d.max_batch_bytes.to_string()
+    };
+    let member_cap = if d.max_batch_members == u32::MAX {
+        "unbounded".to_string()
+    } else {
+        d.max_batch_members.to_string()
+    };
+    println!("  batch caps: {member_cap} members / {byte_cap}");
+    Ok(())
+}
+
+fn usage() -> &'static str {
+    "ntc — computational offloading for non-time-critical applications
+
+USAGE:
+  ntc archetypes
+  ntc simulate [--archetype A] [--policy P] [--rate R] [--hours H] [--seed S]
+  ntc compare  [--archetype A] [--rate R] [--hours H] [--seed S]
+  ntc plan     [--archetype A] [--policy P] [--rate R] [--seed S]
+
+POLICIES: local-only | edge-all | cloud-all | ntc | ntc+offpeak"
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = raw.split_first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "archetypes" => {
+            cmd_archetypes();
+            Ok(())
+        }
+        "simulate" => Args::parse(rest).and_then(|a| cmd_simulate(&a)),
+        "compare" => Args::parse(rest).and_then(|a| cmd_compare(&a)),
+        "plan" => Args::parse(rest).and_then(|a| cmd_plan(&a)),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
