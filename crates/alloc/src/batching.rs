@@ -174,7 +174,8 @@ mod tests {
     #[test]
     fn immediate_never_holds() {
         let t = SimTime::from_secs(1234);
-        let d = dispatch_time(DispatchPolicy::Immediate, t, SimDuration::from_hours(8), EST, MARGIN);
+        let d =
+            dispatch_time(DispatchPolicy::Immediate, t, SimDuration::from_hours(8), EST, MARGIN);
         assert_eq!(d, t);
     }
 

@@ -122,8 +122,11 @@ mod tests {
         let billing = BillingModel::aws_like();
         let mem = DataSize::from_mib(1024);
         let none = hourly_overhead(WarmStrategy::PlatformOnly, mem, &billing);
-        let warmer =
-            hourly_overhead(WarmStrategy::Warmer { period: SimDuration::from_mins(9) }, mem, &billing);
+        let warmer = hourly_overhead(
+            WarmStrategy::Warmer { period: SimDuration::from_mins(9) },
+            mem,
+            &billing,
+        );
         let prov = hourly_overhead(WarmStrategy::Provisioned { count: 1 }, mem, &billing);
         assert_eq!(none, Money::ZERO);
         assert!(warmer > none);

@@ -34,7 +34,12 @@ pub fn standard_sizes() -> Vec<DataSize> {
 }
 
 /// Predicts execution time and cost of `work` across `sizes`.
-pub fn sweep(work: Cycles, cpu: &CpuScaling, billing: &BillingModel, sizes: &[DataSize]) -> Vec<MemoryPoint> {
+pub fn sweep(
+    work: Cycles,
+    cpu: &CpuScaling,
+    billing: &BillingModel,
+    sizes: &[DataSize],
+) -> Vec<MemoryPoint> {
     sizes
         .iter()
         .map(|&memory| {
@@ -104,9 +109,8 @@ mod tests {
     fn cost_rises_past_the_knee() {
         let (cpu, billing) = models();
         let pts = sweep(Cycles::from_giga(10), &cpu, &billing, &standard_sizes());
-        let at = |mib: u64| {
-            pts.iter().find(|p| p.memory == DataSize::from_mib(mib)).copied().unwrap()
-        };
+        let at =
+            |mib: u64| pts.iter().find(|p| p.memory == DataSize::from_mib(mib)).copied().unwrap();
         // Above the full-vCPU point speed saturates but price keeps rising.
         assert!(at(10240).cost > at(1769).cost * 2);
         // Below the knee, cost is roughly flat (time × price cancel).
@@ -124,10 +128,7 @@ mod tests {
         // No frontier point is dominated by any sweep point.
         for f in &frontier {
             for p in &pts {
-                assert!(
-                    !(p.exec < f.exec && p.cost < f.cost),
-                    "{f:?} dominated by {p:?}"
-                );
+                assert!(!(p.exec < f.exec && p.cost < f.cost), "{f:?} dominated by {p:?}");
             }
         }
         // Frontier is exec-descending and cost-ascending.
@@ -141,10 +142,12 @@ mod tests {
     fn select_memory_meets_budget_cheaply() {
         let (cpu, billing) = models();
         let work = Cycles::from_giga(10); // 4 s at one 2.5 GHz vCPU
-        let generous = select_memory(work, SimDuration::from_mins(5), &cpu, &billing, &standard_sizes())
-            .unwrap();
-        let tight = select_memory(work, SimDuration::from_secs(5), &cpu, &billing, &standard_sizes())
-            .unwrap();
+        let generous =
+            select_memory(work, SimDuration::from_mins(5), &cpu, &billing, &standard_sizes())
+                .unwrap();
+        let tight =
+            select_memory(work, SimDuration::from_secs(5), &cpu, &billing, &standard_sizes())
+                .unwrap();
         assert!(generous.exec <= SimDuration::from_mins(5));
         assert!(tight.exec <= SimDuration::from_secs(5));
         assert!(generous.cost <= tight.cost, "looser budget must not cost more");
@@ -165,7 +168,13 @@ mod tests {
     #[test]
     fn empty_ladder_returns_none() {
         let (cpu, billing) = models();
-        assert!(select_memory(Cycles::from_giga(1), SimDuration::from_secs(1), &cpu, &billing, &[])
-            .is_none());
+        assert!(select_memory(
+            Cycles::from_giga(1),
+            SimDuration::from_secs(1),
+            &cpu,
+            &billing,
+            &[]
+        )
+        .is_none());
     }
 }

@@ -109,7 +109,12 @@ pub fn allocate(
 
 /// Convenience: allocation for the default Lambda-like platform models.
 pub fn allocate_default(req: &AllocationRequest) -> Allocation {
-    allocate(req, &CpuScaling::lambda_like(), &BillingModel::aws_like(), ntc_serverless::KeepAlive::default())
+    allocate(
+        req,
+        &CpuScaling::lambda_like(),
+        &BillingModel::aws_like(),
+        ntc_serverless::KeepAlive::default(),
+    )
 }
 
 /// The reference deployment sizes to which the allocator's pick can be
@@ -173,7 +178,12 @@ mod tests {
     fn sparse_traffic_triggers_warming() {
         let mut r = req(3600);
         r.rate_per_sec = 1.0 / 1800.0; // one job per 30 min, TTL 10 min
-        let a = allocate(&r, &CpuScaling::lambda_like(), &BillingModel::aws_like(), KeepAlive::default());
+        let a = allocate(
+            &r,
+            &CpuScaling::lambda_like(),
+            &BillingModel::aws_like(),
+            KeepAlive::default(),
+        );
         assert!(matches!(a.warm, WarmStrategy::Warmer { .. }), "got {:?}", a.warm);
     }
 

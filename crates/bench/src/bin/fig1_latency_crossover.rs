@@ -44,7 +44,9 @@ fn synthetic_graph(intensity: f64) -> ntc_taskgraph::TaskGraph {
     use ntc_taskgraph::{Component, LinearModel, Pinning, TaskGraphBuilder};
     let mut b = TaskGraphBuilder::new("synthetic");
     let src = b.add_component(
-        Component::new("source").with_pinning(Pinning::Device).with_demand(LinearModel::constant(1e7)),
+        Component::new("source")
+            .with_pinning(Pinning::Device)
+            .with_demand(LinearModel::constant(1e7)),
     );
     let work = b.add_component(
         Component::new("work").with_demand(LinearModel::scaling(1e7, intensity * 0.8)),
@@ -64,9 +66,30 @@ fn main() {
     let rate = 0.05;
 
     // --- Panel (a): input-size sweep, photo-pipeline. ---
-    let local = deploy(&OffloadPolicy::LocalOnly, Archetype::PhotoPipeline, &env, rate, Archetype::PhotoPipeline.typical_slack(), &rng);
-    let edge = deploy(&OffloadPolicy::EdgeAll, Archetype::PhotoPipeline, &env, rate, Archetype::PhotoPipeline.typical_slack(), &rng);
-    let cloud = deploy(&OffloadPolicy::CloudAll, Archetype::PhotoPipeline, &env, rate, Archetype::PhotoPipeline.typical_slack(), &rng);
+    let local = deploy(
+        &OffloadPolicy::LocalOnly,
+        Archetype::PhotoPipeline,
+        &env,
+        rate,
+        Archetype::PhotoPipeline.typical_slack(),
+        &rng,
+    );
+    let edge = deploy(
+        &OffloadPolicy::EdgeAll,
+        Archetype::PhotoPipeline,
+        &env,
+        rate,
+        Archetype::PhotoPipeline.typical_slack(),
+        &rng,
+    );
+    let cloud = deploy(
+        &OffloadPolicy::CloudAll,
+        Archetype::PhotoPipeline,
+        &env,
+        rate,
+        Archetype::PhotoPipeline.typical_slack(),
+        &rng,
+    );
 
     let inputs_kib: [u64; 10] = [102, 512, 1024, 2048, 4096, 8192, 16384, 65536, 131072, 262144];
     let mut size_series = Vec::new();
@@ -109,8 +132,8 @@ fn main() {
         let graph = synthetic_graph(k);
         // Deterministic per-plan latency via the same estimator: build the
         // three plans by hand on the synthetic graph.
-        use ntc_partition::{FullOffload, KeepLocal, PartitionContext, Partitioner};
         use ntc_partition::CostParams;
+        use ntc_partition::{FullOffload, KeepLocal, PartitionContext, Partitioner};
         let ctx = PartitionContext::new(&graph, input, CostParams::default());
         let local_plan = KeepLocal.partition(&ctx);
         let remote_plan = FullOffload.partition(&ctx);

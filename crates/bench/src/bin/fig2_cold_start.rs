@@ -30,7 +30,8 @@ struct Point {
 fn run_one(rate: f64, strategy: WarmStrategy, horizon: SimDuration, seed: u64) -> Point {
     let mut platform = ServerlessPlatform::new(PlatformConfig::default(), RngStream::root(seed));
     let f = platform.register(
-        FunctionConfig::new("infer", DataSize::from_mib(3072)).with_artifact_size(DataSize::from_mib(250)),
+        FunctionConfig::new("infer", DataSize::from_mib(3072))
+            .with_artifact_size(DataSize::from_mib(250)),
     );
     let work = Cycles::from_giga(8);
 
@@ -52,7 +53,8 @@ fn run_one(rate: f64, strategy: WarmStrategy, horizon: SimDuration, seed: u64) -
         WarmStrategy::PlatformOnly => {}
     }
 
-    let is_ping = |at: SimTime, period: SimDuration| at.as_micros().is_multiple_of(period.as_micros());
+    let is_ping =
+        |at: SimTime, period: SimDuration| at.as_micros().is_multiple_of(period.as_micros());
     let mut latencies_ms: Vec<f64> = Vec::new();
     let mut cold = 0u64;
     let mut real = 0u64;

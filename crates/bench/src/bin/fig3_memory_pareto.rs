@@ -33,16 +33,15 @@ fn main() {
         let mut rng = RngStream::root(seed).derive("input");
         Archetype::VideoTranscode.sample_input(&mut rng)
     };
-    let (_, transcode) = graph
-        .components()
-        .max_by_key(|(_, c)| c.demand_cycles(input))
-        .expect("non-empty graph");
+    let (_, transcode) =
+        graph.components().max_by_key(|(_, c)| c.demand_cycles(input)).expect("non-empty graph");
     let work = transcode.demand_cycles(input);
 
     let points = sweep(work, &cpu, &billing, &standard_sizes());
     let frontier = pareto_frontier(&points);
     let budget = SimDuration::from_mins(2);
-    let pick = select_memory(work, budget, &cpu, &billing, &standard_sizes()).expect("ladder non-empty");
+    let pick =
+        select_memory(work, budget, &cpu, &billing, &standard_sizes()).expect("ladder non-empty");
 
     let mut series = Vec::new();
     let mut table = Table::new(["memory", "exec", "cost $", "pareto", "allocator pick"]);

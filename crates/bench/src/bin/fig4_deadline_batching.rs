@@ -35,14 +35,8 @@ fn main() {
 
     let factors = [0.0, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0];
     let mut series = Vec::new();
-    let mut table = Table::new([
-        "slack",
-        "batched $",
-        "unbatched $",
-        "saving",
-        "misses (b/u)",
-        "mean hold",
-    ]);
+    let mut table =
+        Table::new(["slack", "batched $", "unbatched $", "saving", "misses (b/u)", "mean hold"]);
     for &factor in &factors {
         let specs =
             [StreamSpec::poisson(Archetype::ReportRendering, 0.005).with_slack_factor(factor)];
@@ -51,13 +45,11 @@ fn main() {
         let cb = rb.total_cost().as_usd_f64();
         let cu = ru.total_cost().as_usd_f64();
         let saving = if cu > 0.0 { 1.0 - cb / cu } else { 0.0 };
-        let hold: f64 = rb
-            .jobs
-            .iter()
-            .map(|j| (j.dispatched - j.arrival).as_secs_f64())
-            .sum::<f64>()
-            / rb.jobs.len().max(1) as f64;
-        let slack_hours = Archetype::ReportRendering.typical_slack().as_secs_f64() * factor / 3600.0;
+        let hold: f64 =
+            rb.jobs.iter().map(|j| (j.dispatched - j.arrival).as_secs_f64()).sum::<f64>()
+                / rb.jobs.len().max(1) as f64;
+        let slack_hours =
+            Archetype::ReportRendering.typical_slack().as_secs_f64() * factor / 3600.0;
         table.row([
             format!("{factor}x ({:.1}h)", slack_hours),
             format!("{cb:.4}"),

@@ -70,14 +70,10 @@ fn main() {
     table.print();
     println!();
     let max_users = *user_counts.last().expect("non-empty");
-    let edge_hi = series
-        .iter()
-        .find(|p| p.users == max_users && p.policy == "edge-all")
-        .expect("present");
-    let cloud_hi = series
-        .iter()
-        .find(|p| p.users == max_users && p.policy == "cloud-all")
-        .expect("present");
+    let edge_hi =
+        series.iter().find(|p| p.users == max_users && p.policy == "edge-all").expect("present");
+    let cloud_hi =
+        series.iter().find(|p| p.users == max_users && p.policy == "cloud-all").expect("present");
     println!(
         "shape: at {} users edge p95 {}s vs cloud p95 {}s | edge miss rate {} vs cloud {}",
         max_users,

@@ -59,13 +59,10 @@ fn main() {
             );
         }
         let p95 = r.latency_summary().map(|s| s.p95).unwrap_or(0.0);
-        let hold: f64 = r
-            .jobs
-            .iter()
-            .map(|j| (j.dispatched - j.arrival).as_secs_f64())
-            .sum::<f64>()
-            / r.jobs.len().max(1) as f64
-            / 60.0;
+        let hold: f64 =
+            r.jobs.iter().map(|j| (j.dispatched - j.arrival).as_secs_f64()).sum::<f64>()
+                / r.jobs.len().max(1) as f64
+                / 60.0;
         table.row([
             policy.name(),
             r.jobs.len().to_string(),
@@ -86,7 +83,9 @@ fn main() {
         });
     }
 
-    println!("Figure 7 (extension) — off-peak steering over {horizon} (seed {seed}, quick={quick})\n");
+    println!(
+        "Figure 7 (extension) — off-peak steering over {horizon} (seed {seed}, quick={quick})\n"
+    );
     table.print();
     println!();
     let by = |name: &str| rows.iter().find(|r| r.policy == name).expect("present");
@@ -102,12 +101,8 @@ fn main() {
         off.misses,
     );
     if let Some(profile) = night_profile {
-        let night: u64 = profile
-            .iter()
-            .enumerate()
-            .filter(|&(h, _)| h % 24 < 7)
-            .map(|(_, &c)| c)
-            .sum();
+        let night: u64 =
+            profile.iter().enumerate().filter(|&(h, _)| h % 24 < 7).map(|(_, &c)| c).sum();
         let total: u64 = profile.iter().sum();
         println!(
             "completion profile: {} of {} off-peak completions land in hours 00-07 ({})",

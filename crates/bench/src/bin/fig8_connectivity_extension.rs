@@ -41,7 +41,8 @@ fn main() {
     let specs = [StreamSpec::poisson(Archetype::PhotoPipeline, 0.02)];
 
     let mut rows = Vec::new();
-    let mut table = Table::new(["connectivity", "offline", "policy", "jobs", "p50", "p95", "miss rate"]);
+    let mut table =
+        Table::new(["connectivity", "offline", "policy", "jobs", "p50", "p95", "miss rate"]);
     for (name, trace) in &traces {
         let mut env = Environment::metro_reference();
         env.connectivity = trace.clone();

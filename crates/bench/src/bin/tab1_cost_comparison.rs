@@ -175,6 +175,7 @@ fn main() {
         per_archetype: Vec<Row>,
         amortisation_sweep: Vec<SweepPoint>,
     }
-    let path = write_json("tab1_cost_comparison", &Out { per_archetype: rows, amortisation_sweep: sweep });
+    let path =
+        write_json("tab1_cost_comparison", &Out { per_archetype: rows, amortisation_sweep: sweep });
     println!("series written to {}", path.display());
 }

@@ -7,7 +7,9 @@
 //! penalty; keep-local pays the device-compute penalty.
 
 use ntc_bench::{f3, pct, seed_from_args, write_json, Table};
-use ntc_partition::{standard_roster, CostParams, ExhaustivePartitioner, PartitionContext, Partitioner};
+use ntc_partition::{
+    standard_roster, CostParams, ExhaustivePartitioner, PartitionContext, Partitioner,
+};
 use ntc_simcore::rng::RngStream;
 use ntc_simcore::units::DataSize;
 use ntc_taskgraph::{random_layered_dag, RandomDagConfig, TaskGraph};

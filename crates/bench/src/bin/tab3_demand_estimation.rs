@@ -70,7 +70,13 @@ fn main() {
             });
         }
         let (bname, bmape) = best.expect("estimators ran");
-        table.row([a.name().to_string(), format!("-> best: {bname}"), f3(bmape), String::new(), String::new()]);
+        table.row([
+            a.name().to_string(),
+            format!("-> best: {bname}"),
+            f3(bmape),
+            String::new(),
+            String::new(),
+        ]);
     }
 
     println!("Table 3 — demand-estimation accuracy over {n} invocations (seed {seed})\n");

@@ -58,7 +58,15 @@ fn main() {
     let mut rows = Vec::new();
     let mut ntc_breakdown = Vec::new();
     let mut table = Table::new([
-        "policy", "jobs", "total $", "± $", "p50", "p95", "miss rate", "device J", "up MiB",
+        "policy",
+        "jobs",
+        "total $",
+        "± $",
+        "p50",
+        "p95",
+        "miss rate",
+        "device J",
+        "up MiB",
     ]);
     for policy in &policies {
         let results = run_replications(&env, policy, &specs, horizon, seed, reps, threads);
@@ -114,8 +122,10 @@ fn main() {
         local.device_energy_j,
         ntc.device_energy_j < local.device_energy_j / 2.0,
     );
-    println!("
-per-archetype under ntc (replication 0):");
+    println!(
+        "
+per-archetype under ntc (replication 0):"
+    );
     let mut bt = Table::new(["archetype", "jobs", "misses", "p50", "p95", "mean hold"]);
     for b in &ntc_breakdown {
         let (p50, p95) = b.latency.map(|s| (s.p50, s.p95)).unwrap_or((0.0, 0.0));
@@ -135,6 +145,7 @@ per-archetype under ntc (replication 0):");
         policies: Vec<Row>,
         ntc_by_archetype: Vec<ntc_core::report::ArchetypeBreakdown>,
     }
-    let path = write_json("tab5_e2e_policies", &Out { policies: rows, ntc_by_archetype: ntc_breakdown });
+    let path =
+        write_json("tab5_e2e_policies", &Out { policies: rows, ntc_by_archetype: ntc_breakdown });
     println!("series written to {}", path.display());
 }

@@ -18,10 +18,7 @@ use serde::Serialize;
 /// Parses `--seed <u64>` from the process arguments (default 42).
 pub fn seed_from_args() -> u64 {
     let args: Vec<String> = std::env::args().collect();
-    args.windows(2)
-        .find(|w| w[0] == "--seed")
-        .and_then(|w| w[1].parse().ok())
-        .unwrap_or(42)
+    args.windows(2).find(|w| w[0] == "--seed").and_then(|w| w[1].parse().ok()).unwrap_or(42)
 }
 
 /// Parses `--quick` from the process arguments: experiments shrink their
@@ -81,12 +78,7 @@ impl Table {
         }
         let mut out = String::new();
         let line = |cells: &[String], widths: &[usize]| {
-            cells
-                .iter()
-                .zip(widths)
-                .map(|(c, w)| format!("{c:>w$}"))
-                .collect::<Vec<_>>()
-                .join("  ")
+            cells.iter().zip(widths).map(|(c, w)| format!("{c:>w$}")).collect::<Vec<_>>().join("  ")
         };
         out.push_str(&line(&self.headers, &widths));
         out.push('\n');

@@ -122,8 +122,7 @@ mod tests {
         for _ in 0..500 {
             m.observe(5e9 * rng.lognormal(0.0, 0.08));
         }
-        let action =
-            (0..300).find_map(|_| m.observe(5e9 * 1.6 * rng.lognormal(0.0, 0.08)));
+        let action = (0..300).find_map(|_| m.observe(5e9 * 1.6 * rng.lognormal(0.0, 0.08)));
         assert_eq!(action, Some(MonitorAction::Reprofile(Drift::Up)));
         assert_eq!(m.triggered(), 1);
     }

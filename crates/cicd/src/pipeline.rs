@@ -4,7 +4,7 @@
 
 use core::fmt;
 
-use ntc_partition::{CostParams, MinCutPartitioner, PartitionContext, Partitioner, PartitionPlan};
+use ntc_partition::{CostParams, MinCutPartitioner, PartitionContext, PartitionPlan, Partitioner};
 use ntc_profiler::{AppProfiler, EstimatorKind};
 use ntc_simcore::rng::RngStream;
 use ntc_simcore::units::{Cycles, DataSize, SimDuration};
@@ -247,7 +247,8 @@ impl Pipeline {
         stages.push((Stage::Test, cfg.test_time.mul_f64(rng.lognormal(0.0, 0.1))));
 
         // --- Profile: measure demands on the new build. ---
-        let mut profiler = AppProfiler::new(&spec.graph, EstimatorKind::Hybrid).with_min_observations(1);
+        let mut profiler =
+            AppProfiler::new(&spec.graph, EstimatorKind::Hybrid).with_min_observations(1);
         let mut measured_total = 0.0;
         if cfg.offloading_stages {
             let mut elapsed = SimDuration::ZERO;
@@ -301,15 +302,11 @@ impl Pipeline {
 
         // --- Canary: compare measured demand to the last good release. ---
         if cfg.offloading_stages {
-            let canary_time =
-                cfg.canary_invocation_time * u64::from(cfg.canary_invocations);
+            let canary_time = cfg.canary_invocation_time * u64::from(cfg.canary_invocations);
             stages.push((Stage::Canary, canary_time));
             if let Some(good) = &self.last_good {
-                let regression = if good.mean_demand > 0.0 {
-                    measured_total / good.mean_demand
-                } else {
-                    1.0
-                };
+                let regression =
+                    if good.mean_demand > 0.0 { measured_total / good.mean_demand } else { 1.0 };
                 if regression > cfg.slo_regression_factor {
                     stages.push((Stage::Rollback, SimDuration::from_secs(30)));
                     return PipelineReport {
@@ -381,7 +378,9 @@ mod tests {
         let v1_plan = p.live_plan().cloned();
         let report = p.run(&release(2, 3.0)); // 3× the demand: breach
         match &report.outcome {
-            Outcome::RolledBack { regression } => assert!(*regression > 2.0, "regression={regression}"),
+            Outcome::RolledBack { regression } => {
+                assert!(*regression > 2.0, "regression={regression}")
+            }
             other => panic!("expected rollback, got {other:?}"),
         }
         assert!(report.stage(Stage::Rollback).is_some());
@@ -407,14 +406,18 @@ mod tests {
         assert!(report.stage(Stage::Profile).is_none());
         assert!(report.stage(Stage::Partition).is_none());
         assert!(report.stage(Stage::Canary).is_none());
-        assert!(matches!(&report.outcome, Outcome::Promoted { plan } if plan.offloaded().count() == 0));
+        assert!(
+            matches!(&report.outcome, Outcome::Promoted { plan } if plan.offloaded().count() == 0)
+        );
     }
 
     #[test]
     fn offload_stages_add_bounded_overhead() {
         let mut with = pipeline();
-        let mut without =
-            Pipeline::new(PipelineConfig { offloading_stages: false, ..Default::default() }, RngStream::root(11));
+        let mut without = Pipeline::new(
+            PipelineConfig { offloading_stages: false, ..Default::default() },
+            RngStream::root(11),
+        );
         let a = with.run(&release(1, 1.0)).total();
         let b = without.run(&release(1, 1.0)).total();
         assert!(a > b, "offload stages take time");

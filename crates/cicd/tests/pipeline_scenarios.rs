@@ -87,10 +87,7 @@ fn stage_durations_are_positive_and_ordered() {
     assert!(order.contains(&Stage::Deploy));
     assert!(order.last() == Some(&Stage::Promote));
     for &(stage, d) in &r.stages {
-        assert!(
-            d.as_micros() > 0 || stage == Stage::Partition,
-            "{stage} has zero duration"
-        );
+        assert!(d.as_micros() > 0 || stage == Stage::Partition, "{stage} has zero duration");
     }
 }
 

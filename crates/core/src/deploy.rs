@@ -8,7 +8,8 @@
 
 use ntc_alloc::{allocate, AllocationRequest, DispatchPolicy, WarmStrategy};
 use ntc_partition::{
-    CostParams, FullOffload, KeepLocal, MinCutPartitioner, PartitionContext, PartitionPlan, Partitioner, Side,
+    CostParams, FullOffload, KeepLocal, MinCutPartitioner, PartitionContext, PartitionPlan,
+    Partitioner, Side,
 };
 use ntc_profiler::AppProfiler;
 use ntc_simcore::rng::RngStream;
@@ -252,14 +253,12 @@ pub fn deploy(
 
     // --- C3: the plan. ---
     let plan = match policy {
-        OffloadPolicy::LocalOnly => KeepLocal.partition(&PartitionContext::new(
-            &graph,
-            input,
-            cost_params(env, backend),
-        )),
-        OffloadPolicy::EdgeAll | OffloadPolicy::CloudAll => FullOffload.partition(
-            &PartitionContext::new(&graph, input, cost_params(env, backend)),
-        ),
+        OffloadPolicy::LocalOnly => {
+            KeepLocal.partition(&PartitionContext::new(&graph, input, cost_params(env, backend)))
+        }
+        OffloadPolicy::EdgeAll | OffloadPolicy::CloudAll => {
+            FullOffload.partition(&PartitionContext::new(&graph, input, cost_params(env, backend)))
+        }
         OffloadPolicy::Ntc(cfg) => {
             let ctx = PartitionContext::new(&graph, input, cost_params(env, backend))
                 .with_demands(demands.clone());
@@ -329,8 +328,10 @@ pub fn deploy(
                     // Scale the profiled single-job demand to batch size
                     // using the annotation's input dependence.
                     let ann_single = graph.component(id).demand_cycles(input).get().max(1);
-                    let ann_batch =
-                        graph.component(id).batch_demand_cycles(expected_members, batch_input).get();
+                    let ann_batch = graph
+                        .component(id)
+                        .batch_demand_cycles(expected_members, batch_input)
+                        .get();
                     // What the profiler learned about this component,
                     // relative to its annotation (drift recovery).
                     let learned_ratio = demands[id.index()].get() as f64 / ann_single as f64;
@@ -384,7 +385,9 @@ pub fn deploy(
     // covers the *expected batch* (conservatively, annotation demands at
     // the batch-sized input).
     let window_of = |d: DispatchPolicy| match d {
-        DispatchPolicy::Windowed { window } | DispatchPolicy::OffPeak { window, .. } => Some(window),
+        DispatchPolicy::Windowed { window } | DispatchPolicy::OffPeak { window, .. } => {
+            Some(window)
+        }
         _ => None,
     };
     let mut est_completion = if let Some(window) = window_of(dispatch) {
@@ -422,42 +425,42 @@ pub fn deploy(
     // Cap coalesced batch size: a chunk's estimated execution at its
     // component's memory must stay within a third of the 15-minute
     // function timeout, leaving room for input tails and demand noise.
-    let (max_batch_members, max_batch_bytes) = if matches!(
-        dispatch,
-        DispatchPolicy::Windowed { .. } | DispatchPolicy::OffPeak { .. }
-    ) && backend == Backend::Cloud
-    {
-        // A chunk must finish within 5 minutes at estimated demand — with
-        // the 2x noise margin that is still under the 15-minute timeout.
-        let budget_secs = 300.0;
-        let noise_margin = 2.0;
-        let budget = SimDuration::from_secs_f64(budget_secs / noise_margin);
-        let mut byte_cap = u64::MAX;
-        let mut member_cap = 64u64;
-        for id in plan.offloaded() {
-            let speed = env.platform.cpu.effective_speed(memory[id.index()]);
-            let model = graph.component(id).demand();
-            // Input-proportional demand bounds the chunk's total bytes.
-            if model.per_input_byte > 0.0 {
-                let cycles_budget = speed.as_hz() as f64 * budget_secs / noise_margin - model.fixed;
-                let cap = (cycles_budget / model.per_input_byte).max(0.0) as u64;
-                byte_cap = byte_cap.min(cap);
-            }
-            // Non-batchable fixed demand bounds the member count directly.
-            let mut k = 1u64;
-            while k < 64 {
-                let w = graph.component(id).batch_demand_cycles(k + 1, input * (k + 1));
-                if speed.execution_time(w) > budget {
-                    break;
+    let (max_batch_members, max_batch_bytes) =
+        if matches!(dispatch, DispatchPolicy::Windowed { .. } | DispatchPolicy::OffPeak { .. })
+            && backend == Backend::Cloud
+        {
+            // A chunk must finish within 5 minutes at estimated demand — with
+            // the 2x noise margin that is still under the 15-minute timeout.
+            let budget_secs = 300.0;
+            let noise_margin = 2.0;
+            let budget = SimDuration::from_secs_f64(budget_secs / noise_margin);
+            let mut byte_cap = u64::MAX;
+            let mut member_cap = 64u64;
+            for id in plan.offloaded() {
+                let speed = env.platform.cpu.effective_speed(memory[id.index()]);
+                let model = graph.component(id).demand();
+                // Input-proportional demand bounds the chunk's total bytes.
+                if model.per_input_byte > 0.0 {
+                    let cycles_budget =
+                        speed.as_hz() as f64 * budget_secs / noise_margin - model.fixed;
+                    let cap = (cycles_budget / model.per_input_byte).max(0.0) as u64;
+                    byte_cap = byte_cap.min(cap);
                 }
-                k += 1;
+                // Non-batchable fixed demand bounds the member count directly.
+                let mut k = 1u64;
+                while k < 64 {
+                    let w = graph.component(id).batch_demand_cycles(k + 1, input * (k + 1));
+                    if speed.execution_time(w) > budget {
+                        break;
+                    }
+                    k += 1;
+                }
+                member_cap = member_cap.min(k);
             }
-            member_cap = member_cap.min(k);
-        }
-        (member_cap.max(1) as u32, DataSize::from_bytes(byte_cap))
-    } else {
-        (u32::MAX, DataSize::from_bytes(u64::MAX))
-    };
+            (member_cap.max(1) as u32, DataSize::from_bytes(byte_cap))
+        } else {
+            (u32::MAX, DataSize::from_bytes(u64::MAX))
+        };
 
     Deployment {
         archetype,
@@ -491,28 +494,56 @@ mod tests {
 
     #[test]
     fn local_only_offloads_nothing() {
-        let d = deploy(&OffloadPolicy::LocalOnly, Archetype::PhotoPipeline, &env(), 0.1, Archetype::PhotoPipeline.typical_slack(), &rng());
+        let d = deploy(
+            &OffloadPolicy::LocalOnly,
+            Archetype::PhotoPipeline,
+            &env(),
+            0.1,
+            Archetype::PhotoPipeline.typical_slack(),
+            &rng(),
+        );
         assert_eq!(d.offloaded_count(), 0);
         assert_eq!(d.dispatch, DispatchPolicy::Immediate);
     }
 
     #[test]
     fn cloud_all_offloads_everything_offloadable() {
-        let d = deploy(&OffloadPolicy::CloudAll, Archetype::PhotoPipeline, &env(), 0.1, Archetype::PhotoPipeline.typical_slack(), &rng());
+        let d = deploy(
+            &OffloadPolicy::CloudAll,
+            Archetype::PhotoPipeline,
+            &env(),
+            0.1,
+            Archetype::PhotoPipeline.typical_slack(),
+            &rng(),
+        );
         assert_eq!(d.offloaded_count(), d.graph.len() - 1); // entry pinned
         assert_eq!(d.backend, Backend::Cloud);
     }
 
     #[test]
     fn edge_all_targets_edge() {
-        let d = deploy(&OffloadPolicy::EdgeAll, Archetype::MlInference, &env(), 0.1, Archetype::MlInference.typical_slack(), &rng());
+        let d = deploy(
+            &OffloadPolicy::EdgeAll,
+            Archetype::MlInference,
+            &env(),
+            0.1,
+            Archetype::MlInference.typical_slack(),
+            &rng(),
+        );
         assert_eq!(d.backend, Backend::Edge);
         assert!(d.offloaded_count() > 0);
     }
 
     #[test]
     fn ntc_batches_and_offloads_heavy_components() {
-        let d = deploy(&OffloadPolicy::ntc(), Archetype::SciSweep, &env(), 0.01, Archetype::SciSweep.typical_slack(), &rng());
+        let d = deploy(
+            &OffloadPolicy::ntc(),
+            Archetype::SciSweep,
+            &env(),
+            0.01,
+            Archetype::SciSweep.typical_slack(),
+            &rng(),
+        );
         assert!(d.offloaded_count() >= 1, "the 60 Gcyc simulate step must offload");
         assert!(matches!(d.dispatch, DispatchPolicy::Windowed { .. }));
         assert!(d.est_completion > SimDuration::ZERO);
@@ -520,7 +551,14 @@ mod tests {
 
     #[test]
     fn ablation_flags_change_the_deployment() {
-        let base = deploy(&OffloadPolicy::ntc(), Archetype::ReportRendering, &env(), 0.05, Archetype::ReportRendering.typical_slack(), &rng());
+        let base = deploy(
+            &OffloadPolicy::ntc(),
+            Archetype::ReportRendering,
+            &env(),
+            0.05,
+            Archetype::ReportRendering.typical_slack(),
+            &rng(),
+        );
         let no_batch = deploy(
             &OffloadPolicy::Ntc(NtcConfig { use_batching: false, ..Default::default() }),
             Archetype::ReportRendering,
@@ -548,8 +586,22 @@ mod tests {
 
     #[test]
     fn deployment_is_deterministic() {
-        let a = deploy(&OffloadPolicy::ntc(), Archetype::LogAnalytics, &env(), 0.1, Archetype::LogAnalytics.typical_slack(), &rng());
-        let b = deploy(&OffloadPolicy::ntc(), Archetype::LogAnalytics, &env(), 0.1, Archetype::LogAnalytics.typical_slack(), &rng());
+        let a = deploy(
+            &OffloadPolicy::ntc(),
+            Archetype::LogAnalytics,
+            &env(),
+            0.1,
+            Archetype::LogAnalytics.typical_slack(),
+            &rng(),
+        );
+        let b = deploy(
+            &OffloadPolicy::ntc(),
+            Archetype::LogAnalytics,
+            &env(),
+            0.1,
+            Archetype::LogAnalytics.typical_slack(),
+            &rng(),
+        );
         assert_eq!(a.plan, b.plan);
         assert_eq!(a.memory, b.memory);
         assert_eq!(a.demands, b.demands);
@@ -557,7 +609,14 @@ mod tests {
 
     #[test]
     fn profiler_estimates_are_near_annotations() {
-        let d = deploy(&OffloadPolicy::ntc(), Archetype::PhotoPipeline, &env(), 0.1, Archetype::PhotoPipeline.typical_slack(), &rng());
+        let d = deploy(
+            &OffloadPolicy::ntc(),
+            Archetype::PhotoPipeline,
+            &env(),
+            0.1,
+            Archetype::PhotoPipeline.typical_slack(),
+            &rng(),
+        );
         for (id, c) in d.graph.components() {
             let annotated = c.demand_cycles(d.reference_input).get() as f64;
             let estimated = d.demands[id.index()].get() as f64;
@@ -570,7 +629,14 @@ mod tests {
 
     #[test]
     fn memory_respects_component_footprint() {
-        let d = deploy(&OffloadPolicy::ntc(), Archetype::MlInference, &env(), 0.1, Archetype::MlInference.typical_slack(), &rng());
+        let d = deploy(
+            &OffloadPolicy::ntc(),
+            Archetype::MlInference,
+            &env(),
+            0.1,
+            Archetype::MlInference.typical_slack(),
+            &rng(),
+        );
         for (id, c) in d.graph.components() {
             if d.is_offloaded(id) {
                 assert!(d.memory[id.index()] >= c.memory());

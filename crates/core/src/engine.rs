@@ -21,7 +21,11 @@
 use std::collections::HashMap;
 
 use ntc_alloc::{dispatch_time, WarmStrategy};
-use ntc_edge::{EdgeError, EdgeFleet, ServiceId};
+use ntc_edge::{EdgeFleet, ServiceId};
+use ntc_faults::{
+    classify_edge, classify_injected, classify_invoke, classify_timeout, ErrorClass, FailureCause,
+    FaultPlan, RetryPolicy, SiteOutage,
+};
 use ntc_net::PathModel;
 use ntc_partition::Side;
 use ntc_serverless::{FunctionConfig, FunctionId, ServerlessPlatform};
@@ -35,6 +39,10 @@ use crate::deploy::{deploy, Deployment};
 use crate::environment::Environment;
 use crate::policy::{Backend, OffloadPolicy};
 use crate::report::{JobResult, RunResult};
+
+/// Outcome of one offloaded execution attempt: the completion instant, or
+/// a classified failure to recover from.
+type AttemptOutcome = Result<SimTime, (ErrorClass, FailureCause)>;
 
 /// Events of the execution loop.
 #[derive(Debug, Clone, Copy)]
@@ -68,6 +76,20 @@ struct BatchState {
     finish: SimTime,
     failed: bool,
     finished: bool,
+    /// Execution attempts per component (0 = never attempted).
+    attempts: Vec<u32>,
+    /// Cumulative retry backoff per component.
+    backoff: Vec<SimDuration>,
+    /// The side each component actually last executed on (for routing its
+    /// outputs after a mid-graph fallback).
+    exec_side: Vec<Side>,
+    /// Failure-driven backend override: set when the batch fell back from
+    /// its deployment backend (edge → cloud).
+    site: Option<Backend>,
+    /// Last-resort fallback: the batch degraded to its members' devices.
+    forced_local: bool,
+    /// Backend fallback switches performed.
+    fallbacks: u32,
 }
 
 /// The simulation engine: one environment, reusable across policies.
@@ -112,9 +134,22 @@ impl Engine {
 
     /// Runs `policy` over the job stream defined by `specs` for
     /// `horizon`, letting in-flight jobs drain afterwards.
-    pub fn run(&self, policy: &OffloadPolicy, specs: &[StreamSpec], horizon: SimDuration) -> RunResult {
+    pub fn run(
+        &self,
+        policy: &OffloadPolicy,
+        specs: &[StreamSpec],
+        horizon: SimDuration,
+    ) -> RunResult {
         let rng = RngStream::root(self.seed).derive("engine");
         let jobs = generate_jobs(specs, horizon, &rng.derive("jobs"));
+
+        // --- Faults and recovery. All fault/retry draws live in their own
+        // derived streams, so a fault-free configuration replays the exact
+        // event sequence of an engine without fault modelling. ---
+        let faults = FaultPlan::new(self.env.faults.clone(), rng.derive("faults"));
+        let retry_rng = rng.derive("retry");
+        let retry = policy.retry_policy();
+        let fallback_enabled = policy.fallback_enabled();
 
         // --- Deployments, one per archetype present in the stream. ---
         let mut deployments: Vec<Deployment> = Vec::new();
@@ -124,13 +159,15 @@ impl Engine {
                 continue;
             }
             let slack = spec.archetype.typical_slack().mul_f64(spec.slack_factor);
-            let d = deploy(policy, spec.archetype, &self.env, spec.arrivals.mean_rate(), slack, &rng);
+            let d =
+                deploy(policy, spec.archetype, &self.env, spec.arrivals.mean_rate(), slack, &rng);
             deployment_of.insert(spec.archetype, deployments.len());
             deployments.push(d);
         }
 
         // --- Backends. ---
-        let mut platform = ServerlessPlatform::new(self.env.platform.clone(), rng.derive("platform"));
+        let mut platform =
+            ServerlessPlatform::new(self.env.platform.clone(), rng.derive("platform"));
         let mut fleet = EdgeFleet::new(self.env.edge);
         let mut fn_ids: Vec<HashMap<ComponentId, FunctionId>> = Vec::new();
         let mut svc_ids: Vec<HashMap<ComponentId, ServiceId>> = Vec::new();
@@ -165,6 +202,20 @@ impl Engine {
                         let s = fleet.register(format!("{}/{}", d.archetype.name(), c.name()));
                         fleet.install(SimTime::ZERO, s, c.artifact_size());
                         svcs.insert(id, s);
+                        // With failure-driven fallback, mirror the service
+                        // as a cloud function so an edge outage can
+                        // re-route mid-run. Registration alone accrues no
+                        // cost: nothing is billed unless it is invoked.
+                        if fallback_enabled {
+                            let f = platform.register(
+                                FunctionConfig::new(
+                                    format!("{}/{}@fallback", d.archetype.name(), c.name()),
+                                    d.memory[id.index()],
+                                )
+                                .with_artifact_size(c.artifact_size()),
+                            );
+                            fns.insert(id, f);
+                        }
                     }
                 }
             }
@@ -179,14 +230,20 @@ impl Engine {
         for (ji, job) in jobs.iter().enumerate() {
             let di = deployment_of[&job.archetype];
             let d = &deployments[di];
-            let at =
-                dispatch_time(d.dispatch, job.arrival, job.slack, d.est_completion, self.env.completion_margin);
+            let at = dispatch_time(
+                d.dispatch,
+                job.arrival,
+                job.slack,
+                d.est_completion,
+                self.env.completion_margin,
+            );
             dispatched_at.push(at);
             let cap = deployments[di].max_batch_members as usize;
             let byte_cap = deployments[di].max_batch_bytes;
             let fits = |b: &Batch| {
                 b.members.len() < cap
-                    && b.sum_input.as_bytes().saturating_add(job.input.as_bytes()) <= byte_cap.as_bytes()
+                    && b.sum_input.as_bytes().saturating_add(job.input.as_bytes())
+                        <= byte_cap.as_bytes()
             };
             let bi = match batch_key.get(&(di, at)) {
                 Some(&bi) if fits(&batches[bi]) => bi,
@@ -230,7 +287,8 @@ impl Engine {
                 let outage = self.env.connectivity.worst_wait_within(b.dispatch_at, min_deadline);
                 let reserve = d.est_completion + outage + self.env.completion_margin;
                 let local_reserve = d.est_local + self.env.completion_margin;
-                b.dispatch_at + reserve > min_deadline && b.dispatch_at + local_reserve <= min_deadline
+                b.dispatch_at + reserve > min_deadline
+                    && b.dispatch_at + local_reserve <= min_deadline
             })
             .collect();
         for (bi, b) in batches.iter().enumerate() {
@@ -243,12 +301,22 @@ impl Engine {
             .map(|b| {
                 let d = &deployments[b.di];
                 BatchState {
-                    remaining_preds: d.graph.ids().map(|c| d.graph.predecessors(c).count()).collect(),
+                    remaining_preds: d
+                        .graph
+                        .ids()
+                        .map(|c| d.graph.predecessors(c).count())
+                        .collect(),
                     ready_at: vec![SimTime::ZERO; d.graph.len()],
                     outstanding_exits: d.graph.exits().len(),
                     finish: SimTime::ZERO,
                     failed: false,
                     finished: false,
+                    attempts: vec![0; d.graph.len()],
+                    backoff: vec![SimDuration::ZERO; d.graph.len()],
+                    exec_side: vec![Side::Device; d.graph.len()],
+                    site: None,
+                    forced_local: false,
+                    fallbacks: 0,
                 }
             })
             .collect();
@@ -276,8 +344,7 @@ impl Engine {
                     let b = &batches[bi];
                     let d = &deployments[b.di];
                     for c in d.graph.entries() {
-                        let side =
-                            if local_override[bi] { Side::Device } else { d.plan.side(c) };
+                        let side = if local_override[bi] { Side::Device } else { d.plan.side(c) };
                         let ready = match side {
                             Side::Device => t,
                             Side::Cloud => {
@@ -290,6 +357,8 @@ impl Engine {
                                 let share = self.wan_share(d.backend, online);
                                 let dur =
                                     path.transfer_time_at_share(b.max_input, share, &mut net_rng);
+                                let dur =
+                                    self.faulty_transfer(dur, &faults, &format!("up-{bi}-{c}"));
                                 for &ji in &b.members {
                                     let jdur = path.transfer_time_at_share(
                                         jobs[ji].input,
@@ -311,7 +380,12 @@ impl Engine {
                     }
                     let b = &batches[bi];
                     let d = &deployments[b.di];
-                    let side = if local_override[bi] { Side::Device } else { d.plan.side(comp) };
+                    let side = if local_override[bi] || states[bi].forced_local {
+                        Side::Device
+                    } else {
+                        d.plan.side(comp)
+                    };
+                    states[bi].exec_side[comp.index()] = side;
                     match side {
                         Side::Device => {
                             // Per-member execution on each member's own device:
@@ -336,39 +410,67 @@ impl Engine {
                                 .component(comp)
                                 .batch_demand_cycles(b.members.len() as u64, b.sum_input);
                             let work = Cycles::new((annotated.get() as f64 * noise).round() as u64);
-                            match d.backend {
-                                Backend::Cloud => {
-                                    let f = fn_ids[b.di][&comp];
-                                    match platform.invoke(t, f, work) {
-                                        Ok(out) if !out.timed_out => {
-                                            sim.schedule_at(out.finish, Ev::Done(bi, comp))
-                                                .expect("future");
+                            let site = states[bi].site.unwrap_or(d.backend);
+                            states[bi].attempts[comp.index()] += 1;
+                            let attempt = states[bi].attempts[comp.index()];
+                            let first = jobs[b.members[0]].id;
+                            let fault_key = format!("{first}-{comp}-{site}-a{attempt}");
+                            let outcome: AttemptOutcome = if let Some(fault) =
+                                faults.invocation_fault(&fault_key)
+                            {
+                                Err(classify_injected(fault))
+                            } else {
+                                match site {
+                                    Backend::Cloud => {
+                                        let f = fn_ids[b.di][&comp];
+                                        match platform.invoke(t, f, work) {
+                                            Ok(out) if !out.timed_out => Ok(out.finish),
+                                            Ok(_) => Err(classify_timeout()),
+                                            Err(e) => Err(classify_invoke(&e)),
                                         }
-                                        _ => self.fail_batch(
-                                            bi,
-                                            t,
-                                            &batches,
-                                            &jobs,
-                                            &dispatched_at,
-                                            &mut states,
-                                            &mut results,
-                                        ),
                                     }
+                                    Backend::Edge => match faults.edge_outage(t) {
+                                        SiteOutage::Online => {
+                                            let s = svc_ids[b.di][&comp];
+                                            match fleet.invoke(t, s, work) {
+                                                Ok(out) => Ok(out.finish),
+                                                Err(e) => Err(classify_edge(&e, t)),
+                                            }
+                                        }
+                                        SiteOutage::Until(r) => Err((
+                                            ErrorClass::WaitUntil(r),
+                                            FailureCause::EdgeOutage,
+                                        )),
+                                        SiteOutage::Forever => {
+                                            Err((ErrorClass::Fallback, FailureCause::EdgeOutage))
+                                        }
+                                    },
                                 }
-                                Backend::Edge => {
-                                    let s = svc_ids[b.di][&comp];
-                                    match fleet.invoke(t, s, work) {
-                                        Ok(out) => {
-                                            sim.schedule_at(out.finish, Ev::Done(bi, comp))
-                                                .expect("future");
-                                        }
-                                        Err(EdgeError::NotInstalled { ready_at: Some(r), .. })
-                                            if r > t =>
-                                        {
-                                            sim.schedule_at(r, Ev::Exec(bi, comp)).expect("future");
-                                        }
-                                        Err(_) => self.fail_batch(bi, t, &batches, &jobs, &dispatched_at, &mut states, &mut results),
-                                    }
+                            };
+                            match outcome {
+                                Ok(finish) => {
+                                    sim.schedule_at(finish, Ev::Done(bi, comp)).expect("future");
+                                }
+                                Err((class, cause)) => {
+                                    let can_cloud = fn_ids[b.di].contains_key(&comp);
+                                    self.recover(
+                                        bi,
+                                        comp,
+                                        t,
+                                        site,
+                                        class,
+                                        cause,
+                                        &retry,
+                                        fallback_enabled,
+                                        can_cloud,
+                                        &retry_rng,
+                                        &batches,
+                                        &jobs,
+                                        &dispatched_at,
+                                        &mut states,
+                                        &mut results,
+                                        &mut sim,
+                                    );
                                 }
                             }
                         }
@@ -380,33 +482,43 @@ impl Engine {
                     }
                     let b = &batches[bi];
                     let d = &deployments[b.di];
-                    let from_side =
-                        if local_override[bi] { Side::Device } else { d.plan.side(comp) };
+                    // What the component actually ran on (it may have fallen
+                    // back mid-graph), and where offloaded work now runs.
+                    let from_side = states[bi].exec_side[comp.index()];
+                    let eff = states[bi].site.unwrap_or(d.backend);
 
                     // Propagate data to successors.
                     let flows: Vec<(ComponentId, &ntc_taskgraph::LinearModel)> =
                         d.graph.flows_from(comp).map(|f| (f.to, &f.payload)).collect();
                     for (to, payload) in flows {
-                        let to_side =
-                            if local_override[bi] { Side::Device } else { d.plan.side(to) };
+                        let to_side = if local_override[bi] || states[bi].forced_local {
+                            Side::Device
+                        } else {
+                            d.plan.side(to)
+                        };
                         let dur = match (from_side, to_side) {
                             (Side::Device, Side::Device) => SimDuration::ZERO,
                             (Side::Cloud, Side::Cloud) => {
                                 // One merged transfer inside the backend.
                                 let bytes = payload.eval_bytes(b.sum_input);
-                                self.remote_internal_path(d.backend).transfer_time(bytes, &mut net_rng)
+                                self.remote_internal_path(eff).transfer_time(bytes, &mut net_rng)
                             }
                             _ => {
                                 // Boundary crossing: per-member payloads move in
                                 // parallel over each member's own radio link,
                                 // waiting out any outage first.
                                 let online = self.env.connectivity.next_online(t);
-                                let path = self.ue_path(d.backend);
-                                let share = self.wan_share(d.backend, online);
+                                let path = self.ue_path(eff);
+                                let share = self.wan_share(eff, online);
                                 let dur = path.transfer_time_at_share(
                                     payload.eval_bytes(b.max_input),
                                     share,
                                     &mut net_rng,
+                                );
+                                let dur = self.faulty_transfer(
+                                    dur,
+                                    &faults,
+                                    &format!("flow-{bi}-{comp}-{to}"),
                                 );
                                 for &ji in &b.members {
                                     let bytes = payload.eval_bytes(jobs[ji].input);
@@ -437,13 +549,15 @@ impl Engine {
                             Side::Device => t,
                             Side::Cloud => {
                                 let online = self.env.connectivity.next_online(t);
-                                let path = self.ue_path(d.backend);
-                                let share = self.wan_share(d.backend, online);
+                                let path = self.ue_path(eff);
+                                let share = self.wan_share(eff, online);
                                 let dur = path.transfer_time_at_share(
                                     self.env.result_return,
                                     share,
                                     &mut net_rng,
                                 );
+                                let dur =
+                                    self.faulty_transfer(dur, &faults, &format!("ret-{bi}-{comp}"));
                                 device_energy +=
                                     self.env.device.radio_energy(dur) * (b.members.len() as u64);
                                 bytes_down += self.env.result_return * b.members.len() as u64;
@@ -455,6 +569,9 @@ impl Engine {
                         st.outstanding_exits -= 1;
                         if st.outstanding_exits == 0 && !st.finished {
                             st.finished = true;
+                            let attempts = st.attempts.iter().copied().max().unwrap_or(0).max(1);
+                            let backoff =
+                                st.backoff.iter().copied().max().unwrap_or(SimDuration::ZERO);
                             for &ji in &b.members {
                                 results[ji] = Some(JobResult {
                                     id: jobs[ji].id,
@@ -464,6 +581,10 @@ impl Engine {
                                     finish: st.finish,
                                     deadline: jobs[ji].deadline(),
                                     failed: false,
+                                    attempts,
+                                    backoff,
+                                    fallbacks: st.fallbacks,
+                                    cause: None,
                                 });
                             }
                         }
@@ -545,11 +666,143 @@ impl Engine {
         Cycles::new((annotated * noise).round() as u64)
     }
 
+    /// Scales a transfer duration by the fault plan's drop penalty for
+    /// `key`. A fault-free plan leaves the duration untouched.
+    fn faulty_transfer(&self, dur: SimDuration, faults: &FaultPlan, key: &str) -> SimDuration {
+        let penalty = faults.transfer_penalty(key);
+        if penalty > 1.0 {
+            dur.mul_f64(penalty)
+        } else {
+            dur
+        }
+    }
+
+    /// Acts on a classified attempt failure: wait, retry with backoff,
+    /// fall back down the backend chain, or fail the batch.
+    #[allow(clippy::too_many_arguments)]
+    fn recover(
+        &self,
+        bi: usize,
+        comp: ComponentId,
+        t: SimTime,
+        site: Backend,
+        class: ErrorClass,
+        cause: FailureCause,
+        retry: &RetryPolicy,
+        fallback_enabled: bool,
+        can_cloud: bool,
+        retry_rng: &RngStream,
+        batches: &[Batch],
+        jobs: &[Job],
+        dispatched_at: &[SimTime],
+        states: &mut [BatchState],
+        results: &mut [Option<JobResult>],
+        sim: &mut Simulator<Ev>,
+    ) {
+        let detect = self.env.faults.error_detect_latency;
+        match class {
+            ErrorClass::WaitUntil(r) => {
+                // A deterministic wait (service still installing, outage
+                // with a known end): free, no retry budget consumed.
+                sim.schedule_at(r.max(t), Ev::Exec(bi, comp)).expect("future");
+            }
+            ErrorClass::Retryable => {
+                let attempt = states[bi].attempts[comp.index()];
+                let first = jobs[batches[bi].members[0]].id;
+                let backoff = retry.backoff(retry_rng, &format!("{first}-{comp}"), attempt);
+                let resume = t + detect + backoff;
+                let min_deadline = batches[bi]
+                    .members
+                    .iter()
+                    .map(|&ji| jobs[ji].deadline())
+                    .min()
+                    .expect("batch is non-empty");
+                if retry.allows(attempt, resume, min_deadline) {
+                    states[bi].backoff[comp.index()] += backoff;
+                    sim.schedule_at(resume, Ev::Exec(bi, comp)).expect("future");
+                } else {
+                    self.fall_back_or_fail(
+                        bi,
+                        comp,
+                        t,
+                        site,
+                        cause,
+                        fallback_enabled,
+                        can_cloud,
+                        batches,
+                        jobs,
+                        dispatched_at,
+                        states,
+                        results,
+                        sim,
+                    );
+                }
+            }
+            ErrorClass::Fallback => {
+                self.fall_back_or_fail(
+                    bi,
+                    comp,
+                    t,
+                    site,
+                    cause,
+                    fallback_enabled,
+                    can_cloud,
+                    batches,
+                    jobs,
+                    dispatched_at,
+                    states,
+                    results,
+                    sim,
+                );
+            }
+            ErrorClass::Terminal => {
+                self.fail_batch(bi, t, cause, batches, jobs, dispatched_at, states, results);
+            }
+        }
+    }
+
+    /// Moves a batch down the fallback chain (edge → cloud → device) or
+    /// fails it when the chain is exhausted or disabled.
+    #[allow(clippy::too_many_arguments)]
+    fn fall_back_or_fail(
+        &self,
+        bi: usize,
+        comp: ComponentId,
+        t: SimTime,
+        site: Backend,
+        cause: FailureCause,
+        fallback_enabled: bool,
+        can_cloud: bool,
+        batches: &[Batch],
+        jobs: &[Job],
+        dispatched_at: &[SimTime],
+        states: &mut [BatchState],
+        results: &mut [Option<JobResult>],
+        sim: &mut Simulator<Ev>,
+    ) {
+        let detect = self.env.faults.error_detect_latency;
+        if fallback_enabled && site == Backend::Edge && can_cloud {
+            // Edge → cloud: the mirrored function takes over the batch's
+            // remaining offloaded components.
+            states[bi].site = Some(Backend::Cloud);
+            states[bi].fallbacks += 1;
+            sim.schedule_at(t + detect, Ev::Exec(bi, comp)).expect("future");
+        } else if fallback_enabled && !states[bi].forced_local {
+            // Last resort: degrade the batch to its members' own devices.
+            states[bi].forced_local = true;
+            states[bi].fallbacks += 1;
+            sim.schedule_at(t + detect, Ev::Exec(bi, comp)).expect("future");
+        } else {
+            self.fail_batch(bi, t, cause, batches, jobs, dispatched_at, states, results);
+        }
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn fail_batch(
         &self,
         bi: usize,
         t: SimTime,
+        cause: FailureCause,
         batches: &[Batch],
         jobs: &[Job],
         dispatched_at: &[SimTime],
@@ -562,6 +815,9 @@ impl Engine {
         }
         st.failed = true;
         st.finished = true;
+        let attempts = st.attempts.iter().copied().max().unwrap_or(0).max(1);
+        let backoff = st.backoff.iter().copied().max().unwrap_or(SimDuration::ZERO);
+        let fallbacks = st.fallbacks;
         for &ji in &batches[bi].members {
             results[ji] = Some(JobResult {
                 id: jobs[ji].id,
@@ -571,6 +827,10 @@ impl Engine {
                 finish: t,
                 deadline: jobs[ji].deadline(),
                 failed: true,
+                attempts,
+                backoff,
+                fallbacks,
+                cause: Some(cause),
             });
         }
     }
@@ -730,9 +990,8 @@ mod tests {
     fn hourly_completions_sum_to_job_count() {
         let e = engine();
         let r = e.run(&OffloadPolicy::ntc(), &photo_specs(0.05), SimDuration::from_hours(3));
-        let total: u64 = (0..r.completions_per_hour.len())
-            .map(|i| r.completions_per_hour.count(i))
-            .sum();
+        let total: u64 =
+            (0..r.completions_per_hour.len()).map(|i| r.completions_per_hour.count(i)).sum();
         assert_eq!(total, r.jobs.len() as u64);
     }
 
@@ -757,10 +1016,121 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = Engine::new(Environment::metro_reference(), 1)
-            .run(&OffloadPolicy::ntc(), &photo_specs(0.02), SimDuration::from_hours(1));
-        let b = Engine::new(Environment::metro_reference(), 2)
-            .run(&OffloadPolicy::ntc(), &photo_specs(0.02), SimDuration::from_hours(1));
+        let a = Engine::new(Environment::metro_reference(), 1).run(
+            &OffloadPolicy::ntc(),
+            &photo_specs(0.02),
+            SimDuration::from_hours(1),
+        );
+        let b = Engine::new(Environment::metro_reference(), 2).run(
+            &OffloadPolicy::ntc(),
+            &photo_specs(0.02),
+            SimDuration::from_hours(1),
+        );
         assert_ne!(a.jobs, b.jobs);
+    }
+
+    // --- Fault injection and recovery. ---
+
+    fn faulty_env(rate: f64) -> Environment {
+        let mut env = Environment::metro_reference();
+        env.faults = ntc_faults::FaultConfig::transient(rate);
+        env
+    }
+
+    #[test]
+    fn fault_free_runs_record_single_attempts() {
+        let e = engine();
+        let r = e.run(&OffloadPolicy::ntc(), &photo_specs(0.02), SimDuration::from_hours(1));
+        for j in &r.jobs {
+            assert_eq!(j.attempts, 1);
+            assert_eq!(j.backoff, SimDuration::ZERO);
+            assert_eq!(j.fallbacks, 0);
+            assert!(j.cause.is_none());
+        }
+        assert_eq!(r.total_retries(), 0);
+    }
+
+    #[test]
+    fn ntc_retries_through_transient_faults() {
+        let e = Engine::new(faulty_env(0.10), 7);
+        let r = e.run(&OffloadPolicy::ntc(), &photo_specs(0.02), SimDuration::from_hours(2));
+        assert!(!r.jobs.is_empty());
+        assert_eq!(r.failures(), 0, "NTC must ride out transient faults by retrying");
+        assert!(r.total_retries() > 0, "a 10% fault rate must trigger retries");
+        assert!(r.total_backoff() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn zero_retry_baseline_loses_jobs_under_faults() {
+        let e = Engine::new(faulty_env(0.10), 7);
+        let r = e.run(&OffloadPolicy::CloudAll, &photo_specs(0.02), SimDuration::from_hours(2));
+        assert!(r.failures() > 0, "a zero-retry baseline must lose jobs at 10% faults");
+        assert_eq!(r.failure_causes().get("transient"), Some(&r.failures()));
+    }
+
+    #[test]
+    fn faulty_runs_are_reproducible() {
+        let e = Engine::new(faulty_env(0.2), 11);
+        let a = e.run(&OffloadPolicy::ntc(), &photo_specs(0.02), SimDuration::from_hours(1));
+        let b = e.run(&OffloadPolicy::ntc(), &photo_specs(0.02), SimDuration::from_hours(1));
+        assert_eq!(a.jobs, b.jobs);
+        assert_eq!(a.cloud_cost, b.cloud_cost);
+        assert_eq!(a.device_energy, b.device_energy);
+    }
+
+    #[test]
+    fn backoff_never_exceeds_job_latency() {
+        let e = Engine::new(faulty_env(0.3), 5);
+        let r = e.run(&OffloadPolicy::ntc(), &photo_specs(0.02), SimDuration::from_hours(2));
+        assert!(r.total_retries() > 0);
+        for j in &r.jobs {
+            assert!(
+                j.backoff <= j.finish.saturating_duration_since(j.dispatched),
+                "job {}: backoff {} vs latency {}",
+                j.id,
+                j.backoff,
+                j.finish.saturating_duration_since(j.dispatched)
+            );
+        }
+    }
+
+    #[test]
+    fn permanent_edge_outage_falls_back_to_cloud() {
+        let mut env = Environment::metro_reference();
+        env.faults.edge_availability = ntc_net::ConnectivityTrace::new(
+            SimDuration::from_hours(1),
+            vec![(SimDuration::ZERO, false)],
+        );
+        let e = Engine::new(env, 7);
+        let policy = OffloadPolicy::Ntc(crate::NtcConfig {
+            primary_backend: Backend::Edge,
+            ..Default::default()
+        });
+        let r = e.run(&policy, &photo_specs(0.02), SimDuration::from_hours(2));
+        assert!(!r.jobs.is_empty());
+        assert_eq!(r.failures(), 0, "the cloud fallback must save every job");
+        assert!(r.total_fallbacks() > 0, "every batch must have fallen back");
+        assert!(
+            r.cloud_cost > ntc_simcore::units::Money::ZERO,
+            "fallback work is billed on the platform"
+        );
+    }
+
+    #[test]
+    fn edge_outage_without_fallback_fails_jobs() {
+        let mut env = Environment::metro_reference();
+        env.faults.edge_availability = ntc_net::ConnectivityTrace::new(
+            SimDuration::from_hours(1),
+            vec![(SimDuration::ZERO, false)],
+        );
+        let e = Engine::new(env, 7);
+        let policy = OffloadPolicy::Ntc(crate::NtcConfig {
+            primary_backend: Backend::Edge,
+            fallback: false,
+            ..Default::default()
+        });
+        let r = e.run(&policy, &photo_specs(0.02), SimDuration::from_hours(2));
+        assert!(r.failures() > 0);
+        assert!(r.failure_causes().contains_key("edge-outage"));
     }
 }

@@ -1,6 +1,7 @@
 //! The complete simulated world an offloading policy operates in.
 
 use ntc_edge::EdgeConfig;
+use ntc_faults::FaultConfig;
 use ntc_net::{BandwidthTrace, ConnectivityTrace, LinkModel, PathModel, Topology};
 use ntc_serverless::PlatformConfig;
 use ntc_simcore::units::{Bandwidth, DataSize, Energy, Money, SimDuration};
@@ -35,6 +36,9 @@ pub struct Environment {
     pub energy_price_per_joule: Money,
     /// Safety margin subtracted from deadlines when holding jobs.
     pub completion_margin: SimDuration,
+    /// Injected faults: transient invocation errors, throttling, edge
+    /// outage windows and transfer drops. Defaults to none.
+    pub faults: FaultConfig,
 }
 
 impl Environment {
@@ -61,6 +65,7 @@ impl Environment {
             // ~\$0.45/kWh mobile-charging equivalent = \$1.25e-7 per joule.
             energy_price_per_joule: Money::from_nano_usd(125),
             completion_margin: SimDuration::from_secs(60),
+            faults: FaultConfig::none(),
         }
     }
 

@@ -15,7 +15,8 @@
 //! * [`mod@deploy`] — policy → [`deploy::Deployment`] (profile, partition,
 //!   allocate, batching plan).
 //! * [`engine`] — the discrete-event execution [`Engine`] replaying job
-//!   streams over all substrates.
+//!   streams over all substrates, with deterministic fault injection,
+//!   retry backoff and backend fallback (see [`ntc_faults`]).
 //! * [`runner`] — parallel, deterministic replications.
 //! * [`report`] — per-job and aggregate results.
 //!
@@ -53,6 +54,7 @@ pub use deploy::{deploy, Deployment};
 pub use device::DeviceModel;
 pub use engine::Engine;
 pub use environment::Environment;
+pub use ntc_faults::{FailureCause, FaultConfig, RetryBudget, RetryPolicy};
 pub use policy::{Backend, NtcConfig, OffloadPolicy};
 pub use report::{JobResult, RunResult};
 pub use runner::{across, run_replications, MetricSummary};

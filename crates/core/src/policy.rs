@@ -3,6 +3,7 @@
 
 use core::fmt;
 
+use ntc_faults::RetryPolicy;
 use ntc_profiler::EstimatorKind;
 use serde::{Deserialize, Serialize};
 
@@ -48,6 +49,20 @@ pub struct NtcConfig {
     pub estimator: EstimatorKind,
     /// Profiling invocations per archetype at deployment time.
     pub profile_samples: u32,
+    /// How failed offloaded attempts are retried. NTC work is
+    /// delay-tolerant, so the default retries patiently with capped
+    /// exponential backoff; baselines never retry.
+    pub retry: RetryPolicy,
+    /// Failure-driven backend fallback: when a backend declares an
+    /// attempt unrecoverable (outage, exhausted capacity, timeout), move
+    /// the batch down the chain edge → cloud → device instead of losing
+    /// it. Distinct from [`local_fallback`](Self::local_fallback), which
+    /// acts *before* dispatch on latency estimates.
+    pub fallback: bool,
+    /// The backend offloaded components target first. The default is the
+    /// paper's cloud-first stance; `Backend::Edge` demonstrates the full
+    /// edge → cloud → device fallback chain.
+    pub primary_backend: Backend,
 }
 
 impl Default for NtcConfig {
@@ -61,6 +76,9 @@ impl Default for NtcConfig {
             off_peak: false,
             estimator: EstimatorKind::Hybrid,
             profile_samples: 40,
+            retry: RetryPolicy::ntc_default(),
+            fallback: true,
+            primary_backend: Backend::Cloud,
         }
     }
 }
@@ -90,7 +108,27 @@ impl OffloadPolicy {
     pub fn backend(&self) -> Backend {
         match self {
             OffloadPolicy::EdgeAll => Backend::Edge,
+            OffloadPolicy::Ntc(cfg) => cfg.primary_backend,
             _ => Backend::Cloud,
+        }
+    }
+
+    /// How failed offloaded attempts are retried under this policy. The
+    /// baselines model conventional latency-critical deployments: the
+    /// first failure is final.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        match self {
+            OffloadPolicy::Ntc(cfg) => cfg.retry,
+            _ => RetryPolicy::none(),
+        }
+    }
+
+    /// Whether unrecoverable backend errors trigger a fallback down the
+    /// chain edge → cloud → device instead of failing the work.
+    pub fn fallback_enabled(&self) -> bool {
+        match self {
+            OffloadPolicy::Ntc(cfg) => cfg.fallback,
+            _ => false,
         }
     }
 
@@ -117,14 +155,25 @@ impl OffloadPolicy {
                     if !cfg.use_batching {
                         offs.push("batching");
                     }
-                    if offs.is_empty() {
-                        if cfg.off_peak {
-                            "ntc[+offpeak]".into()
-                        } else {
-                            format!("ntc[{}x{}]", cfg.estimator, cfg.profile_samples)
-                        }
-                    } else {
+                    if cfg.retry == RetryPolicy::none() {
+                        offs.push("retry");
+                    }
+                    if !cfg.fallback {
+                        offs.push("fallback");
+                    }
+                    let mut adds = Vec::new();
+                    if cfg.off_peak {
+                        adds.push("offpeak");
+                    }
+                    if cfg.primary_backend == Backend::Edge {
+                        adds.push("edge");
+                    }
+                    if !offs.is_empty() {
                         format!("ntc[-{}]", offs.join(",-"))
+                    } else if !adds.is_empty() {
+                        format!("ntc[+{}]", adds.join(",+"))
+                    } else {
+                        format!("ntc[{}x{}]", cfg.estimator, cfg.profile_samples)
                     }
                 }
             }
@@ -150,6 +199,12 @@ mod tests {
         assert_eq!(OffloadPolicy::ntc().name(), "ntc");
         let ablated = OffloadPolicy::Ntc(NtcConfig { use_batching: false, ..Default::default() });
         assert_eq!(ablated.name(), "ntc[-batching]");
+        let no_retry =
+            OffloadPolicy::Ntc(NtcConfig { retry: RetryPolicy::none(), ..Default::default() });
+        assert_eq!(no_retry.name(), "ntc[-retry]");
+        let edge_first =
+            OffloadPolicy::Ntc(NtcConfig { primary_backend: Backend::Edge, ..Default::default() });
+        assert_eq!(edge_first.name(), "ntc[+edge]");
     }
 
     #[test]
@@ -157,6 +212,19 @@ mod tests {
         assert_eq!(OffloadPolicy::EdgeAll.backend(), Backend::Edge);
         assert_eq!(OffloadPolicy::CloudAll.backend(), Backend::Cloud);
         assert_eq!(OffloadPolicy::ntc().backend(), Backend::Cloud);
+        let edge_first =
+            OffloadPolicy::Ntc(NtcConfig { primary_backend: Backend::Edge, ..Default::default() });
+        assert_eq!(edge_first.backend(), Backend::Edge);
         assert_eq!(Backend::Edge.to_string(), "edge");
+    }
+
+    #[test]
+    fn baselines_never_retry_but_ntc_does() {
+        assert_eq!(OffloadPolicy::CloudAll.retry_policy(), RetryPolicy::none());
+        assert_eq!(OffloadPolicy::EdgeAll.retry_policy(), RetryPolicy::none());
+        assert_eq!(OffloadPolicy::LocalOnly.retry_policy(), RetryPolicy::none());
+        assert_eq!(OffloadPolicy::ntc().retry_policy(), RetryPolicy::ntc_default());
+        assert!(OffloadPolicy::ntc().fallback_enabled());
+        assert!(!OffloadPolicy::CloudAll.fallback_enabled());
     }
 }

@@ -3,6 +3,7 @@
 
 use std::collections::BTreeMap;
 
+use ntc_faults::FailureCause;
 use ntc_simcore::stats::Summary;
 use ntc_simcore::timeseries::TimeSeries;
 use ntc_simcore::units::{DataSize, Energy, Money, SimDuration, SimTime};
@@ -24,8 +25,20 @@ pub struct JobResult {
     pub finish: SimTime,
     /// Its deadline.
     pub deadline: SimTime,
-    /// Whether a cloud/edge failure (timeout) lost the job.
+    /// Whether a cloud/edge failure lost the job.
     pub failed: bool,
+    /// Execution attempts made for the job's batch (1 = first attempt
+    /// succeeded; the maximum across the graph's components).
+    pub attempts: u32,
+    /// Time the job's batch spent waiting in retry backoff (the maximum
+    /// cumulative backoff across components, so it never exceeds
+    /// `finish - dispatched`).
+    pub backoff: SimDuration,
+    /// Backend fallback switches the job's batch performed (edge → cloud
+    /// → device).
+    pub fallbacks: u32,
+    /// Why the job was lost, when it was.
+    pub cause: Option<FailureCause>,
 }
 
 impl JobResult {
@@ -90,6 +103,37 @@ impl RunResult {
         self.jobs.iter().filter(|j| j.failed).count() as u64
     }
 
+    /// Total execution attempts across all jobs (≥ the job count).
+    pub fn total_attempts(&self) -> u64 {
+        self.jobs.iter().map(|j| u64::from(j.attempts)).sum()
+    }
+
+    /// Total retries: attempts beyond each job's first.
+    pub fn total_retries(&self) -> u64 {
+        self.jobs.iter().map(|j| u64::from(j.attempts.saturating_sub(1))).sum()
+    }
+
+    /// Total time jobs spent waiting in retry backoff.
+    pub fn total_backoff(&self) -> SimDuration {
+        self.jobs.iter().map(|j| j.backoff).sum()
+    }
+
+    /// Total backend fallback switches across all jobs.
+    pub fn total_fallbacks(&self) -> u64 {
+        self.jobs.iter().map(|j| u64::from(j.fallbacks)).sum()
+    }
+
+    /// Failed-job counts keyed by failure cause name, sorted by name.
+    pub fn failure_causes(&self) -> BTreeMap<&'static str, u64> {
+        let mut causes = BTreeMap::new();
+        for j in &self.jobs {
+            if let Some(c) = j.cause {
+                *causes.entry(c.name()).or_insert(0) += 1;
+            }
+        }
+        causes
+    }
+
     /// Latency summary in seconds, or `None` for an empty run.
     pub fn latency_summary(&self) -> Option<Summary> {
         let xs: Vec<f64> = self.jobs.iter().map(|j| j.latency().as_secs_f64()).collect();
@@ -116,11 +160,9 @@ impl RunResult {
             .map(|js| {
                 let archetype = js[0].archetype;
                 let latencies: Vec<f64> = js.iter().map(|j| j.latency().as_secs_f64()).collect();
-                let holds: f64 = js
-                    .iter()
-                    .map(|j| (j.dispatched - j.arrival).as_secs_f64())
-                    .sum::<f64>()
-                    / js.len() as f64;
+                let holds: f64 =
+                    js.iter().map(|j| (j.dispatched - j.arrival).as_secs_f64()).sum::<f64>()
+                        / js.len() as f64;
                 ArchetypeBreakdown {
                     archetype,
                     jobs: js.len(),
@@ -174,6 +216,10 @@ mod tests {
             finish: SimTime::from_secs(finish_s),
             deadline: SimTime::from_secs(deadline_s),
             failed,
+            attempts: 1,
+            backoff: SimDuration::ZERO,
+            fallbacks: 0,
+            cause: if failed { Some(FailureCause::Transient) } else { None },
         }
     }
 
@@ -195,9 +241,9 @@ mod tests {
     #[test]
     fn deadline_accounting() {
         let r = run(vec![
-            job(0, 0, 10, 20, false),  // met
-            job(1, 0, 30, 20, false),  // missed
-            job(2, 0, 10, 20, true),   // failed → counts as miss
+            job(0, 0, 10, 20, false), // met
+            job(1, 0, 30, 20, false), // missed
+            job(2, 0, 10, 20, true),  // failed → counts as miss
         ]);
         assert_eq!(r.deadline_misses(), 2);
         assert_eq!(r.failures(), 1);
@@ -242,6 +288,26 @@ mod tests {
         let sci = groups.iter().find(|g| g.archetype == Archetype::SciSweep).unwrap();
         assert_eq!(sci.jobs, 1);
         assert_eq!(sci.misses, 0);
+    }
+
+    #[test]
+    fn retry_accounting_sums_over_jobs() {
+        let mut a = job(0, 0, 10, 20, false);
+        a.attempts = 3;
+        a.backoff = SimDuration::from_secs(4);
+        a.fallbacks = 1;
+        let mut b = job(1, 0, 10, 20, true);
+        b.attempts = 5;
+        b.backoff = SimDuration::from_secs(6);
+        b.cause = Some(FailureCause::Timeout);
+        let r = run(vec![a, b]);
+        assert_eq!(r.total_attempts(), 8);
+        assert_eq!(r.total_retries(), 6);
+        assert_eq!(r.total_backoff(), SimDuration::from_secs(10));
+        assert_eq!(r.total_fallbacks(), 1);
+        let causes = r.failure_causes();
+        assert_eq!(causes.get("timeout"), Some(&1));
+        assert_eq!(causes.len(), 1);
     }
 
     #[test]

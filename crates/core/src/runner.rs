@@ -97,10 +97,8 @@ mod tests {
     fn parallel_equals_sequential() {
         let env = Environment::metro_reference();
         let (specs, horizon) = tiny();
-        let seq =
-            run_replications(&env, &OffloadPolicy::CloudAll, &specs, horizon, 100, 4, 1);
-        let par =
-            run_replications(&env, &OffloadPolicy::CloudAll, &specs, horizon, 100, 4, 4);
+        let seq = run_replications(&env, &OffloadPolicy::CloudAll, &specs, horizon, 100, 4, 1);
+        let par = run_replications(&env, &OffloadPolicy::CloudAll, &specs, horizon, 100, 4, 4);
         assert_eq!(seq.len(), 4);
         for (a, b) in seq.iter().zip(&par) {
             assert_eq!(a.jobs, b.jobs, "parallel execution must not change results");

@@ -20,8 +20,11 @@ fn rural_topology_shifts_the_balance_toward_local() {
     let cloud = engine.run(&OffloadPolicy::CloudAll, &specs, horizon);
     assert!(cloud.device_energy < local.device_energy);
     // The rural WAN inflates cloud latency well past the metro case.
-    let metro = Engine::new(Environment::metro_reference(), 21)
-        .run(&OffloadPolicy::CloudAll, &specs, horizon);
+    let metro = Engine::new(Environment::metro_reference(), 21).run(
+        &OffloadPolicy::CloudAll,
+        &specs,
+        horizon,
+    );
     let rural_p50 = cloud.latency_summary().unwrap().p50;
     let metro_p50 = metro.latency_summary().unwrap().p50;
     assert!(rural_p50 > metro_p50 * 1.3, "rural {rural_p50} vs metro {metro_p50}");
@@ -108,6 +111,38 @@ fn free_billing_makes_ntc_and_cloud_all_cost_nothing() {
         let r = engine.run(&policy, &specs, horizon);
         assert_eq!(r.total_cost(), ntc_simcore::units::Money::ZERO, "{policy}");
     }
+}
+
+#[test]
+fn ntc_survives_transient_faults_that_sink_the_baseline() {
+    // Acceptance scenario for the fault-injection subsystem: at a 10%
+    // transient invocation-fault rate, the retrying NTC policy completes
+    // at least 99% of jobs while the zero-retry cloud baseline loses a
+    // strictly positive fraction of the very same stream.
+    let mut env = Environment::metro_reference();
+    env.faults = ntc_core::FaultConfig::transient(0.10);
+    let engine = Engine::new(env, 42);
+    let specs = [
+        StreamSpec::poisson(Archetype::PhotoPipeline, 0.01),
+        StreamSpec::poisson(Archetype::LogAnalytics, 0.008),
+    ];
+    let horizon = SimDuration::from_hours(6);
+
+    let ntc = engine.run(&OffloadPolicy::ntc(), &specs, horizon);
+    let baseline = engine.run(&OffloadPolicy::CloudAll, &specs, horizon);
+
+    assert!(!ntc.jobs.is_empty());
+    let completed = ntc.jobs.len() as u64 - ntc.failures();
+    assert!(
+        completed as f64 >= 0.99 * ntc.jobs.len() as f64,
+        "ntc completed {completed}/{} under 10% faults",
+        ntc.jobs.len()
+    );
+    assert!(ntc.total_retries() > 0, "ntc must have retried through faults");
+    assert!(baseline.failures() > 0, "the zero-retry baseline must lose jobs at a 10% fault rate");
+    // Determinism: the same seed reproduces the faulty run bit-for-bit.
+    let again = engine.run(&OffloadPolicy::ntc(), &specs, horizon);
+    assert_eq!(ntc.jobs, again.jobs);
 }
 
 #[test]

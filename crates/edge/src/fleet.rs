@@ -196,7 +196,11 @@ impl EdgeFleet {
     /// Registers a service (not yet installed).
     pub fn register(&mut self, name: impl Into<String>) -> ServiceId {
         let id = ServiceId(u32::try_from(self.services.len()).expect("too many services"));
-        self.services.push(ServiceState { name: name.into(), ready_at: None, stats: ServiceStats::default() });
+        self.services.push(ServiceState {
+            name: name.into(),
+            ready_at: None,
+            stats: ServiceStats::default(),
+        });
         id
     }
 
@@ -247,7 +251,12 @@ impl EdgeFleet {
     ///
     /// Returns [`EdgeError`] if the service is unknown or not installed by
     /// `at`, or if `at` precedes an already processed invocation.
-    pub fn invoke(&mut self, at: SimTime, service: ServiceId, work: Cycles) -> Result<EdgeOutcome, EdgeError> {
+    pub fn invoke(
+        &mut self,
+        at: SimTime,
+        service: ServiceId,
+        work: Cycles,
+    ) -> Result<EdgeOutcome, EdgeError> {
         let state = self.services.get(service.index()).ok_or(EdgeError::UnknownService(service))?;
         match state.ready_at {
             Some(ready) if ready <= at => {}

@@ -1,0 +1,36 @@
+//! # ntc-faults
+//!
+//! Deterministic fault injection and recovery policy for the offloading
+//! engine. The paper's thesis is that non-time-critical work can tolerate
+//! the cloud's drawbacks because *delay-tolerant work can simply wait* —
+//! which must hold for failures as much as for latency. This crate
+//! provides the three pieces the engine composes into that behaviour:
+//!
+//! * [`FaultConfig`] / [`FaultPlan`] — a seeded plan of injected faults:
+//!   transient invocation errors, throttling, edge-site outage windows
+//!   (an availability schedule analogous to
+//!   [`ConnectivityTrace`](ntc_net::ConnectivityTrace)), and mid-flight
+//!   transfer drops with partial-progress loss. All draws come from
+//!   per-key derived [`RngStream`](ntc_simcore::rng::RngStream)s, so
+//!   plans are reproducible and independent of query order.
+//! * [`RetryPolicy`] — capped exponential backoff with decorrelated
+//!   jitter, an attempt cap, and a [`RetryBudget`] that makes
+//!   time-critical callers give up while NTC callers keep waiting.
+//! * [`ErrorClass`] / [`FailureCause`] — the retryable-vs-terminal
+//!   classification of every backend error, replacing the engine's old
+//!   all-errors-are-terminal path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod config;
+pub mod plan;
+pub mod retry;
+
+pub use classify::{
+    classify_edge, classify_injected, classify_invoke, classify_timeout, ErrorClass, FailureCause,
+};
+pub use config::FaultConfig;
+pub use plan::{FaultPlan, InjectedFault, SiteOutage};
+pub use retry::{RetryBudget, RetryPolicy};

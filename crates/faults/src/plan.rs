@@ -1,0 +1,225 @@
+//! A seeded, queryable realisation of a [`FaultConfig`].
+
+use ntc_simcore::rng::RngStream;
+use ntc_simcore::units::SimTime;
+
+use crate::config::FaultConfig;
+
+/// One injected invocation fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// The attempt failed with a transient error.
+    Transient,
+    /// The attempt was throttled by the platform.
+    Throttled,
+}
+
+/// The edge site's availability at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteOutage {
+    /// The site is up.
+    Online,
+    /// The site is down and comes back at the contained instant.
+    Until(SimTime),
+    /// The site never comes back within this schedule.
+    Forever,
+}
+
+/// A deterministic fault plan.
+///
+/// Every query derives its own child stream from the plan's root by a
+/// caller-chosen key, so results are independent of query order and of
+/// how much randomness other subsystems consumed — the same
+/// common-random-numbers discipline as the rest of the simulator. The
+/// same `(seed, key)` pair always produces the same answer.
+#[derive(Debug)]
+pub struct FaultPlan {
+    config: FaultConfig,
+    rng: RngStream,
+}
+
+impl FaultPlan {
+    /// Builds a plan for `config`, drawing from `rng`.
+    pub fn new(config: FaultConfig, rng: RngStream) -> Self {
+        FaultPlan { config, rng }
+    }
+
+    /// The configuration this plan realises.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// Whether the invocation attempt identified by `key` is hit by an
+    /// injected fault. Keys must be unique per attempt (include the
+    /// batch, component and attempt number) so retries re-roll
+    /// independently.
+    pub fn invocation_fault(&self, key: &str) -> Option<InjectedFault> {
+        let (tr, th) = (self.config.transient_rate, self.config.throttle_rate);
+        if tr <= 0.0 && th <= 0.0 {
+            return None;
+        }
+        let mut r = self.rng.derive(&format!("inv-{key}"));
+        let u = r.uniform();
+        if u < tr {
+            Some(InjectedFault::Transient)
+        } else if u < tr + th {
+            Some(InjectedFault::Throttled)
+        } else {
+            None
+        }
+    }
+
+    /// The edge site's availability at `at`.
+    pub fn edge_outage(&self, at: SimTime) -> SiteOutage {
+        let trace = &self.config.edge_availability;
+        if trace.is_online(at) {
+            SiteOutage::Online
+        } else if trace.offline_fraction() >= 1.0 {
+            SiteOutage::Forever
+        } else {
+            SiteOutage::Until(trace.next_online(at))
+        }
+    }
+
+    /// How many times the transfer identified by `key` drops mid-flight,
+    /// capped at `max` (each drop re-sends a
+    /// [`transfer_progress_loss`](FaultConfig::transfer_progress_loss)
+    /// fraction of the payload).
+    pub fn transfer_drops(&self, key: &str, max: u32) -> u32 {
+        let p = self.config.transfer_drop_rate;
+        if p <= 0.0 || max == 0 {
+            return 0;
+        }
+        let mut r = self.rng.derive(&format!("xfer-{key}"));
+        let mut drops = 0;
+        while drops < max && r.chance(p.min(1.0)) {
+            drops += 1;
+        }
+        drops
+    }
+
+    /// The latency multiplier a transfer suffers from its injected
+    /// drops: `1 + progress_loss × drops`.
+    pub fn transfer_penalty(&self, key: &str) -> f64 {
+        const MAX_DROPS: u32 = 8;
+        1.0 + self.config.transfer_progress_loss * f64::from(self.transfer_drops(key, MAX_DROPS))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntc_net::ConnectivityTrace;
+    use ntc_simcore::units::SimDuration;
+
+    fn plan(config: FaultConfig, seed: u64) -> FaultPlan {
+        FaultPlan::new(config, RngStream::root(seed).derive("faults"))
+    }
+
+    #[test]
+    fn zero_rates_inject_nothing() {
+        let p = plan(FaultConfig::none(), 1);
+        for i in 0..1000 {
+            assert_eq!(p.invocation_fault(&format!("k{i}")), None);
+            assert_eq!(p.transfer_drops(&format!("k{i}"), 8), 0);
+        }
+    }
+
+    #[test]
+    fn plans_are_deterministic_and_order_independent() {
+        let a = plan(FaultConfig::transient(0.3), 42);
+        let b = plan(FaultConfig::transient(0.3), 42);
+        // Query b in reverse order: answers must match a's.
+        let keys: Vec<String> = (0..500).map(|i| format!("job{i}-c0-a1")).collect();
+        let from_a: Vec<_> = keys.iter().map(|k| a.invocation_fault(k)).collect();
+        let from_b: Vec<_> = keys.iter().rev().map(|k| b.invocation_fault(k)).collect();
+        let from_b_fwd: Vec<_> = from_b.into_iter().rev().collect();
+        assert_eq!(from_a, from_b_fwd);
+    }
+
+    #[test]
+    fn different_seeds_give_different_plans() {
+        let a = plan(FaultConfig::transient(0.5), 1);
+        let b = plan(FaultConfig::transient(0.5), 2);
+        let keys: Vec<String> = (0..200).map(|i| format!("k{i}")).collect();
+        let fa: Vec<_> = keys.iter().map(|k| a.invocation_fault(k)).collect();
+        let fb: Vec<_> = keys.iter().map(|k| b.invocation_fault(k)).collect();
+        assert_ne!(fa, fb);
+    }
+
+    #[test]
+    fn fault_frequency_tracks_the_rate() {
+        let p = plan(FaultConfig::transient(0.2), 7);
+        let hits = (0..5000).filter(|i| p.invocation_fault(&format!("k{i}")).is_some()).count();
+        let freq = hits as f64 / 5000.0;
+        assert!((freq - 0.2).abs() < 0.03, "freq={freq}");
+    }
+
+    #[test]
+    fn throttles_and_transients_split_by_rate() {
+        let cfg = FaultConfig { transient_rate: 0.1, throttle_rate: 0.1, ..FaultConfig::none() };
+        let p = plan(cfg, 7);
+        let mut transients = 0;
+        let mut throttles = 0;
+        for i in 0..5000 {
+            match p.invocation_fault(&format!("k{i}")) {
+                Some(InjectedFault::Transient) => transients += 1,
+                Some(InjectedFault::Throttled) => throttles += 1,
+                None => {}
+            }
+        }
+        assert!(transients > 0 && throttles > 0);
+        let ratio = transients as f64 / throttles as f64;
+        assert!((0.6..1.6).contains(&ratio), "ratio={ratio}");
+    }
+
+    #[test]
+    fn edge_outage_follows_the_availability_trace() {
+        let cfg =
+            FaultConfig { edge_availability: ConnectivityTrace::flaky(), ..FaultConfig::none() };
+        let p = plan(cfg, 1);
+        assert_eq!(p.edge_outage(SimTime::from_secs(60)), SiteOutage::Online);
+        let mid_outage = SimTime::from_secs(110 * 60);
+        assert_eq!(p.edge_outage(mid_outage), SiteOutage::Until(SimTime::from_secs(2 * 3600)));
+    }
+
+    #[test]
+    fn permanently_down_edge_reports_forever() {
+        let cfg = FaultConfig {
+            edge_availability: ConnectivityTrace::new(
+                SimDuration::from_hours(1),
+                vec![(SimDuration::ZERO, false)],
+            ),
+            ..FaultConfig::none()
+        };
+        let p = plan(cfg, 1);
+        assert_eq!(p.edge_outage(SimTime::ZERO), SiteOutage::Forever);
+    }
+
+    #[test]
+    fn transfer_drops_respect_the_cap_and_seed() {
+        let cfg = FaultConfig { transfer_drop_rate: 0.9, ..FaultConfig::none() };
+        let p = plan(cfg.clone(), 3);
+        let q = plan(cfg, 3);
+        for i in 0..200 {
+            let key = format!("t{i}");
+            let d = p.transfer_drops(&key, 4);
+            assert!(d <= 4);
+            assert_eq!(d, q.transfer_drops(&key, 4), "same seed, same drops");
+        }
+    }
+
+    #[test]
+    fn transfer_penalty_scales_with_progress_loss() {
+        let cfg = FaultConfig {
+            transfer_drop_rate: 1.0,
+            transfer_progress_loss: 0.25,
+            ..FaultConfig::none()
+        };
+        let p = plan(cfg, 3);
+        // Rate 1.0 always hits the cap of 8 drops.
+        assert!((p.transfer_penalty("k") - 3.0).abs() < 1e-12);
+        let none = plan(FaultConfig::none(), 3);
+        assert_eq!(none.transfer_penalty("k"), 1.0);
+    }
+}

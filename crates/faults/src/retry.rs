@@ -1,0 +1,217 @@
+//! Retry policies: how long to back off and when to give up.
+
+use ntc_simcore::rng::RngStream;
+use ntc_simcore::units::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// How much failure a caller is willing to absorb before giving up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RetryBudget {
+    /// Never retry: the first failed attempt is final (time-critical
+    /// baseline behaviour).
+    None,
+    /// Retry for as long as the attempt cap allows: the NTC stance —
+    /// delay-tolerant work waits failures out.
+    Unbounded,
+    /// Retry only while the next attempt would still start before the
+    /// job's deadline: deadline-aware middle ground.
+    Deadline,
+}
+
+/// Capped exponential backoff with decorrelated jitter.
+///
+/// The backoff before retry `k` (1-based) is drawn uniformly from
+/// `[base, min(cap, base·3^k)]`, each draw from its own derived stream,
+/// so the schedule is deterministic per `(seed, key, attempt)` and
+/// independent of everything else the simulation draws — retried runs
+/// replay bit-identically.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Minimum (and first) backoff.
+    pub base: SimDuration,
+    /// Upper bound any single backoff can reach.
+    pub cap: SimDuration,
+    /// Maximum number of attempts, including the first (`>= 1`).
+    pub max_attempts: u32,
+    /// When to stop retrying.
+    pub budget: RetryBudget,
+}
+
+impl RetryPolicy {
+    /// No retries at all: one attempt, terminal on failure.
+    pub fn none() -> Self {
+        RetryPolicy {
+            base: SimDuration::ZERO,
+            cap: SimDuration::ZERO,
+            max_attempts: 1,
+            budget: RetryBudget::None,
+        }
+    }
+
+    /// The NTC default: effectively unlimited patient retries, backing
+    /// off from 2 s up to 5 min.
+    pub fn ntc_default() -> Self {
+        RetryPolicy {
+            base: SimDuration::from_secs(2),
+            cap: SimDuration::from_mins(5),
+            max_attempts: u32::MAX,
+            budget: RetryBudget::Unbounded,
+        }
+    }
+
+    /// A deadline-aware policy for latency-sensitive callers: a few fast
+    /// retries, abandoned once they would overrun the deadline.
+    pub fn deadline_aware() -> Self {
+        RetryPolicy {
+            base: SimDuration::from_secs(1),
+            cap: SimDuration::from_secs(30),
+            max_attempts: 4,
+            budget: RetryBudget::Deadline,
+        }
+    }
+
+    /// The backoff to wait before retry number `attempt` (1-based: the
+    /// wait after the first failed attempt is `attempt = 1`).
+    ///
+    /// Deterministic in `(rng seed, key, attempt)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attempt` is zero.
+    pub fn backoff(&self, rng: &RngStream, key: &str, attempt: u32) -> SimDuration {
+        assert!(attempt > 0, "attempt numbering is 1-based");
+        let base_us = self.base.as_micros();
+        let cap_us = self.cap.as_micros().max(base_us);
+        if cap_us == 0 {
+            return SimDuration::ZERO;
+        }
+        // 3^k, saturating: past ~40 doublings everything hits the cap.
+        let growth = 3u64.saturating_pow(attempt.min(40));
+        let hi = base_us.max(1).saturating_mul(growth).min(cap_us);
+        let mut r = rng.derive(&format!("backoff-{key}-a{attempt}"));
+        SimDuration::from_micros(r.uniform_range(base_us, hi + 1))
+    }
+
+    /// Whether another attempt may be made, given that `attempts_made`
+    /// attempts already ran, the retry would start at `resume`, and the
+    /// job's deadline is `deadline`.
+    pub fn allows(&self, attempts_made: u32, resume: SimTime, deadline: SimTime) -> bool {
+        if attempts_made >= self.max_attempts {
+            return false;
+        }
+        match self.budget {
+            RetryBudget::None => false,
+            RetryBudget::Unbounded => true,
+            RetryBudget::Deadline => resume <= deadline,
+        }
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng(seed: u64) -> RngStream {
+        RngStream::root(seed).derive("retry")
+    }
+
+    /// Satellite requirement: same seed ⇒ identical attempt times.
+    #[test]
+    fn backoff_schedule_is_deterministic_per_seed() {
+        let p = RetryPolicy::ntc_default();
+        let a: Vec<SimDuration> = (1..=10).map(|k| p.backoff(&rng(9), "b0-c1", k)).collect();
+        let b: Vec<SimDuration> = (1..=10).map(|k| p.backoff(&rng(9), "b0-c1", k)).collect();
+        assert_eq!(a, b, "same seed must replay the same schedule");
+        let c: Vec<SimDuration> = (1..=10).map(|k| p.backoff(&rng(10), "b0-c1", k)).collect();
+        assert_ne!(a, c, "a different seed must jitter differently");
+    }
+
+    #[test]
+    fn backoff_is_position_independent() {
+        let p = RetryPolicy::ntc_default();
+        let r = rng(5);
+        // Interleave queries for two keys: each key's schedule must match
+        // the schedule obtained by querying it alone.
+        let alone: Vec<SimDuration> = (1..=5).map(|k| p.backoff(&rng(5), "x", k)).collect();
+        let mut interleaved = Vec::new();
+        for k in 1..=5 {
+            let _ = p.backoff(&r, "y", k);
+            interleaved.push(p.backoff(&r, "x", k));
+        }
+        assert_eq!(alone, interleaved);
+    }
+
+    #[test]
+    fn backoff_respects_base_and_cap() {
+        let p = RetryPolicy {
+            base: SimDuration::from_secs(2),
+            cap: SimDuration::from_secs(60),
+            max_attempts: u32::MAX,
+            budget: RetryBudget::Unbounded,
+        };
+        for k in 1..=50 {
+            let b = p.backoff(&rng(3), "k", k);
+            assert!(b >= p.base, "attempt {k}: {b} below base");
+            assert!(b <= p.cap, "attempt {k}: {b} above cap");
+        }
+    }
+
+    #[test]
+    fn backoff_window_grows_with_attempts() {
+        // With a huge cap, the upper bound of the jitter window grows
+        // geometrically; the empirical max over many draws must grow too.
+        let p = RetryPolicy {
+            base: SimDuration::from_secs(1),
+            cap: SimDuration::from_hours(10),
+            max_attempts: u32::MAX,
+            budget: RetryBudget::Unbounded,
+        };
+        let max_at = |attempt: u32| {
+            (0..200).map(|i| p.backoff(&rng(100 + i), "g", attempt)).max().expect("non-empty")
+        };
+        assert!(max_at(6) > max_at(1) * 10);
+    }
+
+    #[test]
+    fn zero_cap_means_zero_backoff() {
+        let p = RetryPolicy::none();
+        assert_eq!(p.backoff(&rng(1), "k", 1), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn attempt_zero_is_rejected() {
+        let _ = RetryPolicy::ntc_default().backoff(&rng(1), "k", 0);
+    }
+
+    #[test]
+    fn budget_none_never_allows() {
+        let p = RetryPolicy::none();
+        assert!(!p.allows(1, SimTime::ZERO, SimTime::from_secs(1_000_000)));
+    }
+
+    #[test]
+    fn budget_unbounded_respects_only_the_attempt_cap() {
+        let p = RetryPolicy { max_attempts: 3, ..RetryPolicy::ntc_default() };
+        let far = SimTime::from_secs(u64::MAX / 2_000_000);
+        assert!(p.allows(1, far, SimTime::ZERO), "deadline must not matter");
+        assert!(p.allows(2, far, SimTime::ZERO));
+        assert!(!p.allows(3, far, SimTime::ZERO), "attempt cap must bind");
+    }
+
+    #[test]
+    fn budget_deadline_stops_at_the_deadline() {
+        let p = RetryPolicy::deadline_aware();
+        let deadline = SimTime::from_secs(100);
+        assert!(p.allows(1, SimTime::from_secs(99), deadline));
+        assert!(p.allows(1, deadline, deadline), "boundary counts as within");
+        assert!(!p.allows(1, SimTime::from_secs(101), deadline));
+        assert!(!p.allows(4, SimTime::from_secs(50), deadline), "cap still binds");
+    }
+}

@@ -35,7 +35,10 @@ pub struct ConnectivityTrace {
 impl ConnectivityTrace {
     /// A schedule that is always online.
     pub fn always() -> Self {
-        ConnectivityTrace { period: SimDuration::from_hours(24), segments: vec![(SimDuration::ZERO, true)] }
+        ConnectivityTrace {
+            period: SimDuration::from_hours(24),
+            segments: vec![(SimDuration::ZERO, true)],
+        }
     }
 
     /// Builds a schedule from `(offset, online)` segments repeating every
@@ -117,12 +120,7 @@ impl ConnectivityTrace {
             }
         }
         let next_cycle = cycle_start + period_us;
-        let first_on = self
-            .segments
-            .iter()
-            .find(|&&(_, on)| on)
-            .expect("checked above")
-            .0;
+        let first_on = self.segments.iter().find(|&&(_, on)| on).expect("checked above").0;
         SimTime::from_micros(next_cycle + first_on.as_micros())
     }
 
@@ -172,13 +170,13 @@ impl ConnectivityTrace {
         longest
     }
 
-    /// Total offline time per period, as a fraction in `[0, 1)`.
+    /// Total offline time per period, as a fraction in `[0, 1]`
+    /// (exactly `1.0` for a schedule that is never online).
     pub fn offline_fraction(&self) -> f64 {
         let mut offline = SimDuration::ZERO;
         for (i, &(start, on)) in self.segments.iter().enumerate() {
             if !on {
-                let end =
-                    self.segments.get(i + 1).map(|&(o, _)| o).unwrap_or(self.period);
+                let end = self.segments.get(i + 1).map(|&(o, _)| o).unwrap_or(self.period);
                 offline += end - start;
             }
         }
@@ -225,10 +223,7 @@ mod tests {
         assert_eq!(t.next_online(mid_outage), SimTime::from_secs(8 * 3600 + 45 * 60));
         // Second day wraps correctly.
         let day2 = SimTime::from_secs(24 * 3600 + 8 * 3600 + 600);
-        assert_eq!(
-            t.next_online(day2),
-            SimTime::from_secs(24 * 3600 + 8 * 3600 + 45 * 60)
-        );
+        assert_eq!(t.next_online(day2), SimTime::from_secs(24 * 3600 + 8 * 3600 + 45 * 60));
     }
 
     #[test]
@@ -262,10 +257,7 @@ mod tests {
         assert_eq!(t.worst_wait_within(from, until), SimDuration::from_mins(45));
         // Starting mid-outage: the remaining outage counts.
         let from = SimTime::from_secs(8 * 3600 + 30 * 60);
-        assert_eq!(
-            t.worst_wait_within(from, from),
-            SimDuration::from_mins(15)
-        );
+        assert_eq!(t.worst_wait_within(from, from), SimDuration::from_mins(15));
         // Inverted interval is empty.
         assert_eq!(
             t.worst_wait_within(SimTime::from_secs(100), SimTime::from_secs(50)),
@@ -283,10 +275,48 @@ mod tests {
     #[test]
     #[should_panic(expected = "never online")]
     fn never_online_schedule_panics_on_next_online() {
-        let t = ConnectivityTrace::new(
-            SimDuration::from_hours(1),
-            vec![(SimDuration::ZERO, false)],
-        );
+        let t =
+            ConnectivityTrace::new(SimDuration::from_hours(1), vec![(SimDuration::ZERO, false)]);
         let _ = t.next_online(SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "fit in the period")]
+    fn segment_exactly_at_period_boundary_is_rejected() {
+        // A segment starting at the period itself belongs to the next
+        // cycle's offset zero; accepting it would shadow the first
+        // segment's mandatory zero offset.
+        let _ = ConnectivityTrace::new(
+            SimDuration::from_hours(1),
+            vec![(SimDuration::ZERO, true), (SimDuration::from_hours(1), false)],
+        );
+    }
+
+    #[test]
+    fn single_offline_only_segment_is_offline_everywhere() {
+        let t =
+            ConnectivityTrace::new(SimDuration::from_hours(1), vec![(SimDuration::ZERO, false)]);
+        for mins in [0u64, 1, 59, 60, 61, 600] {
+            assert!(!t.is_online(SimTime::from_secs(mins * 60)), "minute {mins}");
+        }
+        assert_eq!(t.offline_fraction(), 1.0);
+        assert_eq!(t.longest_offline(), SimDuration::from_hours(1));
+    }
+
+    #[test]
+    fn queries_far_past_many_periods_stay_aligned() {
+        let t = ConnectivityTrace::flaky(); // 2 h period, offline 100–120 min
+                                            // One thousand cycles in, the schedule still reads like cycle zero.
+        let cycles = 1000u64;
+        let base = SimTime::from_secs(cycles * 2 * 3600);
+        assert!(t.is_online(base + SimDuration::from_mins(50)));
+        assert!(!t.is_online(base + SimDuration::from_mins(110)));
+        assert_eq!(
+            t.next_online(base + SimDuration::from_mins(110)),
+            SimTime::from_secs((cycles + 1) * 2 * 3600),
+        );
+        // And the worst wait over a many-period window is one full outage.
+        let wait = t.worst_wait_within(base, base + SimDuration::from_hours(20));
+        assert_eq!(wait, SimDuration::from_mins(20));
     }
 }

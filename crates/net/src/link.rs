@@ -105,7 +105,12 @@ impl LinkModel {
     /// # Panics
     ///
     /// Panics if `share` is not in `(0, 1]`.
-    pub fn transfer_time_at_share(&self, size: DataSize, share: f64, rng: &mut RngStream) -> SimDuration {
+    pub fn transfer_time_at_share(
+        &self,
+        size: DataSize,
+        share: f64,
+        rng: &mut RngStream,
+    ) -> SimDuration {
         assert!(share > 0.0 && share <= 1.0, "bandwidth share must be in (0, 1]");
         let latency = self.sample_latency(rng);
         if size.is_zero() {
@@ -127,7 +132,8 @@ mod tests {
 
     #[test]
     fn no_jitter_is_deterministic() {
-        let link = LinkModel::new(SimDuration::from_millis(10), Bandwidth::from_megabits_per_sec(8));
+        let link =
+            LinkModel::new(SimDuration::from_millis(10), Bandwidth::from_megabits_per_sec(8));
         let mut r = rng();
         assert_eq!(link.sample_latency(&mut r), SimDuration::from_millis(10));
         assert_eq!(link.sample_rtt(&mut r), SimDuration::from_millis(20));
@@ -136,7 +142,8 @@ mod tests {
     #[test]
     fn transfer_includes_latency_and_serialisation() {
         // 8 Mbit/s = 1 MB/s; 1 MB takes 1 s + 10 ms latency.
-        let link = LinkModel::new(SimDuration::from_millis(10), Bandwidth::from_megabits_per_sec(8));
+        let link =
+            LinkModel::new(SimDuration::from_millis(10), Bandwidth::from_megabits_per_sec(8));
         let t = link.transfer_time(DataSize::from_bytes(1_000_000), &mut rng());
         assert_eq!(t, SimDuration::from_millis(1010));
     }
@@ -159,8 +166,9 @@ mod tests {
 
     #[test]
     fn jitter_spreads_latency() {
-        let link = LinkModel::new(SimDuration::from_millis(100), Bandwidth::from_megabits_per_sec(8))
-            .with_jitter(0.3);
+        let link =
+            LinkModel::new(SimDuration::from_millis(100), Bandwidth::from_megabits_per_sec(8))
+                .with_jitter(0.3);
         let mut r = rng();
         let samples: Vec<u64> = (0..200).map(|_| link.sample_latency(&mut r).as_micros()).collect();
         let min = *samples.iter().min().unwrap();
@@ -182,6 +190,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "loss rate")]
     fn full_loss_is_rejected() {
-        let _ = LinkModel::new(SimDuration::ZERO, Bandwidth::from_megabits_per_sec(1)).with_loss(1.0);
+        let _ =
+            LinkModel::new(SimDuration::ZERO, Bandwidth::from_megabits_per_sec(1)).with_loss(1.0);
     }
 }

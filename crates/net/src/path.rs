@@ -70,7 +70,12 @@ impl PathModel {
     /// # Panics
     ///
     /// Panics if `share` is not in `(0, 1]`.
-    pub fn transfer_time_at_share(&self, size: DataSize, share: f64, rng: &mut RngStream) -> SimDuration {
+    pub fn transfer_time_at_share(
+        &self,
+        size: DataSize,
+        share: f64,
+        rng: &mut RngStream,
+    ) -> SimDuration {
         assert!(share > 0.0 && share <= 1.0, "bandwidth share must be in (0, 1]");
         let latency = self.sample_latency(rng);
         if size.is_zero() {
@@ -78,11 +83,8 @@ impl PathModel {
         }
         // Charge serialisation once, on the bottleneck hop (store-and-forward
         // pipelining approximation), including that hop's loss inflation.
-        let bottleneck = self
-            .links
-            .iter()
-            .min_by_key(|l| l.bandwidth())
-            .expect("path is non-empty");
+        let bottleneck =
+            self.links.iter().min_by_key(|l| l.bandwidth()).expect("path is non-empty");
         latency + bottleneck.serialisation_time(size).mul_f64(1.0 / share)
     }
 }
@@ -122,8 +124,11 @@ impl Topology {
                     .with_loss(0.005),
             ),
             edge_cloud: PathModel::single(
-                LinkModel::new(SimDuration::from_millis(30), Bandwidth::from_megabits_per_sec(1000))
-                    .with_jitter(0.05),
+                LinkModel::new(
+                    SimDuration::from_millis(30),
+                    Bandwidth::from_megabits_per_sec(1000),
+                )
+                .with_jitter(0.05),
             ),
         }
     }
@@ -212,13 +217,20 @@ mod tests {
         let full = p.transfer_time_at_share(size, 1.0, &mut rng());
         let half = p.transfer_time_at_share(size, 0.5, &mut rng());
         assert_eq!(full, SimDuration::from_millis(1010));
-        assert_eq!(half, SimDuration::from_millis(2010), "latency unchanged, serialisation doubled");
+        assert_eq!(
+            half,
+            SimDuration::from_millis(2010),
+            "latency unchanged, serialisation doubled"
+        );
     }
 
     #[test]
     #[should_panic(expected = "share")]
     fn zero_share_panics() {
-        let p = PathModel::single(LinkModel::new(SimDuration::ZERO, Bandwidth::from_megabits_per_sec(1)));
+        let p = PathModel::single(LinkModel::new(
+            SimDuration::ZERO,
+            Bandwidth::from_megabits_per_sec(1),
+        ));
         let _ = p.transfer_time_at_share(DataSize::from_kib(1), 0.0, &mut rng());
     }
 

@@ -30,7 +30,10 @@ pub struct BandwidthTrace {
 impl BandwidthTrace {
     /// A trace that always grants the full nominal bandwidth.
     pub fn constant() -> Self {
-        BandwidthTrace { period: SimDuration::from_hours(24), segments: vec![(SimDuration::ZERO, 1.0)] }
+        BandwidthTrace {
+            period: SimDuration::from_hours(24),
+            segments: vec![(SimDuration::ZERO, 1.0)],
+        }
     }
 
     /// Builds a trace from `(offset, share)` segments repeating every
@@ -45,10 +48,7 @@ impl BandwidthTrace {
         assert_eq!(segments[0].0, SimDuration::ZERO, "first segment must start at zero");
         assert!(segments.windows(2).all(|w| w[0].0 < w[1].0), "segments must be sorted");
         assert!(segments.last().expect("non-empty").0 < period, "segments must fit in the period");
-        assert!(
-            segments.iter().all(|&(_, s)| s > 0.0 && s <= 1.0),
-            "shares must be in (0, 1]"
-        );
+        assert!(segments.iter().all(|&(_, s)| s > 0.0 && s <= 1.0), "shares must be in (0, 1]");
         BandwidthTrace { period, segments }
     }
 
@@ -59,10 +59,10 @@ impl BandwidthTrace {
         BandwidthTrace::new(
             SimDuration::from_hours(24),
             vec![
-                (SimDuration::ZERO, 1.0),            // 00:00 night
-                (SimDuration::from_hours(8), 0.8),   // 08:00 work hours
-                (SimDuration::from_hours(18), 0.5),  // 18:00 evening peak
-                (SimDuration::from_hours(23), 0.9),  // 23:00 wind-down
+                (SimDuration::ZERO, 1.0),           // 00:00 night
+                (SimDuration::from_hours(8), 0.8),  // 08:00 work hours
+                (SimDuration::from_hours(18), 0.5), // 18:00 evening peak
+                (SimDuration::from_hours(23), 0.9), // 23:00 wind-down
             ],
         )
     }
@@ -135,7 +135,11 @@ mod tests {
     fn unsorted_segments_panic() {
         BandwidthTrace::new(
             SimDuration::from_hours(1),
-            vec![(SimDuration::ZERO, 1.0), (SimDuration::from_mins(30), 0.5), (SimDuration::from_mins(10), 0.7)],
+            vec![
+                (SimDuration::ZERO, 1.0),
+                (SimDuration::from_mins(30), 0.5),
+                (SimDuration::from_mins(10), 0.7),
+            ],
         );
     }
 

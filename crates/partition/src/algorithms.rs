@@ -204,9 +204,9 @@ pub struct ChainDpPartitioner;
 impl ChainDpPartitioner {
     /// Whether the DP applies to `ctx`'s graph.
     pub fn is_chain(ctx: &PartitionContext<'_>) -> bool {
-        ctx.graph()
-            .ids()
-            .all(|id| ctx.graph().successors(id).count() <= 1 && ctx.graph().predecessors(id).count() <= 1)
+        ctx.graph().ids().all(|id| {
+            ctx.graph().successors(id).count() <= 1 && ctx.graph().predecessors(id).count() <= 1
+        })
     }
 }
 
@@ -279,7 +279,10 @@ mod tests {
     use crate::context::CostParams;
     use ntc_simcore::rng::RngStream;
     use ntc_simcore::units::DataSize;
-    use ntc_taskgraph::{random_layered_dag, Component, LinearModel, Pinning, RandomDagConfig, TaskGraph, TaskGraphBuilder};
+    use ntc_taskgraph::{
+        random_layered_dag, Component, LinearModel, Pinning, RandomDagConfig, TaskGraph,
+        TaskGraphBuilder,
+    };
 
     fn chain(demands_mega: &[u64], payload_kib: u64) -> TaskGraph {
         let mut b = TaskGraphBuilder::new("chain");
@@ -348,7 +351,8 @@ mod tests {
             let opt = c.evaluate(&ExhaustivePartitioner.partition(&c)).weighted;
             for p in standard_roster() {
                 let plan = p.partition(&c);
-                plan.validate(&g).unwrap_or_else(|e| panic!("{} produced invalid plan: {e}", p.name()));
+                plan.validate(&g)
+                    .unwrap_or_else(|e| panic!("{} produced invalid plan: {e}", p.name()));
                 let cost = c.evaluate(&plan).weighted;
                 assert!(cost >= opt - 1e-6, "{} beat the optimum?! {cost} < {opt}", p.name());
             }
@@ -387,7 +391,9 @@ mod tests {
     fn pinned_components_never_move() {
         let mut b = TaskGraphBuilder::new("pins");
         let a = b.add_component(
-            Component::new("a").with_pinning(Pinning::Device).with_demand(LinearModel::constant(1e12)),
+            Component::new("a")
+                .with_pinning(Pinning::Device)
+                .with_demand(LinearModel::constant(1e12)),
         );
         let w = b.add_component(Component::new("w").with_demand(LinearModel::constant(1e12)));
         b.add_flow(a, w, LinearModel::ZERO);

@@ -9,7 +9,9 @@
 //! provably optimal for exactly this objective; the evaluation here uses
 //! the very same terms so that claim is testable.
 
-use ntc_simcore::units::{Bandwidth, ClockSpeed, Cycles, DataSize, Energy, Money, Power, SimDuration};
+use ntc_simcore::units::{
+    Bandwidth, ClockSpeed, Cycles, DataSize, Energy, Money, Power, SimDuration,
+};
 use ntc_taskgraph::{ComponentId, TaskGraph};
 use serde::{Deserialize, Serialize};
 
@@ -189,7 +191,8 @@ impl<'a> PartitionContext<'a> {
             return f64::INFINITY;
         }
         let t = self.params.cloud_speed.execution_time(self.demand(id));
-        let money = self.params.cloud_money_per_sec.mul_f64(t.as_secs_f64()) + self.params.money_per_request;
+        let money = self.params.cloud_money_per_sec.mul_f64(t.as_secs_f64())
+            + self.params.money_per_request;
         self.params.weights.per_us * t.as_micros() as f64
             + self.params.weights.per_nano_usd * money.as_nano_usd() as f64
     }
@@ -245,7 +248,16 @@ impl<'a> PartitionContext<'a> {
         let weighted = w.per_us * (device_time + cloud_time + transfer_time).as_micros() as f64
             + w.per_nano_usd * money.as_nano_usd() as f64
             + w.per_uj * (energy.as_nanojoules() as f64 / 1e3);
-        PlanCost { device_time, cloud_time, transfer_time, money, energy, bytes_moved, makespan, weighted }
+        PlanCost {
+            device_time,
+            cloud_time,
+            transfer_time,
+            money,
+            energy,
+            bytes_moved,
+            makespan,
+            weighted,
+        }
     }
 
     /// The critical-path completion time of one job under `plan`:
@@ -283,7 +295,9 @@ mod tests {
     fn graph() -> TaskGraph {
         let mut b = TaskGraphBuilder::new("g");
         let a = b.add_component(
-            Component::new("capture").with_pinning(Pinning::Device).with_demand(LinearModel::constant(1e8)),
+            Component::new("capture")
+                .with_pinning(Pinning::Device)
+                .with_demand(LinearModel::constant(1e8)),
         );
         let w = b.add_component(Component::new("work").with_demand(LinearModel::constant(3e9)));
         b.add_flow(a, w, LinearModel::constant(1_000_000.0));

@@ -40,8 +40,8 @@ pub mod context;
 pub mod plan;
 
 pub use algorithms::{
-    standard_roster, ChainDpPartitioner, ExhaustivePartitioner, FullOffload, GreedyPartitioner, KeepLocal,
-    MinCutPartitioner, Partitioner,
+    standard_roster, ChainDpPartitioner, ExhaustivePartitioner, FullOffload, GreedyPartitioner,
+    KeepLocal, MinCutPartitioner, Partitioner,
 };
 pub use context::{CostParams, CostWeights, PartitionContext, PlanCost};
 pub use plan::{PartitionPlan, PlanError, Side};

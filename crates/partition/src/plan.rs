@@ -44,7 +44,9 @@ impl fmt::Display for PlanError {
             PlanError::LengthMismatch { plan, graph } => {
                 write!(f, "plan covers {plan} components but graph has {graph}")
             }
-            PlanError::PinnedOffloaded(id) => write!(f, "device-pinned component {id} assigned to cloud"),
+            PlanError::PinnedOffloaded(id) => {
+                write!(f, "device-pinned component {id} assigned to cloud")
+            }
         }
     }
 }
@@ -136,7 +138,10 @@ impl PartitionPlan {
     }
 
     /// Flows of `graph` that cross the device/cloud boundary.
-    pub fn cut_flows<'a>(&'a self, graph: &'a TaskGraph) -> impl Iterator<Item = &'a DataFlow> + 'a {
+    pub fn cut_flows<'a>(
+        &'a self,
+        graph: &'a TaskGraph,
+    ) -> impl Iterator<Item = &'a DataFlow> + 'a {
         graph.flows().iter().filter(move |f| self.side(f.from) != self.side(f.to))
     }
 
@@ -148,7 +153,10 @@ impl PartitionPlan {
     /// Returns [`PlanError`] describing the first violation found.
     pub fn validate(&self, graph: &TaskGraph) -> Result<(), PlanError> {
         if self.assignment.len() != graph.len() {
-            return Err(PlanError::LengthMismatch { plan: self.assignment.len(), graph: graph.len() });
+            return Err(PlanError::LengthMismatch {
+                plan: self.assignment.len(),
+                graph: graph.len(),
+            });
         }
         for (id, c) in graph.components() {
             if !c.is_offloadable() && self.side(id) == Side::Cloud {
@@ -200,7 +208,10 @@ mod tests {
     fn validation_catches_pinned_offload() {
         let g = graph();
         let bad = PartitionPlan::new(vec![Side::Cloud, Side::Device, Side::Device]);
-        assert_eq!(bad.validate(&g).unwrap_err(), PlanError::PinnedOffloaded(ComponentId::from_index(0)));
+        assert_eq!(
+            bad.validate(&g).unwrap_err(),
+            PlanError::PinnedOffloaded(ComponentId::from_index(0))
+        );
     }
 
     #[test]

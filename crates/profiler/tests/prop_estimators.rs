@@ -3,7 +3,8 @@
 use proptest::prelude::*;
 
 use ntc_profiler::estimator::{
-    DemandEstimator, EwmaEstimator, HybridEstimator, Observation, QuantileEstimator, RegressionEstimator,
+    DemandEstimator, EwmaEstimator, HybridEstimator, Observation, QuantileEstimator,
+    RegressionEstimator,
 };
 use ntc_profiler::EstimatorKind;
 use ntc_simcore::units::{Cycles, DataSize};

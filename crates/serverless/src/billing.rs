@@ -113,8 +113,14 @@ mod tests {
     #[test]
     fn free_tier_costs_nothing() {
         let b = BillingModel::free();
-        assert_eq!(b.invocation_cost(DataSize::from_gib(8), SimDuration::from_hours(1)), Money::ZERO);
-        assert_eq!(b.provisioned_cost(DataSize::from_gib(8), SimDuration::from_hours(1)), Money::ZERO);
+        assert_eq!(
+            b.invocation_cost(DataSize::from_gib(8), SimDuration::from_hours(1)),
+            Money::ZERO
+        );
+        assert_eq!(
+            b.provisioned_cost(DataSize::from_gib(8), SimDuration::from_hours(1)),
+            Money::ZERO
+        );
     }
 
     #[test]

@@ -138,7 +138,10 @@ mod tests {
     #[test]
     fn keep_alive_ttls() {
         assert_eq!(KeepAlive::None.idle_ttl(), SimDuration::ZERO);
-        assert_eq!(KeepAlive::Fixed(SimDuration::from_mins(5)).idle_ttl(), SimDuration::from_mins(5));
+        assert_eq!(
+            KeepAlive::Fixed(SimDuration::from_mins(5)).idle_ttl(),
+            SimDuration::from_mins(5)
+        );
         assert_eq!(KeepAlive::default().idle_ttl(), SimDuration::from_mins(10));
     }
 }

@@ -76,7 +76,9 @@ impl fmt::Display for InvokeError {
             InvokeError::OutOfOrder { submitted, latest } => {
                 write!(f, "invocation at {submitted} precedes already-processed {latest}")
             }
-            InvokeError::CapacityExhausted => write!(f, "region concurrency exhausted with no queue target"),
+            InvokeError::CapacityExhausted => {
+                write!(f, "region concurrency exhausted with no queue target")
+            }
         }
     }
 }
@@ -313,7 +315,12 @@ impl ServerlessPlatform {
     /// Returns [`InvokeError`] if the function is unknown, `at` precedes an
     /// already processed invocation, or region capacity is exhausted with
     /// nothing to queue on.
-    pub fn invoke(&mut self, at: SimTime, id: FunctionId, work: Cycles) -> Result<InvocationOutcome, InvokeError> {
+    pub fn invoke(
+        &mut self,
+        at: SimTime,
+        id: FunctionId,
+        work: Cycles,
+    ) -> Result<InvocationOutcome, InvokeError> {
         if id.index() >= self.functions.len() {
             return Err(InvokeError::UnknownFunction(id));
         }
@@ -324,9 +331,7 @@ impl ServerlessPlatform {
         let ttl = self.config.keep_alive.idle_ttl();
 
         // Reap idle instances whose keep-alive lapsed before `at`.
-        self.functions[id.index()]
-            .instances
-            .retain(|i| i.provisioned || i.busy_until + ttl >= at);
+        self.functions[id.index()].instances.retain(|i| i.provisioned || i.busy_until + ttl >= at);
 
         let (memory, timeout, concurrency_limit, artifact) = {
             let c = &self.functions[id.index()].config;
@@ -468,7 +473,8 @@ mod tests {
     #[test]
     fn concurrency_limit_queues() {
         let mut p = no_jitter_platform();
-        let f = p.register(FunctionConfig::new("f", DataSize::from_mib(1769)).with_concurrency_limit(2));
+        let f = p
+            .register(FunctionConfig::new("f", DataSize::from_mib(1769)).with_concurrency_limit(2));
         let a = p.invoke(SimTime::ZERO, f, Cycles::from_giga(25)).unwrap(); // 10 s at 2.5 GHz
         let _b = p.invoke(SimTime::ZERO, f, Cycles::from_giga(25)).unwrap();
         let c = p.invoke(SimTime::from_secs(1), f, Cycles::from_giga(25)).unwrap();
@@ -482,7 +488,8 @@ mod tests {
     fn timeout_truncates_and_flags() {
         let mut p = platform();
         let f = p.register(
-            FunctionConfig::new("f", DataSize::from_mib(1769)).with_timeout(SimDuration::from_secs(1)),
+            FunctionConfig::new("f", DataSize::from_mib(1769))
+                .with_timeout(SimDuration::from_secs(1)),
         );
         // 25 Gcyc at 2.5 GHz = 10 s > 1 s timeout.
         let out = p.invoke(SimTime::ZERO, f, Cycles::from_giga(25)).unwrap();
@@ -560,8 +567,7 @@ mod tests {
 
     #[test]
     fn scale_burst_throttles_beyond_the_allowance() {
-        let mut cfg =
-            PlatformConfig { scale_burst: 3, scale_per_minute: 60, ..Default::default() };
+        let mut cfg = PlatformConfig { scale_burst: 3, scale_per_minute: 60, ..Default::default() };
         cfg.cold_start.jitter_sigma = 0.0;
         let mut p = ServerlessPlatform::new(cfg, RngStream::root(9));
         let f = p.register(FunctionConfig::new("f", DataSize::from_mib(1769)));

@@ -3,7 +3,9 @@
 
 use proptest::prelude::*;
 
-use ntc_serverless::{BillingModel, ColdStartModel, FunctionConfig, KeepAlive, PlatformConfig, ServerlessPlatform};
+use ntc_serverless::{
+    BillingModel, ColdStartModel, FunctionConfig, KeepAlive, PlatformConfig, ServerlessPlatform,
+};
 use ntc_simcore::rng::RngStream;
 use ntc_simcore::units::{Cycles, DataSize, Money, SimDuration, SimTime};
 

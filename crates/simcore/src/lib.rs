@@ -67,6 +67,8 @@ pub mod timeseries;
 pub mod units;
 
 pub use event::{EventQueue, Simulator};
-pub use timeseries::TimeSeries;
 pub use rng::RngStream;
-pub use units::{Bandwidth, ClockSpeed, Cycles, DataSize, Energy, Money, Power, SimDuration, SimTime};
+pub use timeseries::TimeSeries;
+pub use units::{
+    Bandwidth, ClockSpeed, Cycles, DataSize, Energy, Money, Power, SimDuration, SimTime,
+};

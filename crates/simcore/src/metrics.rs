@@ -46,8 +46,8 @@ impl fmt::Display for Counter {
 
 const SUB_BUCKET_BITS: u32 = 5;
 const SUB_BUCKETS: u64 = 1 << SUB_BUCKET_BITS; // 32 sub-buckets per magnitude
-// Shifts range over 0..=58 (64-bit values normalised into [32, 64)), so the
-// largest index is 32*58 + 63 = 1919.
+                                               // Shifts range over 0..=58 (64-bit values normalised into [32, 64)), so the
+                                               // largest index is 32*58 + 63 = 1919.
 const BUCKET_COUNT: usize = 1920;
 
 /// A fixed-memory log-linear histogram over `u64` values.
@@ -86,13 +86,7 @@ impl Default for Histogram {
 impl Histogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
-        Histogram {
-            counts: vec![0; BUCKET_COUNT],
-            total: 0,
-            sum: 0,
-            min: u64::MAX,
-            max: 0,
-        }
+        Histogram { counts: vec![0; BUCKET_COUNT], total: 0, sum: 0, min: u64::MAX, max: 0 }
     }
 
     // Values below 32 index directly. Otherwise the value is normalised by a
@@ -231,7 +225,13 @@ pub struct TimeWeightedGauge {
 impl TimeWeightedGauge {
     /// Creates a gauge holding `initial` from instant `start`.
     pub fn new(start: SimTime, initial: f64) -> Self {
-        TimeWeightedGauge { value: initial, last_change: start, weighted_sum: 0.0, origin: start, peak: initial }
+        TimeWeightedGauge {
+            value: initial,
+            last_change: start,
+            weighted_sum: 0.0,
+            origin: start,
+            peak: initial,
+        }
     }
 
     /// Sets the gauge to `value` at instant `now`.

@@ -60,7 +60,10 @@ impl RngStream {
     /// Creates the root stream of a seed tree.
     pub fn root(master_seed: u64) -> Self {
         let derivation_seed = splitmix64(master_seed);
-        RngStream { rng: StdRng::seed_from_u64(splitmix64(derivation_seed ^ 0x5eed)), derivation_seed }
+        RngStream {
+            rng: StdRng::seed_from_u64(splitmix64(derivation_seed ^ 0x5eed)),
+            derivation_seed,
+        }
     }
 
     /// Derives an independent child stream addressed by `label`.
@@ -68,7 +71,10 @@ impl RngStream {
     /// The same `(parent, label)` pair always yields the same stream.
     pub fn derive(&self, label: &str) -> RngStream {
         let child_seed = splitmix64(fnv1a(self.derivation_seed, label.as_bytes()));
-        RngStream { rng: StdRng::seed_from_u64(splitmix64(child_seed ^ 0x5eed)), derivation_seed: child_seed }
+        RngStream {
+            rng: StdRng::seed_from_u64(splitmix64(child_seed ^ 0x5eed)),
+            derivation_seed: child_seed,
+        }
     }
 
     /// Derives an independent child stream addressed by a numeric index.
@@ -189,7 +195,10 @@ mod tests {
 
     #[test]
     fn different_master_seeds_differ() {
-        assert_ne!(RngStream::root(1).derive("a").next_u64(), RngStream::root(2).derive("a").next_u64());
+        assert_ne!(
+            RngStream::root(1).derive("a").next_u64(),
+            RngStream::root(2).derive("a").next_u64()
+        );
     }
 
     #[test]

@@ -75,7 +75,9 @@ macro_rules! impl_scalar_ops {
 /// `SimTime` is an *instant*; the difference between two instants is a
 /// [`SimDuration`]. Instants are totally ordered and integer-backed, so they
 /// are safe to use as event-queue keys.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 impl SimTime {
@@ -157,7 +159,9 @@ impl fmt::Display for SimTime {
 }
 
 /// A span of simulated time in microseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimDuration {
@@ -282,7 +286,9 @@ impl fmt::Display for SimDuration {
 }
 
 /// A size of data in bytes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct DataSize(u64);
 
 impl DataSize {
@@ -353,7 +359,9 @@ impl fmt::Display for DataSize {
 }
 
 /// A data-transfer rate in bytes per second.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Bandwidth(u64);
 
 impl Bandwidth {
@@ -408,7 +416,9 @@ impl fmt::Display for Bandwidth {
 /// A quantity of CPU work, measured in cycles.
 ///
 /// Dividing by a [`ClockSpeed`] yields the execution time on that CPU.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Cycles(u64);
 
 impl Cycles {
@@ -472,7 +482,9 @@ impl fmt::Display for Cycles {
 }
 
 /// A CPU execution speed in cycles per second (hertz).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct ClockSpeed(u64);
 
 impl ClockSpeed {
@@ -536,7 +548,9 @@ impl fmt::Display for ClockSpeed {
 /// nano-dollar base unit keeps serverless per-GB-second rates
 /// (≈ $0.0000166667) exact enough for billions of invocations while still
 /// covering ±9.2 billion dollars.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Money(i64);
 
 impl Money {
@@ -650,7 +664,9 @@ impl fmt::Display for Money {
 ///
 /// One nanojoule is one milliwatt sustained for one microsecond, so
 /// `Power(mW) × SimDuration(µs)` lands exactly on this unit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Energy(u64);
 
 impl Energy {
@@ -699,7 +715,9 @@ impl fmt::Display for Energy {
 }
 
 /// An electrical power draw in milliwatts.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Power(u64);
 
 impl Power {
@@ -775,7 +793,10 @@ mod tests {
         assert_eq!(bw.transfer_time(DataSize::from_bytes(1)).as_micros(), 1);
         assert_eq!(bw.transfer_time(DataSize::from_bytes(1_000_000)).as_secs(), 1);
         assert_eq!(bw.transfer_time(DataSize::ZERO), SimDuration::ZERO);
-        assert_eq!(Bandwidth::from_bytes_per_sec(0).transfer_time(DataSize::from_kib(1)), SimDuration::MAX);
+        assert_eq!(
+            Bandwidth::from_bytes_per_sec(0).transfer_time(DataSize::from_kib(1)),
+            SimDuration::MAX
+        );
     }
 
     #[test]

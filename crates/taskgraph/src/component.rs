@@ -213,7 +213,9 @@ impl Component {
             self.demand.eval_cycles(sum_input)
         } else {
             let per_byte = self.demand.per_input_byte * sum_input.as_bytes() as f64;
-            Cycles::new((self.demand.fixed.max(0.0) * members as f64 + per_byte.max(0.0)).round() as u64)
+            Cycles::new(
+                (self.demand.fixed.max(0.0) * members as f64 + per_byte.max(0.0)).round() as u64
+            )
         }
     }
 }
@@ -263,10 +265,7 @@ mod tests {
         let n = solo.batch_demand_cycles(5, sum).get();
         assert_eq!(n - s, 4_000_000_000, "four extra fixed parts");
         // A single-member batch is just the job itself.
-        assert_eq!(
-            solo.batch_demand_cycles(1, sum),
-            solo.demand_cycles(sum)
-        );
+        assert_eq!(solo.batch_demand_cycles(1, sum), solo.demand_cycles(sum));
     }
 
     #[test]

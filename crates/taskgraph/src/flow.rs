@@ -96,7 +96,14 @@ impl FlowNetwork {
         }
     }
 
-    fn dfs_augment(&mut self, u: usize, t: usize, pushed: u64, level: &[i32], it: &mut [usize]) -> u64 {
+    fn dfs_augment(
+        &mut self,
+        u: usize,
+        t: usize,
+        pushed: u64,
+        level: &[i32],
+        it: &mut [usize],
+    ) -> u64 {
         if u == t {
             return pushed;
         }

@@ -89,7 +89,8 @@ pub fn random_layered_dag(rng: &mut RngStream, config: &RandomDagConfig) -> Task
     // without an outbound edge (except the last layer) gets one forward.
     for j in 0..config.nodes {
         if layer_of[j] > 0 && !has_in[j] {
-            let prev: Vec<usize> = (0..config.nodes).filter(|&i| layer_of[i] == layer_of[j] - 1).collect();
+            let prev: Vec<usize> =
+                (0..config.nodes).filter(|&i| layer_of[i] == layer_of[j] - 1).collect();
             let i = *rng.choose(&prev).expect("previous layer is non-empty");
             edges.push((i, j));
             has_out[i] = true;
@@ -98,7 +99,8 @@ pub fn random_layered_dag(rng: &mut RngStream, config: &RandomDagConfig) -> Task
     }
     for i in 0..config.nodes {
         if layer_of[i] < config.layers - 1 && !has_out[i] {
-            let next: Vec<usize> = (0..config.nodes).filter(|&j| layer_of[j] == layer_of[i] + 1).collect();
+            let next: Vec<usize> =
+                (0..config.nodes).filter(|&j| layer_of[j] == layer_of[i] + 1).collect();
             let j = *rng.choose(&next).expect("next layer is non-empty");
             edges.push((i, j));
             has_out[i] = true;
@@ -149,7 +151,8 @@ mod tests {
     #[test]
     fn every_non_entry_node_is_reachable() {
         let mut rng = RngStream::root(11).derive("dag");
-        let cfg = RandomDagConfig { nodes: 20, layers: 5, edge_probability: 0.3, ..Default::default() };
+        let cfg =
+            RandomDagConfig { nodes: 20, layers: 5, edge_probability: 0.3, ..Default::default() };
         let g = random_layered_dag(&mut rng, &cfg);
         for id in g.ids() {
             let has_pred = g.predecessors(id).next().is_some();

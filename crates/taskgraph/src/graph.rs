@@ -92,7 +92,12 @@ impl TaskGraphBuilder {
     }
 
     /// Adds a data flow from `from` to `to` with the given payload model.
-    pub fn add_flow(&mut self, from: ComponentId, to: ComponentId, payload: LinearModel) -> &mut Self {
+    pub fn add_flow(
+        &mut self,
+        from: ComponentId,
+        to: ComponentId,
+        payload: LinearModel,
+    ) -> &mut Self {
         self.flows.push(DataFlow { from, to, payload });
         self
     }

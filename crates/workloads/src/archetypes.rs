@@ -165,7 +165,9 @@ fn photo_pipeline() -> TaskGraph {
             .with_artifact_size(DataSize::from_mib(8)),
     );
     let publish = b.add_component(
-        Component::new("publish").with_demand(LinearModel::constant(2e7)).with_artifact_size(DataSize::from_mib(3)),
+        Component::new("publish")
+            .with_demand(LinearModel::constant(2e7))
+            .with_artifact_size(DataSize::from_mib(3)),
     );
     b.add_flow(capture, enhance, LinearModel::scaling(0.0, 1.0)); // full image
     b.add_flow(enhance, thumbnail, LinearModel::scaling(0.0, 1.1)); // enhanced image
@@ -177,10 +179,14 @@ fn photo_pipeline() -> TaskGraph {
 fn video_transcode() -> TaskGraph {
     let mut b = TaskGraphBuilder::new("video-transcode");
     let ingest = b.add_component(
-        Component::new("ingest").with_pinning(Pinning::Device).with_demand(LinearModel::scaling(1e8, 2.0)),
+        Component::new("ingest")
+            .with_pinning(Pinning::Device)
+            .with_demand(LinearModel::scaling(1e8, 2.0)),
     );
     let demux = b.add_component(
-        Component::new("demux").with_demand(LinearModel::scaling(2e8, 15.0)).with_artifact_size(DataSize::from_mib(12)),
+        Component::new("demux")
+            .with_demand(LinearModel::scaling(2e8, 15.0))
+            .with_artifact_size(DataSize::from_mib(12)),
     );
     let transcode = b.add_component(
         Component::new("transcode")
@@ -200,7 +206,9 @@ fn video_transcode() -> TaskGraph {
 fn report_rendering() -> TaskGraph {
     let mut b = TaskGraphBuilder::new("report-rendering");
     let trigger = b.add_component(
-        Component::new("trigger").with_pinning(Pinning::Device).with_demand(LinearModel::constant(1e6)),
+        Component::new("trigger")
+            .with_pinning(Pinning::Device)
+            .with_demand(LinearModel::constant(1e6)),
     );
     let aggregate = b.add_component(
         Component::new("aggregate")
@@ -214,7 +222,8 @@ fn report_rendering() -> TaskGraph {
             .with_memory(DataSize::from_mib(1536))
             .with_artifact_size(DataSize::from_mib(40)),
     );
-    let distribute = b.add_component(Component::new("distribute").with_demand(LinearModel::constant(1e8)));
+    let distribute =
+        b.add_component(Component::new("distribute").with_demand(LinearModel::constant(1e8)));
     b.add_flow(trigger, aggregate, LinearModel::constant(4_096.0));
     b.add_flow(aggregate, render, LinearModel::scaling(100_000.0, 0.3));
     b.add_flow(render, distribute, LinearModel::scaling(500_000.0, 0.05));
@@ -224,10 +233,14 @@ fn report_rendering() -> TaskGraph {
 fn ml_inference() -> TaskGraph {
     let mut b = TaskGraphBuilder::new("ml-inference");
     let collect = b.add_component(
-        Component::new("collect").with_pinning(Pinning::Device).with_demand(LinearModel::constant(2e7)),
+        Component::new("collect")
+            .with_pinning(Pinning::Device)
+            .with_demand(LinearModel::constant(2e7)),
     );
     let preprocess = b.add_component(
-        Component::new("preprocess").with_demand(LinearModel::scaling(5e7, 100.0)).with_artifact_size(DataSize::from_mib(15)),
+        Component::new("preprocess")
+            .with_demand(LinearModel::scaling(5e7, 100.0))
+            .with_artifact_size(DataSize::from_mib(15)),
     );
     let infer = b.add_component(
         Component::new("infer")
@@ -235,7 +248,8 @@ fn ml_inference() -> TaskGraph {
             .with_memory(DataSize::from_mib(3072))
             .with_artifact_size(DataSize::from_mib(250)), // model weights
     );
-    let postprocess = b.add_component(Component::new("postprocess").with_demand(LinearModel::constant(3e7)));
+    let postprocess =
+        b.add_component(Component::new("postprocess").with_demand(LinearModel::constant(3e7)));
     b.add_flow(collect, preprocess, LinearModel::scaling(0.0, 1.0));
     b.add_flow(preprocess, infer, LinearModel::scaling(0.0, 0.5));
     b.add_flow(infer, postprocess, LinearModel::constant(10_000.0));
@@ -245,7 +259,9 @@ fn ml_inference() -> TaskGraph {
 fn sci_sweep() -> TaskGraph {
     let mut b = TaskGraphBuilder::new("sci-sweep");
     let setup = b.add_component(
-        Component::new("setup").with_pinning(Pinning::Device).with_demand(LinearModel::constant(5e7)),
+        Component::new("setup")
+            .with_pinning(Pinning::Device)
+            .with_demand(LinearModel::constant(5e7)),
     );
     let simulate = b.add_component(
         Component::new("simulate")
@@ -257,7 +273,8 @@ fn sci_sweep() -> TaskGraph {
     let analyse = b.add_component(
         Component::new("analyse").with_demand(LinearModel::constant(2e9)).with_batchable(false),
     );
-    let archive = b.add_component(Component::new("archive").with_demand(LinearModel::constant(1e7)));
+    let archive =
+        b.add_component(Component::new("archive").with_demand(LinearModel::constant(1e7)));
     b.add_flow(setup, simulate, LinearModel::constant(65_536.0));
     b.add_flow(simulate, analyse, LinearModel::constant(10_000_000.0));
     b.add_flow(analyse, archive, LinearModel::constant(1_000_000.0));
@@ -267,15 +284,22 @@ fn sci_sweep() -> TaskGraph {
 fn log_analytics() -> TaskGraph {
     let mut b = TaskGraphBuilder::new("log-analytics");
     let collect = b.add_component(
-        Component::new("collect").with_pinning(Pinning::Device).with_demand(LinearModel::scaling(1e7, 1.0)),
+        Component::new("collect")
+            .with_pinning(Pinning::Device)
+            .with_demand(LinearModel::scaling(1e7, 1.0)),
     );
     let parse = b.add_component(
-        Component::new("parse").with_demand(LinearModel::scaling(1e8, 250.0)).with_artifact_size(DataSize::from_mib(10)),
+        Component::new("parse")
+            .with_demand(LinearModel::scaling(1e8, 250.0))
+            .with_artifact_size(DataSize::from_mib(10)),
     );
     let aggregate = b.add_component(
-        Component::new("aggregate").with_demand(LinearModel::scaling(2e8, 80.0)).with_memory(DataSize::from_mib(1024)),
+        Component::new("aggregate")
+            .with_demand(LinearModel::scaling(2e8, 80.0))
+            .with_memory(DataSize::from_mib(1024)),
     );
-    let index = b.add_component(Component::new("index").with_demand(LinearModel::scaling(1e8, 40.0)));
+    let index =
+        b.add_component(Component::new("index").with_demand(LinearModel::scaling(1e8, 40.0)));
     b.add_flow(collect, parse, LinearModel::scaling(0.0, 0.3)); // compressed upload
     b.add_flow(parse, aggregate, LinearModel::scaling(0.0, 0.4));
     b.add_flow(aggregate, index, LinearModel::scaling(0.0, 0.05));
@@ -285,17 +309,24 @@ fn log_analytics() -> TaskGraph {
 fn doc_indexing() -> TaskGraph {
     let mut b = TaskGraphBuilder::new("doc-indexing");
     let scan = b.add_component(
-        Component::new("scan").with_pinning(Pinning::Device).with_demand(LinearModel::scaling(1e6, 2.0)),
+        Component::new("scan")
+            .with_pinning(Pinning::Device)
+            .with_demand(LinearModel::scaling(1e6, 2.0)),
     );
     // Per-byte demand (~15 + 10 cyc/B) sits well below the WAN transfer
     // breakeven: shipping the corpus costs more than indexing it locally.
     let extract = b.add_component(
-        Component::new("extract").with_demand(LinearModel::scaling(5e6, 15.0)).with_artifact_size(DataSize::from_mib(6)),
+        Component::new("extract")
+            .with_demand(LinearModel::scaling(5e6, 15.0))
+            .with_artifact_size(DataSize::from_mib(6)),
     );
     let build = b.add_component(
-        Component::new("build-index").with_demand(LinearModel::scaling(5e6, 10.0)).with_memory(DataSize::from_mib(256)),
+        Component::new("build-index")
+            .with_demand(LinearModel::scaling(5e6, 10.0))
+            .with_memory(DataSize::from_mib(256)),
     );
-    let publish = b.add_component(Component::new("publish-index").with_demand(LinearModel::constant(5e6)));
+    let publish =
+        b.add_component(Component::new("publish-index").with_demand(LinearModel::constant(5e6)));
     b.add_flow(scan, extract, LinearModel::scaling(0.0, 1.0)); // the corpus
     b.add_flow(extract, build, LinearModel::scaling(0.0, 0.9));
     b.add_flow(build, publish, LinearModel::scaling(10_000.0, 0.01)); // the index

@@ -54,7 +54,12 @@ impl ArrivalProcess {
             ArrivalProcess::Diurnal { peak_rate_per_sec, hourly_profile } => {
                 peak_rate_per_sec * hourly_profile.iter().sum::<f64>() / 24.0
             }
-            ArrivalProcess::Bursty { calm_rate_per_sec, burst_rate_per_sec, mean_calm, mean_burst } => {
+            ArrivalProcess::Bursty {
+                calm_rate_per_sec,
+                burst_rate_per_sec,
+                mean_calm,
+                mean_burst,
+            } => {
                 let c = mean_calm.as_secs_f64();
                 let b = mean_burst.as_secs_f64();
                 (calm_rate_per_sec * c + burst_rate_per_sec * b) / (c + b)
@@ -70,18 +75,21 @@ impl ArrivalProcess {
             ArrivalProcess::Poisson { rate_per_sec } => {
                 poisson_thinned(horizon, *rate_per_sec, |_| 1.0, rng)
             }
-            ArrivalProcess::Diurnal { peak_rate_per_sec, hourly_profile } => {
-                poisson_thinned(
-                    horizon,
-                    *peak_rate_per_sec,
-                    |t| {
-                        let hour = (t.as_micros() / 3_600_000_000) % 24;
-                        hourly_profile[hour as usize]
-                    },
-                    rng,
-                )
-            }
-            ArrivalProcess::Bursty { calm_rate_per_sec, burst_rate_per_sec, mean_calm, mean_burst } => {
+            ArrivalProcess::Diurnal { peak_rate_per_sec, hourly_profile } => poisson_thinned(
+                horizon,
+                *peak_rate_per_sec,
+                |t| {
+                    let hour = (t.as_micros() / 3_600_000_000) % 24;
+                    hourly_profile[hour as usize]
+                },
+                rng,
+            ),
+            ArrivalProcess::Bursty {
+                calm_rate_per_sec,
+                burst_rate_per_sec,
+                mean_calm,
+                mean_burst,
+            } => {
                 // Pre-compute state intervals, then thin at the max rate.
                 let max_rate = calm_rate_per_sec.max(*burst_rate_per_sec);
                 if max_rate <= 0.0 {
@@ -170,7 +178,9 @@ mod tests {
         let count_in = |from: u64, to: u64| {
             arrivals
                 .iter()
-                .filter(|t| t.as_micros() >= from * 3_600_000_000 && t.as_micros() < to * 3_600_000_000)
+                .filter(|t| {
+                    t.as_micros() >= from * 3_600_000_000 && t.as_micros() < to * 3_600_000_000
+                })
                 .count()
         };
         let night = count_in(1, 4);
@@ -199,8 +209,7 @@ mod tests {
         let expected = p.mean_rate();
         assert!((empirical - expected).abs() / expected < 0.3, "{empirical} vs {expected}");
         // Burstiness: squared-CV of inter-arrivals well above Poisson's 1.
-        let gaps: Vec<f64> =
-            arrivals.windows(2).map(|w| (w[1] - w[0]).as_secs_f64()).collect();
+        let gaps: Vec<f64> = arrivals.windows(2).map(|w| (w[1] - w[0]).as_secs_f64()).collect();
         let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
         let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
         let cv2 = var / (mean * mean);

@@ -45,7 +45,11 @@ pub struct StreamSpec {
 impl StreamSpec {
     /// A spec with Poisson arrivals at `rate_per_sec` and typical slack.
     pub fn poisson(archetype: Archetype, rate_per_sec: f64) -> Self {
-        StreamSpec { archetype, arrivals: ArrivalProcess::Poisson { rate_per_sec }, slack_factor: 1.0 }
+        StreamSpec {
+            archetype,
+            arrivals: ArrivalProcess::Poisson { rate_per_sec },
+            slack_factor: 1.0,
+        }
     }
 
     /// A spec with office-hours diurnal arrivals peaking at
@@ -153,9 +157,8 @@ mod tests {
         let rng = RngStream::root(9);
         let jt = generate_jobs(&tight, SimDuration::from_hours(4), &rng);
         let jl = generate_jobs(&loose, SimDuration::from_hours(4), &rng);
-        let mean = |js: &[Job]| {
-            js.iter().map(|j| j.slack.as_secs_f64()).sum::<f64>() / js.len() as f64
-        };
+        let mean =
+            |js: &[Job]| js.iter().map(|j| j.slack.as_secs_f64()).sum::<f64>() / js.len() as f64;
         assert!(mean(&jl) > mean(&jt) * 5.0);
     }
 

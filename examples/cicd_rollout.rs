@@ -45,7 +45,10 @@ fn main() {
             }
             Outcome::Failed { stage } => println!("  => FAILED at {stage}\n"),
         }
-        assert!(report.stage(Stage::Partition).is_some(), "offload stages are part of the pipeline");
+        assert!(
+            report.stage(Stage::Partition).is_some(),
+            "offload stages are part of the pipeline"
+        );
     }
 
     println!(

@@ -23,10 +23,7 @@ fn main() {
     let specs = [StreamSpec::poisson(Archetype::PhotoPipeline, 0.02)];
     let horizon = SimDuration::from_hours(24);
 
-    println!(
-        "{:<11} {:>6} {:>10} {:>10} {:>7}",
-        "policy", "jobs", "p50 (s)", "p95 (s)", "miss"
-    );
+    println!("{:<11} {:>6} {:>10} {:>10} {:>7}", "policy", "jobs", "p50 (s)", "p95 (s)", "miss");
     for policy in [OffloadPolicy::LocalOnly, OffloadPolicy::CloudAll, OffloadPolicy::ntc()] {
         let r = engine.run(&policy, &specs, horizon);
         let s = r.latency_summary().expect("jobs ran");

@@ -22,7 +22,8 @@ fn main() {
         "slack", "jobs", "batched $", "eager $", "saving", "mean hold", "misses"
     );
     for factor in [0.125, 0.25, 0.5, 1.0] {
-        let specs = [StreamSpec::poisson(Archetype::ReportRendering, 0.008).with_slack_factor(factor)];
+        let specs =
+            [StreamSpec::poisson(Archetype::ReportRendering, 0.008).with_slack_factor(factor)];
         let batched = engine.run(&OffloadPolicy::ntc(), &specs, horizon);
         let eager = engine.run(
             &OffloadPolicy::Ntc(NtcConfig { use_batching: false, ..Default::default() }),
@@ -31,12 +32,9 @@ fn main() {
         );
         let cb = batched.total_cost().as_usd_f64();
         let ce = eager.total_cost().as_usd_f64();
-        let hold: f64 = batched
-            .jobs
-            .iter()
-            .map(|j| (j.dispatched - j.arrival).as_secs_f64())
-            .sum::<f64>()
-            / batched.jobs.len().max(1) as f64;
+        let hold: f64 =
+            batched.jobs.iter().map(|j| (j.dispatched - j.arrival).as_secs_f64()).sum::<f64>()
+                / batched.jobs.len().max(1) as f64;
         println!(
             "{:>7.1}h {:>6} {:>12.4} {:>12.4} {:>8.1}% {:>10.1}m {:>8}",
             8.0 * factor,

@@ -21,11 +21,7 @@ fn main() {
 
     println!("policy      jobs   p50        p95        miss   cloud $    device energy");
     println!("--------------------------------------------------------------------------");
-    for policy in [
-        OffloadPolicy::LocalOnly,
-        OffloadPolicy::CloudAll,
-        OffloadPolicy::ntc(),
-    ] {
+    for policy in [OffloadPolicy::LocalOnly, OffloadPolicy::CloudAll, OffloadPolicy::ntc()] {
         let result = engine.run(&policy, &specs, horizon);
         let s = result.latency_summary().expect("jobs ran");
         println!(

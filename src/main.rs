@@ -88,7 +88,10 @@ fn print_run(policy: &OffloadPolicy, r: &ntc_core::RunResult) {
 }
 
 fn cmd_archetypes() {
-    println!("{:<18} {:>10} {:>12} {:>8} {:>7}", "archetype", "components", "slack", "noise", "drift");
+    println!(
+        "{:<18} {:>10} {:>12} {:>8} {:>7}",
+        "archetype", "components", "slack", "noise", "drift"
+    );
     for a in Archetype::all() {
         println!(
             "{:<18} {:>10} {:>12} {:>8.2} {:>7.2}",

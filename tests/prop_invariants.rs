@@ -5,7 +5,8 @@ use proptest::prelude::*;
 
 use ntc_offload::alloc::{dispatch_time, DispatchPolicy};
 use ntc_offload::partition::{
-    standard_roster, CostParams, ExhaustivePartitioner, MinCutPartitioner, PartitionContext, Partitioner,
+    standard_roster, CostParams, ExhaustivePartitioner, MinCutPartitioner, PartitionContext,
+    Partitioner,
 };
 use ntc_offload::serverless::{FunctionConfig, PlatformConfig, ServerlessPlatform};
 use ntc_offload::simcore::rng::RngStream;
