@@ -1,0 +1,98 @@
+//! What an execution site can do, as far as allocation is concerned.
+//!
+//! The allocator (C2) was written against one concrete target — a
+//! metered, cold-starting FaaS platform. Generalising the engine to
+//! pluggable [`ExecutionSite`](../../ntc_core/site/trait.ExecutionSite.html)s
+//! means allocation decisions must key off *capabilities* rather than a
+//! backend enum: a site that is not metered has nothing to size, a site
+//! without cold starts has nothing to keep warm, and a site without an
+//! invocation timeout places no ceiling on coalesced batches.
+
+use ntc_simcore::units::SimDuration;
+use serde::{Deserialize, Serialize};
+
+use crate::keepwarm::{recommend, WarmStrategy};
+
+/// The allocation-relevant capabilities of one execution site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SiteCapabilities {
+    /// Work is billed per invocation (duration × memory + request fee),
+    /// so memory sizing trades money against latency. Unmetered sites
+    /// (pre-paid edge racks, the device itself) have nothing to size.
+    pub metered: bool,
+    /// Instances cold-start and can be kept warm (provisioning, warmer
+    /// pings). Sites with always-resident services never need warming.
+    pub warmable: bool,
+    /// Hard per-invocation execution ceiling, if the site enforces one.
+    /// Bounds how much work one coalesced batch may carry.
+    pub invocation_timeout: Option<SimDuration>,
+}
+
+impl SiteCapabilities {
+    /// A metered, cold-starting FaaS platform with an execution ceiling
+    /// (the cloud).
+    pub fn metered_faas(timeout: SimDuration) -> Self {
+        SiteCapabilities { metered: true, warmable: true, invocation_timeout: Some(timeout) }
+    }
+
+    /// A pre-paid, always-resident fleet (the edge): nothing to size,
+    /// nothing to warm, no invocation ceiling.
+    pub fn flat_rate() -> Self {
+        SiteCapabilities { metered: false, warmable: false, invocation_timeout: None }
+    }
+
+    /// Local execution on the user's own hardware.
+    pub fn local() -> Self {
+        SiteCapabilities { metered: false, warmable: false, invocation_timeout: None }
+    }
+}
+
+/// Capability-aware warming recommendation: sites that cannot be warmed
+/// get [`WarmStrategy::PlatformOnly`]; warmable sites defer to
+/// [`recommend`].
+pub fn recommend_for_site(
+    caps: &SiteCapabilities,
+    interarrival: SimDuration,
+    ttl: SimDuration,
+) -> WarmStrategy {
+    if !caps.warmable {
+        return WarmStrategy::PlatformOnly;
+    }
+    recommend(interarrival, ttl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwarmable_sites_never_warm() {
+        let caps = SiteCapabilities::flat_rate();
+        // Sparse traffic would normally earn a warmer ping.
+        let w = recommend_for_site(&caps, SimDuration::from_hours(1), SimDuration::from_mins(10));
+        assert_eq!(w, WarmStrategy::PlatformOnly);
+        let local = SiteCapabilities::local();
+        let w = recommend_for_site(&local, SimDuration::from_hours(1), SimDuration::from_mins(10));
+        assert_eq!(w, WarmStrategy::PlatformOnly);
+    }
+
+    #[test]
+    fn warmable_sites_defer_to_recommend() {
+        let caps = SiteCapabilities::metered_faas(SimDuration::from_mins(15));
+        let interarrival = SimDuration::from_hours(1);
+        let ttl = SimDuration::from_mins(10);
+        assert_eq!(recommend_for_site(&caps, interarrival, ttl), recommend(interarrival, ttl));
+        assert!(matches!(
+            recommend_for_site(&caps, interarrival, ttl),
+            WarmStrategy::Warmer { .. }
+        ));
+    }
+
+    #[test]
+    fn capability_presets_are_distinct() {
+        let cloud = SiteCapabilities::metered_faas(SimDuration::from_mins(15));
+        assert!(cloud.metered && cloud.warmable && cloud.invocation_timeout.is_some());
+        let edge = SiteCapabilities::flat_rate();
+        assert!(!edge.metered && !edge.warmable && edge.invocation_timeout.is_none());
+    }
+}

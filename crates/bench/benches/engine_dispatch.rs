@@ -1,0 +1,48 @@
+//! Criterion micro-benchmark of the `ExecutionSite` dispatch hot path.
+//!
+//! The engine refactor replaced `match Backend::` arms with dyn-trait
+//! dispatch through the site registry; this bench tracks what that
+//! indirection costs so future PRs have a perf trajectory. The committed
+//! baseline lives in `BENCH_dispatch.json` (regenerate with
+//! `cargo run --release -p ntc-bench --bin bench_dispatch_baseline`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ntc_bench::dispatch::{engine_run_short, DispatchFixture};
+
+fn bench_registry_lookup(c: &mut Criterion) {
+    let fx = DispatchFixture::new(1);
+    let ids = fx.site_ids();
+    c.bench_function("engine_dispatch/registry_lookup", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for id in &ids {
+                acc = acc.wrapping_add(fx.lookup(id));
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_site_invoke(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_dispatch/invoke");
+    let ids = DispatchFixture::new(1).site_ids();
+    for id in ids {
+        let mut fx = DispatchFixture::new(1);
+        group.bench_with_input(BenchmarkId::from_parameter(&id), &id, |b, id| {
+            b.iter(|| black_box(fx.invoke_once(id)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine_short_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_dispatch/end_to_end");
+    group.sample_size(10);
+    group.bench_function("photo_30min", |b| b.iter(|| black_box(engine_run_short(1))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_registry_lookup, bench_site_invoke, bench_engine_short_run);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Writes the committed `engine_dispatch` perf baseline.
+//!
+//! Times the same workloads as `benches/engine_dispatch.rs` with a plain
+//! `Instant` harness (median of several rounds) and writes
+//! `BENCH_dispatch.json` at the workspace root. Numbers are
+//! machine-dependent; the committed file records one reference machine
+//! so future PRs can watch the *trajectory*, not assert absolute values.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use ntc_bench::dispatch::{engine_run_short, DispatchFixture};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Baseline {
+    bench: &'static str,
+    units: &'static str,
+    regenerate: &'static str,
+    note: &'static str,
+    results: Vec<Entry>,
+}
+
+#[derive(Debug, Serialize)]
+struct Entry {
+    name: String,
+    ns_per_op: u128,
+    ops_timed: u64,
+    rounds: u32,
+}
+
+/// Runs `iters` calls of `op` per round, `rounds` times, and returns the
+/// median per-op nanoseconds.
+fn median_ns(rounds: u32, iters: u64, mut op: impl FnMut()) -> u128 {
+    let mut samples: Vec<u128> = (0..rounds)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                op();
+            }
+            start.elapsed().as_nanos() / u128::from(iters)
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let mut results = Vec::new();
+
+    let fx = DispatchFixture::new(1);
+    let ids = fx.site_ids();
+    results.push(Entry {
+        name: "registry_lookup".into(),
+        ns_per_op: median_ns(7, 100_000, || {
+            for id in &ids {
+                black_box(fx.lookup(id));
+            }
+        }),
+        ops_timed: 100_000,
+        rounds: 7,
+    });
+
+    for id in &ids {
+        let mut fx = DispatchFixture::new(1);
+        results.push(Entry {
+            name: format!("invoke/{id}"),
+            ns_per_op: median_ns(7, 10_000, || {
+                black_box(fx.invoke_once(id));
+            }),
+            ops_timed: 10_000,
+            rounds: 7,
+        });
+    }
+
+    results.push(Entry {
+        name: "end_to_end/photo_30min".into(),
+        ns_per_op: median_ns(5, 1, || {
+            black_box(engine_run_short(1));
+        }),
+        ops_timed: 1,
+        rounds: 5,
+    });
+
+    let baseline = Baseline {
+        bench: "engine_dispatch",
+        units: "nanoseconds per operation (median over rounds)",
+        regenerate: "cargo run --release -p ntc-bench --bin bench_dispatch_baseline",
+        note: "machine-dependent reference numbers; compare trends across PRs on the \
+               same hardware, not absolute values across machines",
+        results,
+    };
+    let json = serde_json::to_string_pretty(&baseline).expect("serialise baseline");
+    std::fs::write("BENCH_dispatch.json", format!("{json}\n")).expect("write BENCH_dispatch.json");
+    println!("{json}");
+    println!("\nbaseline written to BENCH_dispatch.json");
+}

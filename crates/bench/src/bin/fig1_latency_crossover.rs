@@ -153,6 +153,7 @@ fn main() {
                 max_batch_bytes: ntc_simcore::units::DataSize::from_bytes(u64::MAX),
                 est_local: ntc_simcore::units::SimDuration::ZERO,
                 fallback_local: false,
+                site_chain: vec![],
             };
             d.estimated_latency(&env, input).as_secs_f64()
         };

@@ -1,0 +1,98 @@
+//! Shared workloads for the `engine_dispatch` micro-benchmark.
+//!
+//! The refactor routed every engine decision through the dyn
+//! [`ExecutionSite`](ntc_core::ExecutionSite) surface, so this module
+//! isolates the dispatch hot path — registry lookup and a single
+//! invocation per site — plus one short end-to-end run. The criterion
+//! bench (`benches/engine_dispatch.rs`) and the committed-baseline
+//! writer (`bench_dispatch_baseline`) both drive these workloads so the
+//! two always measure the same code.
+
+use ntc_core::{
+    deploy, Engine, Environment, InvokeRequest, OffloadPolicy, RunResult, SiteId, SiteRegistry,
+    SiteRole,
+};
+use ntc_simcore::rng::RngStream;
+use ntc_simcore::units::{Cycles, SimDuration, SimTime};
+use ntc_taskgraph::ComponentId;
+use ntc_workloads::{Archetype, StreamSpec};
+
+/// A provisioned registry plus a monotonically advancing clock: the
+/// minimal state needed to invoke every built-in site through the trait
+/// object, exactly as `engine::execute` does.
+pub struct DispatchFixture {
+    env: Environment,
+    registry: SiteRegistry,
+    cases: Vec<(SiteId, usize, ComponentId)>,
+    now: SimTime,
+}
+
+impl DispatchFixture {
+    /// Builds the registry, deploys one cloud-backed and one edge-backed
+    /// photo pipeline, and provisions their first offloaded component.
+    pub fn new(seed: u64) -> Self {
+        let env = Environment::metro_reference();
+        let rng = RngStream::root(seed);
+        let mut registry = SiteRegistry::standard(&env, &rng);
+        let slack = Archetype::PhotoPipeline.typical_slack();
+        let deployments = [
+            deploy(&OffloadPolicy::CloudAll, Archetype::PhotoPipeline, &env, 0.1, slack, &rng),
+            deploy(&OffloadPolicy::EdgeAll, Archetype::PhotoPipeline, &env, 0.1, slack, &rng),
+        ];
+        let mut cases = Vec::new();
+        for (di, d) in deployments.iter().enumerate() {
+            let comp = d.plan.offloaded().next().expect("full offload has offloaded components");
+            let site = SiteId::from(d.backend);
+            let s = registry.get_mut(&site);
+            s.attach();
+            s.provision(di, d, comp, SiteRole::Primary);
+            cases.push((site, di, comp));
+        }
+        cases.push((SiteId::device(), 0, ComponentId::from_index(0)));
+        DispatchFixture { env, registry, cases, now: SimTime::ZERO + SimDuration::from_mins(10) }
+    }
+
+    /// The site ids this fixture can invoke (cloud, edge, device).
+    pub fn site_ids(&self) -> Vec<SiteId> {
+        self.cases.iter().map(|(s, _, _)| s.clone()).collect()
+    }
+
+    /// One invocation through the dyn-trait surface, advancing the sim
+    /// clock so platform queueing stays monotonic. Returns the finish
+    /// instant (so callers can `black_box` a data-dependent value).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is unknown to the fixture or the invocation
+    /// fails — the workload is fault-free by construction.
+    pub fn invoke_once(&mut self, site: &SiteId) -> SimTime {
+        let (_, di, comp) =
+            *self.cases.iter().find(|(s, _, _)| s == site).expect("site known to the fixture");
+        self.now += SimDuration::from_millis(250);
+        let member_works = [Cycles::from_mega(40)];
+        let remote = self.registry.get(site).is_remote();
+        let req = InvokeRequest {
+            at: self.now,
+            di,
+            comp,
+            work: if remote { Cycles::from_mega(40) } else { Cycles::new(0) },
+            member_works: if remote { &[] } else { &member_works },
+            device: &self.env.device,
+        };
+        self.registry.get_mut(site).invoke(&req).expect("fault-free invocation succeeds").finish
+    }
+
+    /// The registry lookup on the dispatch hot path (id → boxed site).
+    pub fn lookup(&self, site: &SiteId) -> u32 {
+        self.registry.get(site).fallback_rank()
+    }
+}
+
+/// One short end-to-end run through the full pipeline (admission →
+/// transfer → execute → accounting) under the NTC policy — the
+/// macro-level view of dispatch overhead.
+pub fn engine_run_short(seed: u64) -> RunResult {
+    let engine = Engine::new(Environment::metro_reference(), seed);
+    let specs = [StreamSpec::poisson(Archetype::PhotoPipeline, 0.05)];
+    engine.run(&OffloadPolicy::ntc(), &specs, SimDuration::from_mins(30))
+}

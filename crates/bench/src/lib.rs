@@ -15,6 +15,8 @@ use std::path::PathBuf;
 
 use serde::Serialize;
 
+pub mod dispatch;
+
 /// Parses `--seed <u64>` from the process arguments (default 42).
 pub fn seed_from_args() -> u64 {
     let args: Vec<String> = std::env::args().collect();

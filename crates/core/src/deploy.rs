@@ -6,7 +6,7 @@
 //! contribution C1 (profile), C3 (partition), C2 (allocate) and C5
 //! (batching), exactly as the CI/CD pipeline stages do.
 
-use ntc_alloc::{allocate, AllocationRequest, DispatchPolicy, WarmStrategy};
+use ntc_alloc::{allocate, recommend_for_site, AllocationRequest, DispatchPolicy, WarmStrategy};
 use ntc_partition::{
     CostParams, FullOffload, KeepLocal, MinCutPartitioner, PartitionContext, PartitionPlan,
     Partitioner, Side,
@@ -20,6 +20,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::environment::Environment;
 use crate::policy::{Backend, NtcConfig, OffloadPolicy};
+use crate::site::{ExecutionSite, SiteId, SiteRegistry};
 
 /// The memory size granting one full vCPU — the baseline policies'
 /// deployment size.
@@ -69,6 +70,13 @@ pub struct Deployment {
     /// Whether batches that provably cannot make their deadline offloaded
     /// (but can locally) should execute on the device instead.
     pub fallback_local: bool,
+    /// Failure-driven site-preference chain, primary first: where the
+    /// engine provisions this deployment and, on unrecoverable errors,
+    /// the order it degrades along. Empty (the serde default, for
+    /// deployments recorded before chains existed) means "just the
+    /// primary backend, no fallback".
+    #[serde(default)]
+    pub site_chain: Vec<SiteId>,
 }
 
 impl Deployment {
@@ -88,11 +96,12 @@ impl Deployment {
     pub fn estimated_latency(&self, env: &Environment, input: DataSize) -> SimDuration {
         let demands: Vec<Cycles> =
             self.graph.ids().map(|id| self.graph.component(id).demand_cycles(input)).collect();
+        let sites = SiteRegistry::planning(env);
         // Nominal (uncongested) conditions: this is a descriptive figure,
         // not the conservative planning estimate used to hold jobs.
         estimate_completion_at_share(
             env,
-            self.backend,
+            sites.get(&SiteId::from(self.backend)),
             &self.graph,
             &self.plan,
             &self.memory,
@@ -101,26 +110,24 @@ impl Deployment {
             Some(1.0),
         )
     }
+
+    /// The site-preference chain, falling back to "just the primary
+    /// backend" for deployments recorded before chains existed.
+    pub fn resolved_chain(&self) -> Vec<SiteId> {
+        if self.site_chain.is_empty() {
+            vec![SiteId::from(self.backend)]
+        } else {
+            self.site_chain.clone()
+        }
+    }
 }
 
-fn cost_params(env: &Environment, backend: Backend) -> CostParams {
-    let (path, remote_speed) = match backend {
-        Backend::Cloud => {
-            (&env.topology.ue_cloud, env.platform.cpu.effective_speed(DEFAULT_MEMORY))
-        }
-        Backend::Edge => (&env.topology.ue_edge, env.edge.clock),
-    };
-    let (money_per_sec, per_request) = match backend {
-        Backend::Cloud => {
-            let gb = DEFAULT_MEMORY.as_bytes() as f64 / (1024.0 * 1024.0 * 1024.0);
-            (env.platform.billing.per_gb_second.mul_f64(gb), env.platform.billing.per_request)
-        }
-        // Edge infrastructure is pre-paid: marginal money per job is zero.
-        Backend::Edge => (ntc_simcore::units::Money::ZERO, ntc_simcore::units::Money::ZERO),
-    };
+fn cost_params(env: &Environment, site: &dyn ExecutionSite) -> CostParams {
+    let path = site.ue_path(env);
+    let (money_per_sec, per_request) = site.marginal_cost(env, DEFAULT_MEMORY);
     CostParams {
         device_speed: env.device.clock,
-        cloud_speed: remote_speed,
+        cloud_speed: site.execution_speed(env, DEFAULT_MEMORY),
         link_latency: path.base_latency(),
         link_bandwidth: path.bottleneck_bandwidth(),
         device_active_power: env.device.active_power,
@@ -171,20 +178,20 @@ fn train_profiler(
 /// transfers + the result return.
 fn estimate_completion(
     env: &Environment,
-    backend: Backend,
+    site: &dyn ExecutionSite,
     graph: &TaskGraph,
     plan: &PartitionPlan,
     memory: &[DataSize],
     demands: &[Cycles],
     input: DataSize,
 ) -> SimDuration {
-    estimate_completion_at_share(env, backend, graph, plan, memory, demands, input, None)
+    estimate_completion_at_share(env, site, graph, plan, memory, demands, input, None)
 }
 
 #[allow(clippy::too_many_arguments)]
 fn estimate_completion_at_share(
     env: &Environment,
-    backend: Backend,
+    site: &dyn ExecutionSite,
     graph: &TaskGraph,
     plan: &PartitionPlan,
     memory: &[DataSize],
@@ -197,23 +204,11 @@ fn estimate_completion_at_share(
         let work = demands[id.index()];
         total += match plan.side(id) {
             Side::Device => env.device.execution_time(work),
-            Side::Cloud => match backend {
-                Backend::Cloud => {
-                    env.platform.cpu.effective_speed(memory[id.index()]).execution_time(work)
-                }
-                Backend::Edge => env.edge.clock.execution_time(work),
-            },
+            Side::Cloud => site.execution_speed(env, memory[id.index()]).execution_time(work),
         };
     }
-    let (path, worst_share) = match backend {
-        // Plan WAN transfers at the congestion trough so held jobs stay
-        // deadline-safe even if released into the evening peak.
-        Backend::Cloud => (
-            &env.topology.ue_cloud,
-            share_override.unwrap_or_else(|| env.wan_congestion.min_share().max(0.01)),
-        ),
-        Backend::Edge => (&env.topology.ue_edge, 1.0),
-    };
+    let path = site.ue_path(env);
+    let worst_share = share_override.unwrap_or_else(|| site.planning_share(env));
     let bw = path.bottleneck_bandwidth().mul_f64(worst_share);
     for flow in plan.cut_flows(graph) {
         let bytes = flow.payload_bytes(input);
@@ -239,6 +234,13 @@ pub fn deploy(
     let graph = archetype.graph();
     let rng = rng.derive(&format!("deploy-{}", archetype.name()));
     let backend = policy.backend();
+    // Planning-time view of the available sites: the primary's declared
+    // capabilities (metered? warmable? timeout-bound?) gate the decisions
+    // below, so a new backend only has to describe itself.
+    let sites = SiteRegistry::planning(env);
+    let primary = SiteId::from(backend);
+    let site = sites.get(&primary);
+    let caps = site.capabilities();
     let (input, tail_input) = reference_inputs(archetype, &rng);
 
     // --- C1: demands. ---
@@ -254,13 +256,13 @@ pub fn deploy(
     // --- C3: the plan. ---
     let plan = match policy {
         OffloadPolicy::LocalOnly => {
-            KeepLocal.partition(&PartitionContext::new(&graph, input, cost_params(env, backend)))
+            KeepLocal.partition(&PartitionContext::new(&graph, input, cost_params(env, site)))
         }
         OffloadPolicy::EdgeAll | OffloadPolicy::CloudAll => {
-            FullOffload.partition(&PartitionContext::new(&graph, input, cost_params(env, backend)))
+            FullOffload.partition(&PartitionContext::new(&graph, input, cost_params(env, site)))
         }
         OffloadPolicy::Ntc(cfg) => {
-            let ctx = PartitionContext::new(&graph, input, cost_params(env, backend))
+            let ctx = PartitionContext::new(&graph, input, cost_params(env, site))
                 .with_demands(demands.clone());
             if cfg.use_partitioner {
                 MinCutPartitioner.partition(&ctx)
@@ -291,11 +293,7 @@ pub fn deploy(
             } else {
                 SimDuration::from_hours(24 * 365)
             };
-            let warm = if backend == Backend::Cloud {
-                ntc_alloc::recommend(interarrival, env.platform.keep_alive.idle_ttl())
-            } else {
-                WarmStrategy::PlatformOnly
-            };
+            let warm = recommend_for_site(&caps, interarrival, env.platform.keep_alive.idle_ttl());
             (dispatch, warm)
         }
         _ => (DispatchPolicy::Immediate, WarmStrategy::PlatformOnly),
@@ -318,10 +316,10 @@ pub fn deploy(
     // --- C2: memory sizes, dimensioned for the expected batch. ---
     let memory: Vec<DataSize> = match policy {
         // C2 disabled: the platform's untuned default size.
-        OffloadPolicy::Ntc(cfg) if !cfg.use_allocator && backend == Backend::Cloud => {
+        OffloadPolicy::Ntc(cfg) if !cfg.use_allocator && caps.metered => {
             graph.ids().map(|id| UNTUNED_MEMORY.max(graph.component(id).memory())).collect()
         }
-        OffloadPolicy::Ntc(cfg) if cfg.use_allocator && backend == Backend::Cloud => graph
+        OffloadPolicy::Ntc(cfg) if cfg.use_allocator && caps.metered => graph
             .ids()
             .map(|id| {
                 if plan.side(id) == Side::Cloud {
@@ -361,7 +359,7 @@ pub fn deploy(
                     // function timeout.
                     let mut pick = a.memory.memory.max(graph.component(id).memory());
                     let timeout_guard = |m: DataSize| {
-                        env.platform.cpu.effective_speed(m).execution_time(guard_work)
+                        site.execution_speed(env, m).execution_time(guard_work)
                             <= SimDuration::from_mins(10)
                     };
                     if !timeout_guard(pick) {
@@ -404,9 +402,9 @@ pub fn deploy(
                     .mul_f64(learned_ratio.max(0.25))
             })
             .collect();
-        estimate_completion(env, backend, &graph, &plan, &memory, &batch_demands, est_batch_input)
+        estimate_completion(env, site, &graph, &plan, &memory, &batch_demands, est_batch_input)
     } else {
-        estimate_completion(env, backend, &graph, &plan, &memory, &demands, input)
+        estimate_completion(env, site, &graph, &plan, &memory, &demands, input)
     };
     if matches!(dispatch, DispatchPolicy::OffPeak { .. }) {
         // A nightly release may hand this job a *full* byte-capped chunk:
@@ -418,8 +416,7 @@ pub fn deploy(
     // Device-only completion estimate, for the connectivity-outage local
     // fallback: no transfers, just serial device execution.
     let local_plan = PartitionPlan::all_device(&graph);
-    let est_local =
-        estimate_completion(env, backend, &graph, &local_plan, &memory, &demands, input);
+    let est_local = estimate_completion(env, site, &graph, &local_plan, &memory, &demands, input);
     let fallback_local = matches!(policy, OffloadPolicy::Ntc(cfg) if cfg.local_fallback);
 
     // Cap coalesced batch size: a chunk's estimated execution at its
@@ -427,7 +424,7 @@ pub fn deploy(
     // function timeout, leaving room for input tails and demand noise.
     let (max_batch_members, max_batch_bytes) =
         if matches!(dispatch, DispatchPolicy::Windowed { .. } | DispatchPolicy::OffPeak { .. })
-            && backend == Backend::Cloud
+            && caps.invocation_timeout.is_some()
         {
             // A chunk must finish within 5 minutes at estimated demand — with
             // the 2x noise margin that is still under the 15-minute timeout.
@@ -437,7 +434,7 @@ pub fn deploy(
             let mut byte_cap = u64::MAX;
             let mut member_cap = 64u64;
             for id in plan.offloaded() {
-                let speed = env.platform.cpu.effective_speed(memory[id.index()]);
+                let speed = site.execution_speed(env, memory[id.index()]);
                 let model = graph.component(id).demand();
                 // Input-proportional demand bounds the chunk's total bytes.
                 if model.per_input_byte > 0.0 {
@@ -462,6 +459,8 @@ pub fn deploy(
             (u32::MAX, DataSize::from_bytes(u64::MAX))
         };
 
+    let site_chain = sites.fallback_chain(&primary, policy.fallback_enabled());
+
     Deployment {
         archetype,
         graph,
@@ -477,6 +476,7 @@ pub fn deploy(
         max_batch_bytes,
         est_local,
         fallback_local,
+        site_chain,
     }
 }
 

@@ -1,11 +1,25 @@
-//! The end-to-end execution engine: replays a job stream over the device,
-//! edge fleet and serverless platform under a chosen policy, producing a
+//! The end-to-end execution engine: replays a job stream over the
+//! registered execution sites under a chosen policy, producing a
 //! [`RunResult`].
 //!
 //! The engine is a single discrete-event loop. Because events are
-//! processed in global time order, the sequential platform simulators
+//! processed in global time order, the sequential backend simulators
 //! (which require non-decreasing submission times) compose correctly with
-//! arbitrarily interleaved jobs.
+//! arbitrarily interleaved jobs. The loop itself is backend-agnostic:
+//! every execution decision goes through the
+//! [`ExecutionSite`](crate::site::ExecutionSite) trait, and each
+//! deployment carries a site-preference chain (e.g. edge → cloud →
+//! device) that recovery walks on unrecoverable failures.
+//!
+//! The loop's concerns live in focused submodules:
+//!
+//! * [`admission`](self) — job coalescing into batches, latest-safe
+//!   dispatch, the pre-dispatch local override;
+//! * `transfer` — congestion- and outage-aware transfer timing plus
+//!   faulty-transfer injection;
+//! * `execute` — provisioning and per-site invocation via the trait;
+//! * `recovery` — retry backoff and fallback down the site chain;
+//! * `accounting` — energy, cost and report assembly.
 //!
 //! # Batch coalescing
 //!
@@ -18,35 +32,35 @@
 //! loading, template compilation, runtime warm-up) and the per-request
 //! fee are paid once per batch instead of once per job.
 
+mod accounting;
+mod admission;
+mod execute;
+mod recovery;
+#[cfg(test)]
+mod tests;
+mod transfer;
+
 use std::collections::HashMap;
 
-use ntc_alloc::{dispatch_time, WarmStrategy};
-use ntc_edge::{EdgeFleet, ServiceId};
-use ntc_faults::{
-    classify_edge, classify_injected, classify_invoke, classify_timeout, ErrorClass, FailureCause,
-    FaultPlan, RetryPolicy, SiteOutage,
-};
-use ntc_net::PathModel;
-use ntc_partition::Side;
-use ntc_serverless::{FunctionConfig, FunctionId, ServerlessPlatform};
+use ntc_faults::{FaultPlan, RetryPolicy};
 use ntc_simcore::event::Simulator;
 use ntc_simcore::rng::RngStream;
-use ntc_simcore::units::{Cycles, DataSize, Energy, SimDuration, SimTime};
+use ntc_simcore::units::{SimDuration, SimTime};
 use ntc_taskgraph::ComponentId;
 use ntc_workloads::{generate_jobs, Job, StreamSpec};
 
 use crate::deploy::{deploy, Deployment};
 use crate::environment::Environment;
-use crate::policy::{Backend, OffloadPolicy};
-use crate::report::{JobResult, RunResult};
+use crate::policy::OffloadPolicy;
+use crate::report::RunResult;
+use crate::site::{SiteId, SiteRegistry};
 
-/// Outcome of one offloaded execution attempt: the completion instant, or
-/// a classified failure to recover from.
-type AttemptOutcome = Result<SimTime, (ErrorClass, FailureCause)>;
+use accounting::Accounting;
+use admission::{Batch, BatchState};
 
 /// Events of the execution loop.
 #[derive(Debug, Clone, Copy)]
-enum Ev {
+pub(crate) enum Ev {
     /// A batch is released to execution.
     Dispatch(usize),
     /// A component becomes ready to execute (all inputs arrived).
@@ -57,39 +71,31 @@ enum Ev {
     Ping(usize, ComponentId, SimDuration),
 }
 
-/// One execution unit: one or more coalesced jobs of the same deployment
-/// released together.
-#[derive(Debug)]
-struct Batch {
-    di: usize,
-    members: Vec<usize>,
-    dispatch_at: SimTime,
-    sum_input: DataSize,
-    max_input: DataSize,
+/// Everything the event handlers read but never mutate.
+pub(crate) struct RunCtx<'a> {
+    env: &'a Environment,
+    deployments: &'a [Deployment],
+    /// Per-deployment site-preference chain (primary first).
+    chains: &'a [Vec<SiteId>],
+    jobs: &'a [Job],
+    batches: &'a [Batch],
+    dispatched_at: &'a [SimTime],
+    local_override: &'a [bool],
+    faults: &'a FaultPlan,
+    retry: &'a RetryPolicy,
+    retry_rng: &'a RngStream,
+    work_rng: &'a RngStream,
+    horizon_end: SimTime,
 }
 
-#[derive(Debug)]
-struct BatchState {
-    remaining_preds: Vec<usize>,
-    ready_at: Vec<SimTime>,
-    outstanding_exits: usize,
-    finish: SimTime,
-    failed: bool,
-    finished: bool,
-    /// Execution attempts per component (0 = never attempted).
-    attempts: Vec<u32>,
-    /// Cumulative retry backoff per component.
-    backoff: Vec<SimDuration>,
-    /// The side each component actually last executed on (for routing its
-    /// outputs after a mid-graph fallback).
-    exec_side: Vec<Side>,
-    /// Failure-driven backend override: set when the batch fell back from
-    /// its deployment backend (edge → cloud).
-    site: Option<Backend>,
-    /// Last-resort fallback: the batch degraded to its members' devices.
-    forced_local: bool,
-    /// Backend fallback switches performed.
-    fallbacks: u32,
+/// The mutable run state the event handlers thread through the loop.
+pub(crate) struct RunState {
+    states: Vec<BatchState>,
+    acct: Accounting,
+    /// Sequential transfer-noise stream: draw order is part of the
+    /// reproducibility contract, so handlers must keep the historical
+    /// call sequence.
+    net_rng: RngStream,
 }
 
 /// The simulation engine: one environment, reusable across policies.
@@ -149,7 +155,6 @@ impl Engine {
         let faults = FaultPlan::new(self.env.faults.clone(), rng.derive("faults"));
         let retry_rng = rng.derive("retry");
         let retry = policy.retry_policy();
-        let fallback_enabled = policy.fallback_enabled();
 
         // --- Deployments, one per archetype present in the stream. ---
         let mut deployments: Vec<Deployment> = Vec::new();
@@ -165,972 +170,57 @@ impl Engine {
             deployments.push(d);
         }
 
-        // --- Backends. ---
-        let mut platform =
-            ServerlessPlatform::new(self.env.platform.clone(), rng.derive("platform"));
-        let mut fleet = EdgeFleet::new(self.env.edge);
-        let mut fn_ids: Vec<HashMap<ComponentId, FunctionId>> = Vec::new();
-        let mut svc_ids: Vec<HashMap<ComponentId, ServiceId>> = Vec::new();
+        // --- Sites: provision every deployment along its chain. ---
+        let mut sites = SiteRegistry::standard(&self.env, &rng);
+        let chains: Vec<Vec<SiteId>> = deployments.iter().map(|d| d.resolved_chain()).collect();
         let mut sim: Simulator<Ev> = Simulator::new();
+        execute::provision_deployments(&deployments, &chains, &mut sites, &mut sim);
 
-        for (di, d) in deployments.iter().enumerate() {
-            let mut fns = HashMap::new();
-            let mut svcs = HashMap::new();
-            for id in d.plan.offloaded() {
-                let c = d.graph.component(id);
-                match d.backend {
-                    Backend::Cloud => {
-                        let f = platform.register(
-                            FunctionConfig::new(
-                                format!("{}/{}", d.archetype.name(), c.name()),
-                                d.memory[id.index()],
-                            )
-                            .with_artifact_size(c.artifact_size()),
-                        );
-                        match d.warm {
-                            WarmStrategy::Provisioned { count } => {
-                                platform.set_provisioned(SimTime::ZERO, f, count);
-                            }
-                            WarmStrategy::Warmer { period } if !period.is_zero() => {
-                                sim.schedule_after(period, Ev::Ping(di, id, period));
-                            }
-                            _ => {}
-                        }
-                        fns.insert(id, f);
-                    }
-                    Backend::Edge => {
-                        let s = fleet.register(format!("{}/{}", d.archetype.name(), c.name()));
-                        fleet.install(SimTime::ZERO, s, c.artifact_size());
-                        svcs.insert(id, s);
-                        // With failure-driven fallback, mirror the service
-                        // as a cloud function so an edge outage can
-                        // re-route mid-run. Registration alone accrues no
-                        // cost: nothing is billed unless it is invoked.
-                        if fallback_enabled {
-                            let f = platform.register(
-                                FunctionConfig::new(
-                                    format!("{}/{}@fallback", d.archetype.name(), c.name()),
-                                    d.memory[id.index()],
-                                )
-                                .with_artifact_size(c.artifact_size()),
-                            );
-                            fns.insert(id, f);
-                        }
-                    }
-                }
-            }
-            fn_ids.push(fns);
-            svc_ids.push(svcs);
-        }
-
-        // --- Coalesce jobs into batches by (deployment, dispatch instant). ---
-        let mut dispatched_at: Vec<SimTime> = Vec::with_capacity(jobs.len());
-        let mut batch_key: HashMap<(usize, SimTime), usize> = HashMap::new();
-        let mut batches: Vec<Batch> = Vec::new();
-        for (ji, job) in jobs.iter().enumerate() {
-            let di = deployment_of[&job.archetype];
-            let d = &deployments[di];
-            let at = dispatch_time(
-                d.dispatch,
-                job.arrival,
-                job.slack,
-                d.est_completion,
-                self.env.completion_margin,
-            );
-            dispatched_at.push(at);
-            let cap = deployments[di].max_batch_members as usize;
-            let byte_cap = deployments[di].max_batch_bytes;
-            let fits = |b: &Batch| {
-                b.members.len() < cap
-                    && b.sum_input.as_bytes().saturating_add(job.input.as_bytes())
-                        <= byte_cap.as_bytes()
-            };
-            let bi = match batch_key.get(&(di, at)) {
-                Some(&bi) if fits(&batches[bi]) => bi,
-                _ => {
-                    batches.push(Batch {
-                        di,
-                        members: Vec::new(),
-                        dispatch_at: at,
-                        sum_input: DataSize::ZERO,
-                        max_input: DataSize::ZERO,
-                    });
-                    let bi = batches.len() - 1;
-                    batch_key.insert((di, at), bi);
-                    bi
-                }
-            };
-            let b = &mut batches[bi];
-            b.members.push(ji);
-            b.sum_input += job.input;
-            b.max_input = b.max_input.max(job.input);
-        }
-        // Local fallback: a batch whose offloaded completion estimate
-        // (which reserves for outages, chunking and noise) cannot meet its
-        // tightest member deadline — but whose device execution can —
-        // runs entirely on the members' own devices.
-        let local_override: Vec<bool> = batches
-            .iter()
-            .map(|b| {
-                let d = &deployments[b.di];
-                if !d.fallback_local || d.plan.offloaded().count() == 0 {
-                    return false;
-                }
-                let min_deadline = b
-                    .members
-                    .iter()
-                    .map(|&ji| jobs[ji].deadline())
-                    .min()
-                    .expect("batch is non-empty");
-                // Only outages that can actually intersect this batch's
-                // execution window count against offloading.
-                let outage = self.env.connectivity.worst_wait_within(b.dispatch_at, min_deadline);
-                let reserve = d.est_completion + outage + self.env.completion_margin;
-                let local_reserve = d.est_local + self.env.completion_margin;
-                b.dispatch_at + reserve > min_deadline
-                    && b.dispatch_at + local_reserve <= min_deadline
-            })
-            .collect();
+        // --- Admission: coalesce jobs into batches and schedule them. ---
+        let (batches, dispatched_at) =
+            admission::coalesce(&self.env, &deployments, &deployment_of, &jobs);
+        let local_override = admission::local_overrides(&self.env, &deployments, &jobs, &batches);
         for (bi, b) in batches.iter().enumerate() {
             sim.schedule_at(b.dispatch_at, Ev::Dispatch(bi)).expect("dispatch scheduled from t=0");
         }
-
-        // --- Per-batch state. ---
-        let mut states: Vec<BatchState> = batches
-            .iter()
-            .map(|b| {
-                let d = &deployments[b.di];
-                BatchState {
-                    remaining_preds: d
-                        .graph
-                        .ids()
-                        .map(|c| d.graph.predecessors(c).count())
-                        .collect(),
-                    ready_at: vec![SimTime::ZERO; d.graph.len()],
-                    outstanding_exits: d.graph.exits().len(),
-                    finish: SimTime::ZERO,
-                    failed: false,
-                    finished: false,
-                    attempts: vec![0; d.graph.len()],
-                    backoff: vec![SimDuration::ZERO; d.graph.len()],
-                    exec_side: vec![Side::Device; d.graph.len()],
-                    site: None,
-                    forced_local: false,
-                    fallbacks: 0,
-                }
-            })
-            .collect();
+        let states = admission::init_states(&deployments, &batches);
 
         // --- The loop. ---
-        let mut results: Vec<Option<JobResult>> = vec![None; jobs.len()];
-        let mut device_energy = Energy::ZERO;
-        let mut bytes_up = DataSize::ZERO;
-        let mut bytes_down = DataSize::ZERO;
         let work_rng = rng.derive("work");
-        let mut net_rng = rng.derive("net");
         let horizon_end = SimTime::ZERO + horizon;
-
+        let ctx = RunCtx {
+            env: &self.env,
+            deployments: &deployments,
+            chains: &chains,
+            jobs: &jobs,
+            batches: &batches,
+            dispatched_at: &dispatched_at,
+            local_override: &local_override,
+            faults: &faults,
+            retry: &retry,
+            retry_rng: &retry_rng,
+            work_rng: &work_rng,
+            horizon_end,
+        };
+        let mut st =
+            RunState { states, acct: Accounting::new(jobs.len()), net_rng: rng.derive("net") };
         while let Some((t, ev)) = sim.step() {
             match ev {
                 Ev::Ping(di, comp, period) => {
-                    if t <= horizon_end {
-                        if let Some(&f) = fn_ids[di].get(&comp) {
-                            let _ = platform.invoke(t, f, Cycles::new(1_000));
-                        }
-                        sim.schedule_after(period, Ev::Ping(di, comp, period));
-                    }
+                    execute::handle_ping(&ctx, &mut sites, &mut sim, t, di, comp, period);
                 }
                 Ev::Dispatch(bi) => {
-                    let b = &batches[bi];
-                    let d = &deployments[b.di];
-                    for c in d.graph.entries() {
-                        let side = if local_override[bi] { Side::Device } else { d.plan.side(c) };
-                        let ready = match side {
-                            Side::Device => t,
-                            Side::Cloud => {
-                                // Each member uploads its own input, in parallel
-                                // across devices; the batch is ready when the
-                                // largest upload lands. Offline devices wait for
-                                // reconnection before transmitting.
-                                let online = self.env.connectivity.next_online(t);
-                                let path = self.ue_path(d.backend);
-                                let share = self.wan_share(d.backend, online);
-                                let dur =
-                                    path.transfer_time_at_share(b.max_input, share, &mut net_rng);
-                                let dur =
-                                    self.faulty_transfer(dur, &faults, &format!("up-{bi}-{c}"));
-                                for &ji in &b.members {
-                                    let jdur = path.transfer_time_at_share(
-                                        jobs[ji].input,
-                                        share,
-                                        &mut net_rng,
-                                    );
-                                    device_energy += self.env.device.radio_energy(jdur);
-                                    bytes_up += jobs[ji].input;
-                                }
-                                online + dur
-                            }
-                        };
-                        sim.schedule_at(ready, Ev::Exec(bi, c)).expect("ready >= now");
-                    }
+                    transfer::handle_dispatch(&ctx, &sites, &mut st, &mut sim, t, bi)
                 }
                 Ev::Exec(bi, comp) => {
-                    if states[bi].failed {
-                        continue;
-                    }
-                    let b = &batches[bi];
-                    let d = &deployments[b.di];
-                    let side = if local_override[bi] || states[bi].forced_local {
-                        Side::Device
-                    } else {
-                        d.plan.side(comp)
-                    };
-                    states[bi].exec_side[comp.index()] = side;
-                    match side {
-                        Side::Device => {
-                            // Per-member execution on each member's own device:
-                            // wall-clock is the slowest member; energy is paid
-                            // by every member.
-                            let noise = self.noise_factor(&work_rng, bi, &batches, &jobs, comp);
-                            let mut slowest = SimDuration::ZERO;
-                            for &ji in &b.members {
-                                let work = self.member_work(&jobs[ji], d, comp, noise);
-                                slowest = slowest.max(self.env.device.execution_time(work));
-                                device_energy += self.env.device.compute_energy(work);
-                            }
-                            sim.schedule_at(t + slowest, Ev::Done(bi, comp)).expect("future");
-                        }
-                        Side::Cloud => {
-                            // One invocation for the whole batch, on the
-                            // concatenated input: the fixed demand and the
-                            // request fee amortise across members.
-                            let noise = self.noise_factor(&work_rng, bi, &batches, &jobs, comp);
-                            let annotated = d
-                                .graph
-                                .component(comp)
-                                .batch_demand_cycles(b.members.len() as u64, b.sum_input);
-                            let work = Cycles::new((annotated.get() as f64 * noise).round() as u64);
-                            let site = states[bi].site.unwrap_or(d.backend);
-                            states[bi].attempts[comp.index()] += 1;
-                            let attempt = states[bi].attempts[comp.index()];
-                            let first = jobs[b.members[0]].id;
-                            let fault_key = format!("{first}-{comp}-{site}-a{attempt}");
-                            let outcome: AttemptOutcome = if let Some(fault) =
-                                faults.invocation_fault(&fault_key)
-                            {
-                                Err(classify_injected(fault))
-                            } else {
-                                match site {
-                                    Backend::Cloud => {
-                                        let f = fn_ids[b.di][&comp];
-                                        match platform.invoke(t, f, work) {
-                                            Ok(out) if !out.timed_out => Ok(out.finish),
-                                            Ok(_) => Err(classify_timeout()),
-                                            Err(e) => Err(classify_invoke(&e)),
-                                        }
-                                    }
-                                    Backend::Edge => match faults.edge_outage(t) {
-                                        SiteOutage::Online => {
-                                            let s = svc_ids[b.di][&comp];
-                                            match fleet.invoke(t, s, work) {
-                                                Ok(out) => Ok(out.finish),
-                                                Err(e) => Err(classify_edge(&e, t)),
-                                            }
-                                        }
-                                        SiteOutage::Until(r) => Err((
-                                            ErrorClass::WaitUntil(r),
-                                            FailureCause::EdgeOutage,
-                                        )),
-                                        SiteOutage::Forever => {
-                                            Err((ErrorClass::Fallback, FailureCause::EdgeOutage))
-                                        }
-                                    },
-                                }
-                            };
-                            match outcome {
-                                Ok(finish) => {
-                                    sim.schedule_at(finish, Ev::Done(bi, comp)).expect("future");
-                                }
-                                Err((class, cause)) => {
-                                    let can_cloud = fn_ids[b.di].contains_key(&comp);
-                                    self.recover(
-                                        bi,
-                                        comp,
-                                        t,
-                                        site,
-                                        class,
-                                        cause,
-                                        &retry,
-                                        fallback_enabled,
-                                        can_cloud,
-                                        &retry_rng,
-                                        &batches,
-                                        &jobs,
-                                        &dispatched_at,
-                                        &mut states,
-                                        &mut results,
-                                        &mut sim,
-                                    );
-                                }
-                            }
-                        }
-                    }
+                    execute::handle_exec(&ctx, &mut sites, &mut st, &mut sim, t, bi, comp);
                 }
                 Ev::Done(bi, comp) => {
-                    if states[bi].failed {
-                        continue;
-                    }
-                    let b = &batches[bi];
-                    let d = &deployments[b.di];
-                    // What the component actually ran on (it may have fallen
-                    // back mid-graph), and where offloaded work now runs.
-                    let from_side = states[bi].exec_side[comp.index()];
-                    let eff = states[bi].site.unwrap_or(d.backend);
-
-                    // Propagate data to successors.
-                    let flows: Vec<(ComponentId, &ntc_taskgraph::LinearModel)> =
-                        d.graph.flows_from(comp).map(|f| (f.to, &f.payload)).collect();
-                    for (to, payload) in flows {
-                        let to_side = if local_override[bi] || states[bi].forced_local {
-                            Side::Device
-                        } else {
-                            d.plan.side(to)
-                        };
-                        let dur = match (from_side, to_side) {
-                            (Side::Device, Side::Device) => SimDuration::ZERO,
-                            (Side::Cloud, Side::Cloud) => {
-                                // One merged transfer inside the backend.
-                                let bytes = payload.eval_bytes(b.sum_input);
-                                self.remote_internal_path(eff).transfer_time(bytes, &mut net_rng)
-                            }
-                            _ => {
-                                // Boundary crossing: per-member payloads move in
-                                // parallel over each member's own radio link,
-                                // waiting out any outage first.
-                                let online = self.env.connectivity.next_online(t);
-                                let path = self.ue_path(eff);
-                                let share = self.wan_share(eff, online);
-                                let dur = path.transfer_time_at_share(
-                                    payload.eval_bytes(b.max_input),
-                                    share,
-                                    &mut net_rng,
-                                );
-                                let dur = self.faulty_transfer(
-                                    dur,
-                                    &faults,
-                                    &format!("flow-{bi}-{comp}-{to}"),
-                                );
-                                for &ji in &b.members {
-                                    let bytes = payload.eval_bytes(jobs[ji].input);
-                                    let jdur =
-                                        path.transfer_time_at_share(bytes, share, &mut net_rng);
-                                    device_energy += self.env.device.radio_energy(jdur);
-                                    match to_side {
-                                        Side::Cloud => bytes_up += bytes,
-                                        Side::Device => bytes_down += bytes,
-                                    }
-                                }
-                                online.saturating_duration_since(t) + dur
-                            }
-                        };
-                        let arrival = t + dur;
-                        let st = &mut states[bi];
-                        st.ready_at[to.index()] = st.ready_at[to.index()].max(arrival);
-                        st.remaining_preds[to.index()] -= 1;
-                        if st.remaining_preds[to.index()] == 0 {
-                            let ready = st.ready_at[to.index()].max(t);
-                            sim.schedule_at(ready, Ev::Exec(bi, to)).expect("future");
-                        }
-                    }
-
-                    // Exit component: return results to each member device.
-                    if d.graph.successors(comp).next().is_none() {
-                        let finish = match from_side {
-                            Side::Device => t,
-                            Side::Cloud => {
-                                let online = self.env.connectivity.next_online(t);
-                                let path = self.ue_path(eff);
-                                let share = self.wan_share(eff, online);
-                                let dur = path.transfer_time_at_share(
-                                    self.env.result_return,
-                                    share,
-                                    &mut net_rng,
-                                );
-                                let dur =
-                                    self.faulty_transfer(dur, &faults, &format!("ret-{bi}-{comp}"));
-                                device_energy +=
-                                    self.env.device.radio_energy(dur) * (b.members.len() as u64);
-                                bytes_down += self.env.result_return * b.members.len() as u64;
-                                online + dur
-                            }
-                        };
-                        let st = &mut states[bi];
-                        st.finish = st.finish.max(finish);
-                        st.outstanding_exits -= 1;
-                        if st.outstanding_exits == 0 && !st.finished {
-                            st.finished = true;
-                            let attempts = st.attempts.iter().copied().max().unwrap_or(0).max(1);
-                            let backoff =
-                                st.backoff.iter().copied().max().unwrap_or(SimDuration::ZERO);
-                            for &ji in &b.members {
-                                results[ji] = Some(JobResult {
-                                    id: jobs[ji].id,
-                                    archetype: jobs[ji].archetype,
-                                    arrival: jobs[ji].arrival,
-                                    dispatched: dispatched_at[ji],
-                                    finish: st.finish,
-                                    deadline: jobs[ji].deadline(),
-                                    failed: false,
-                                    attempts,
-                                    backoff,
-                                    fallbacks: st.fallbacks,
-                                    cause: None,
-                                });
-                            }
-                        }
-                    }
+                    transfer::handle_done(&ctx, &sites, &mut st, &mut sim, t, bi, comp);
                 }
             }
         }
 
-        let mut completions_per_hour =
-            ntc_simcore::timeseries::TimeSeries::new(SimDuration::from_hours(1));
-        for r in results.iter().flatten() {
-            completions_per_hour.mark(r.finish);
-        }
-
-        let end = sim.now().max(horizon_end);
-        let cloud_cost = platform.total_cost(end);
-        let edge_cost = if deployments.iter().any(|d| d.backend == Backend::Edge) {
-            fleet.infrastructure_cost(horizon_end)
-        } else {
-            ntc_simcore::units::Money::ZERO
-        };
-
-        RunResult {
-            policy: policy.name(),
-            jobs: results.into_iter().flatten().collect(),
-            cloud_cost,
-            edge_cost,
-            device_energy,
-            device_energy_cost: self.env.energy_cost(device_energy),
-            bytes_up,
-            bytes_down,
-            completions_per_hour,
-            horizon,
-        }
-    }
-
-    /// Congestion applies to the WAN (cloud) segment only; the edge LAN
-    /// is assumed provisioned for local traffic.
-    fn wan_share(&self, backend: Backend, at: SimTime) -> f64 {
-        match backend {
-            Backend::Cloud => self.env.wan_congestion.share_at(at).clamp(0.01, 1.0),
-            Backend::Edge => 1.0,
-        }
-    }
-
-    fn ue_path(&self, backend: Backend) -> &PathModel {
-        match backend {
-            Backend::Cloud => &self.env.topology.ue_cloud,
-            Backend::Edge => &self.env.topology.ue_edge,
-        }
-    }
-
-    fn remote_internal_path(&self, backend: Backend) -> &PathModel {
-        match backend {
-            Backend::Cloud => &self.env.intra_cloud,
-            Backend::Edge => &self.env.intra_edge,
-        }
-    }
-
-    /// Execution-to-execution noise, sampled once per (batch, component)
-    /// so retries re-observe the same value.
-    fn noise_factor(
-        &self,
-        work_rng: &RngStream,
-        bi: usize,
-        batches: &[Batch],
-        jobs: &[Job],
-        comp: ComponentId,
-    ) -> f64 {
-        let b = &batches[bi];
-        let first = jobs[b.members[0]].id;
-        let archetype = jobs[b.members[0]].archetype;
-        let mut r = work_rng.derive(&format!("{first}-{comp}"));
-        archetype.demand_drift() * r.lognormal(0.0, archetype.demand_noise_sigma())
-    }
-
-    fn member_work(&self, job: &Job, d: &Deployment, comp: ComponentId, noise: f64) -> Cycles {
-        let annotated = d.graph.component(comp).demand_cycles(job.input).get() as f64;
-        Cycles::new((annotated * noise).round() as u64)
-    }
-
-    /// Scales a transfer duration by the fault plan's drop penalty for
-    /// `key`. A fault-free plan leaves the duration untouched.
-    fn faulty_transfer(&self, dur: SimDuration, faults: &FaultPlan, key: &str) -> SimDuration {
-        let penalty = faults.transfer_penalty(key);
-        if penalty > 1.0 {
-            dur.mul_f64(penalty)
-        } else {
-            dur
-        }
-    }
-
-    /// Acts on a classified attempt failure: wait, retry with backoff,
-    /// fall back down the backend chain, or fail the batch.
-    #[allow(clippy::too_many_arguments)]
-    fn recover(
-        &self,
-        bi: usize,
-        comp: ComponentId,
-        t: SimTime,
-        site: Backend,
-        class: ErrorClass,
-        cause: FailureCause,
-        retry: &RetryPolicy,
-        fallback_enabled: bool,
-        can_cloud: bool,
-        retry_rng: &RngStream,
-        batches: &[Batch],
-        jobs: &[Job],
-        dispatched_at: &[SimTime],
-        states: &mut [BatchState],
-        results: &mut [Option<JobResult>],
-        sim: &mut Simulator<Ev>,
-    ) {
-        let detect = self.env.faults.error_detect_latency;
-        match class {
-            ErrorClass::WaitUntil(r) => {
-                // A deterministic wait (service still installing, outage
-                // with a known end): free, no retry budget consumed.
-                sim.schedule_at(r.max(t), Ev::Exec(bi, comp)).expect("future");
-            }
-            ErrorClass::Retryable => {
-                let attempt = states[bi].attempts[comp.index()];
-                let first = jobs[batches[bi].members[0]].id;
-                let backoff = retry.backoff(retry_rng, &format!("{first}-{comp}"), attempt);
-                let resume = t + detect + backoff;
-                let min_deadline = batches[bi]
-                    .members
-                    .iter()
-                    .map(|&ji| jobs[ji].deadline())
-                    .min()
-                    .expect("batch is non-empty");
-                if retry.allows(attempt, resume, min_deadline) {
-                    states[bi].backoff[comp.index()] += backoff;
-                    sim.schedule_at(resume, Ev::Exec(bi, comp)).expect("future");
-                } else {
-                    self.fall_back_or_fail(
-                        bi,
-                        comp,
-                        t,
-                        site,
-                        cause,
-                        fallback_enabled,
-                        can_cloud,
-                        batches,
-                        jobs,
-                        dispatched_at,
-                        states,
-                        results,
-                        sim,
-                    );
-                }
-            }
-            ErrorClass::Fallback => {
-                self.fall_back_or_fail(
-                    bi,
-                    comp,
-                    t,
-                    site,
-                    cause,
-                    fallback_enabled,
-                    can_cloud,
-                    batches,
-                    jobs,
-                    dispatched_at,
-                    states,
-                    results,
-                    sim,
-                );
-            }
-            ErrorClass::Terminal => {
-                self.fail_batch(bi, t, cause, batches, jobs, dispatched_at, states, results);
-            }
-        }
-    }
-
-    /// Moves a batch down the fallback chain (edge → cloud → device) or
-    /// fails it when the chain is exhausted or disabled.
-    #[allow(clippy::too_many_arguments)]
-    fn fall_back_or_fail(
-        &self,
-        bi: usize,
-        comp: ComponentId,
-        t: SimTime,
-        site: Backend,
-        cause: FailureCause,
-        fallback_enabled: bool,
-        can_cloud: bool,
-        batches: &[Batch],
-        jobs: &[Job],
-        dispatched_at: &[SimTime],
-        states: &mut [BatchState],
-        results: &mut [Option<JobResult>],
-        sim: &mut Simulator<Ev>,
-    ) {
-        let detect = self.env.faults.error_detect_latency;
-        if fallback_enabled && site == Backend::Edge && can_cloud {
-            // Edge → cloud: the mirrored function takes over the batch's
-            // remaining offloaded components.
-            states[bi].site = Some(Backend::Cloud);
-            states[bi].fallbacks += 1;
-            sim.schedule_at(t + detect, Ev::Exec(bi, comp)).expect("future");
-        } else if fallback_enabled && !states[bi].forced_local {
-            // Last resort: degrade the batch to its members' own devices.
-            states[bi].forced_local = true;
-            states[bi].fallbacks += 1;
-            sim.schedule_at(t + detect, Ev::Exec(bi, comp)).expect("future");
-        } else {
-            self.fail_batch(bi, t, cause, batches, jobs, dispatched_at, states, results);
-        }
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn fail_batch(
-        &self,
-        bi: usize,
-        t: SimTime,
-        cause: FailureCause,
-        batches: &[Batch],
-        jobs: &[Job],
-        dispatched_at: &[SimTime],
-        states: &mut [BatchState],
-        results: &mut [Option<JobResult>],
-    ) {
-        let st = &mut states[bi];
-        if st.finished {
-            return;
-        }
-        st.failed = true;
-        st.finished = true;
-        let attempts = st.attempts.iter().copied().max().unwrap_or(0).max(1);
-        let backoff = st.backoff.iter().copied().max().unwrap_or(SimDuration::ZERO);
-        let fallbacks = st.fallbacks;
-        for &ji in &batches[bi].members {
-            results[ji] = Some(JobResult {
-                id: jobs[ji].id,
-                archetype: jobs[ji].archetype,
-                arrival: jobs[ji].arrival,
-                dispatched: dispatched_at[ji],
-                finish: t,
-                deadline: jobs[ji].deadline(),
-                failed: true,
-                attempts,
-                backoff,
-                fallbacks,
-                cause: Some(cause),
-            });
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use ntc_workloads::Archetype;
-
-    fn engine() -> Engine {
-        Engine::new(Environment::metro_reference(), 7)
-    }
-
-    fn photo_specs(rate: f64) -> [StreamSpec; 1] {
-        [StreamSpec::poisson(Archetype::PhotoPipeline, rate)]
-    }
-
-    #[test]
-    fn all_jobs_complete_under_every_policy() {
-        let e = engine();
-        let horizon = SimDuration::from_hours(2);
-        for policy in [
-            OffloadPolicy::LocalOnly,
-            OffloadPolicy::EdgeAll,
-            OffloadPolicy::CloudAll,
-            OffloadPolicy::ntc(),
-        ] {
-            let r = e.run(&policy, &photo_specs(0.02), horizon);
-            assert!(!r.jobs.is_empty(), "{policy}: no jobs ran");
-            assert_eq!(r.failures(), 0, "{policy}: unexpected failures");
-            for j in &r.jobs {
-                assert!(j.finish >= j.arrival, "{policy}: job finished before arriving");
-            }
-        }
-    }
-
-    #[test]
-    fn every_job_gets_a_result() {
-        let e = engine();
-        for policy in [OffloadPolicy::CloudAll, OffloadPolicy::ntc()] {
-            let r = e.run(&policy, &photo_specs(0.05), SimDuration::from_hours(2));
-            let mut ids: Vec<u64> = r.jobs.iter().map(|j| j.id).collect();
-            ids.sort_unstable();
-            ids.dedup();
-            assert_eq!(ids.len(), r.jobs.len(), "{policy}: duplicate results");
-        }
-    }
-
-    #[test]
-    fn local_only_costs_no_money_but_burns_battery() {
-        let e = engine();
-        let r = e.run(&OffloadPolicy::LocalOnly, &photo_specs(0.02), SimDuration::from_hours(1));
-        assert_eq!(r.cloud_cost, ntc_simcore::units::Money::ZERO);
-        assert_eq!(r.edge_cost, ntc_simcore::units::Money::ZERO);
-        assert!(r.device_energy > Energy::ZERO);
-        assert_eq!(r.bytes_up, DataSize::ZERO);
-    }
-
-    #[test]
-    fn cloud_all_moves_bytes_and_money() {
-        let e = engine();
-        let r = e.run(&OffloadPolicy::CloudAll, &photo_specs(0.02), SimDuration::from_hours(1));
-        assert!(r.cloud_cost > ntc_simcore::units::Money::ZERO);
-        assert!(r.bytes_up > DataSize::ZERO);
-        assert!(r.bytes_down > DataSize::ZERO);
-        assert_eq!(r.edge_cost, ntc_simcore::units::Money::ZERO);
-    }
-
-    #[test]
-    fn edge_all_pays_infrastructure_even_when_idle() {
-        let e = engine();
-        let r = e.run(&OffloadPolicy::EdgeAll, &photo_specs(0.001), SimDuration::from_hours(1));
-        assert!(r.edge_cost > ntc_simcore::units::Money::ZERO);
-        assert_eq!(r.cloud_cost, ntc_simcore::units::Money::ZERO);
-    }
-
-    #[test]
-    fn offloading_beats_local_latency_for_heavy_work() {
-        let e = engine();
-        let specs = [StreamSpec::poisson(Archetype::SciSweep, 0.002)];
-        let horizon = SimDuration::from_hours(4);
-        let local = e.run(&OffloadPolicy::LocalOnly, &specs, horizon);
-        let cloud = e.run(&OffloadPolicy::CloudAll, &specs, horizon);
-        let l50 = local.latency_summary().unwrap().p50;
-        let c50 = cloud.latency_summary().unwrap().p50;
-        // The default cloud function gets one 2.5 GHz vCPU vs the 1.5 GHz
-        // UE core: ~1.7× faster even after paying the WAN transfers.
-        assert!(c50 < l50 * 0.7, "cloud p50 {c50}s should beat local {l50}s");
-    }
-
-    #[test]
-    fn ntc_is_cheaper_than_cloud_all() {
-        let e = engine();
-        let specs = [StreamSpec::poisson(Archetype::ReportRendering, 0.01)];
-        let horizon = SimDuration::from_hours(6);
-        let naive = e.run(&OffloadPolicy::CloudAll, &specs, horizon);
-        let ntc = e.run(&OffloadPolicy::ntc(), &specs, horizon);
-        assert!(
-            ntc.total_cost() <= naive.total_cost(),
-            "ntc {} should not out-cost cloud-all {}",
-            ntc.total_cost(),
-            naive.total_cost()
-        );
-        assert_eq!(ntc.miss_rate(), 0.0, "slack is huge; nothing should miss");
-    }
-
-    #[test]
-    fn batching_coalesces_jobs_and_meets_deadlines() {
-        let e = engine();
-        let specs = [StreamSpec::poisson(Archetype::ReportRendering, 0.01)];
-        let r = e.run(&OffloadPolicy::ntc(), &specs, SimDuration::from_hours(4));
-        let held = r.jobs.iter().filter(|j| j.dispatched > j.arrival).count();
-        assert!(held > 0, "batching should hold at least some jobs");
-        assert_eq!(r.deadline_misses(), 0);
-        // Coalescing: several jobs share a finish instant.
-        let mut finishes: Vec<_> = r.jobs.iter().map(|j| j.finish).collect();
-        finishes.sort_unstable();
-        finishes.dedup();
-        assert!(finishes.len() < r.jobs.len(), "some jobs should share a batch");
-    }
-
-    #[test]
-    fn sparse_traffic_deployment_warms_and_stays_mostly_warm() {
-        // 1 job / 25 min < the 10-min platform TTL: the deployment picks a
-        // warmer, and the engine's periodic pings keep tails down.
-        let e = engine();
-        let specs = [StreamSpec::poisson(Archetype::MlInference, 1.0 / 1500.0)];
-        let r = e.run(&OffloadPolicy::ntc(), &specs, SimDuration::from_hours(12));
-        assert!(!r.jobs.is_empty());
-        assert_eq!(r.failures(), 0);
-        // With warming, p95 should sit close to p50 (no pervasive cold tail).
-        let s = r.latency_summary().unwrap();
-        assert!(s.p95 < s.p50 * 20.0, "p95 {} vs p50 {}", s.p95, s.p50);
-        // And the run still costs money (pings and invocations are billed).
-        assert!(r.cloud_cost > ntc_simcore::units::Money::ZERO);
-    }
-
-    #[test]
-    fn bursty_stream_survives_end_to_end() {
-        let e = engine();
-        let specs = [StreamSpec::bursty(
-            Archetype::LogAnalytics,
-            0.005,
-            1.0,
-            SimDuration::from_mins(30),
-            SimDuration::from_mins(2),
-        )];
-        for policy in [OffloadPolicy::CloudAll, OffloadPolicy::ntc()] {
-            let r = e.run(&policy, &specs, SimDuration::from_hours(6));
-            assert_eq!(r.failures(), 0, "{policy}");
-            assert_eq!(r.deadline_misses(), 0, "{policy}");
-        }
-    }
-
-    #[test]
-    fn hourly_completions_sum_to_job_count() {
-        let e = engine();
-        let r = e.run(&OffloadPolicy::ntc(), &photo_specs(0.05), SimDuration::from_hours(3));
-        let total: u64 =
-            (0..r.completions_per_hour.len()).map(|i| r.completions_per_hour.count(i)).sum();
-        assert_eq!(total, r.jobs.len() as u64);
-    }
-
-    #[test]
-    fn runs_are_reproducible() {
-        let e = engine();
-        let a = e.run(&OffloadPolicy::ntc(), &photo_specs(0.02), SimDuration::from_hours(1));
-        let b = e.run(&OffloadPolicy::ntc(), &photo_specs(0.02), SimDuration::from_hours(1));
-        assert_eq!(a.jobs, b.jobs);
-        assert_eq!(a.cloud_cost, b.cloud_cost);
-        assert_eq!(a.device_energy, b.device_energy);
-    }
-
-    #[test]
-    fn empty_spec_list_yields_an_empty_result() {
-        let e = engine();
-        let r = e.run(&OffloadPolicy::ntc(), &[], SimDuration::from_hours(1));
-        assert!(r.jobs.is_empty());
-        assert_eq!(r.total_cost(), ntc_simcore::units::Money::ZERO);
-        assert_eq!(r.device_energy, Energy::ZERO);
-    }
-
-    #[test]
-    fn different_seeds_differ() {
-        let a = Engine::new(Environment::metro_reference(), 1).run(
-            &OffloadPolicy::ntc(),
-            &photo_specs(0.02),
-            SimDuration::from_hours(1),
-        );
-        let b = Engine::new(Environment::metro_reference(), 2).run(
-            &OffloadPolicy::ntc(),
-            &photo_specs(0.02),
-            SimDuration::from_hours(1),
-        );
-        assert_ne!(a.jobs, b.jobs);
-    }
-
-    // --- Fault injection and recovery. ---
-
-    fn faulty_env(rate: f64) -> Environment {
-        let mut env = Environment::metro_reference();
-        env.faults = ntc_faults::FaultConfig::transient(rate);
-        env
-    }
-
-    #[test]
-    fn fault_free_runs_record_single_attempts() {
-        let e = engine();
-        let r = e.run(&OffloadPolicy::ntc(), &photo_specs(0.02), SimDuration::from_hours(1));
-        for j in &r.jobs {
-            assert_eq!(j.attempts, 1);
-            assert_eq!(j.backoff, SimDuration::ZERO);
-            assert_eq!(j.fallbacks, 0);
-            assert!(j.cause.is_none());
-        }
-        assert_eq!(r.total_retries(), 0);
-    }
-
-    #[test]
-    fn ntc_retries_through_transient_faults() {
-        let e = Engine::new(faulty_env(0.10), 7);
-        let r = e.run(&OffloadPolicy::ntc(), &photo_specs(0.02), SimDuration::from_hours(2));
-        assert!(!r.jobs.is_empty());
-        assert_eq!(r.failures(), 0, "NTC must ride out transient faults by retrying");
-        assert!(r.total_retries() > 0, "a 10% fault rate must trigger retries");
-        assert!(r.total_backoff() > SimDuration::ZERO);
-    }
-
-    #[test]
-    fn zero_retry_baseline_loses_jobs_under_faults() {
-        let e = Engine::new(faulty_env(0.10), 7);
-        let r = e.run(&OffloadPolicy::CloudAll, &photo_specs(0.02), SimDuration::from_hours(2));
-        assert!(r.failures() > 0, "a zero-retry baseline must lose jobs at 10% faults");
-        assert_eq!(r.failure_causes().get("transient"), Some(&r.failures()));
-    }
-
-    #[test]
-    fn faulty_runs_are_reproducible() {
-        let e = Engine::new(faulty_env(0.2), 11);
-        let a = e.run(&OffloadPolicy::ntc(), &photo_specs(0.02), SimDuration::from_hours(1));
-        let b = e.run(&OffloadPolicy::ntc(), &photo_specs(0.02), SimDuration::from_hours(1));
-        assert_eq!(a.jobs, b.jobs);
-        assert_eq!(a.cloud_cost, b.cloud_cost);
-        assert_eq!(a.device_energy, b.device_energy);
-    }
-
-    #[test]
-    fn backoff_never_exceeds_job_latency() {
-        let e = Engine::new(faulty_env(0.3), 5);
-        let r = e.run(&OffloadPolicy::ntc(), &photo_specs(0.02), SimDuration::from_hours(2));
-        assert!(r.total_retries() > 0);
-        for j in &r.jobs {
-            assert!(
-                j.backoff <= j.finish.saturating_duration_since(j.dispatched),
-                "job {}: backoff {} vs latency {}",
-                j.id,
-                j.backoff,
-                j.finish.saturating_duration_since(j.dispatched)
-            );
-        }
-    }
-
-    #[test]
-    fn permanent_edge_outage_falls_back_to_cloud() {
-        let mut env = Environment::metro_reference();
-        env.faults.edge_availability = ntc_net::ConnectivityTrace::new(
-            SimDuration::from_hours(1),
-            vec![(SimDuration::ZERO, false)],
-        );
-        let e = Engine::new(env, 7);
-        let policy = OffloadPolicy::Ntc(crate::NtcConfig {
-            primary_backend: Backend::Edge,
-            ..Default::default()
-        });
-        let r = e.run(&policy, &photo_specs(0.02), SimDuration::from_hours(2));
-        assert!(!r.jobs.is_empty());
-        assert_eq!(r.failures(), 0, "the cloud fallback must save every job");
-        assert!(r.total_fallbacks() > 0, "every batch must have fallen back");
-        assert!(
-            r.cloud_cost > ntc_simcore::units::Money::ZERO,
-            "fallback work is billed on the platform"
-        );
-    }
-
-    #[test]
-    fn edge_outage_without_fallback_fails_jobs() {
-        let mut env = Environment::metro_reference();
-        env.faults.edge_availability = ntc_net::ConnectivityTrace::new(
-            SimDuration::from_hours(1),
-            vec![(SimDuration::ZERO, false)],
-        );
-        let e = Engine::new(env, 7);
-        let policy = OffloadPolicy::Ntc(crate::NtcConfig {
-            primary_backend: Backend::Edge,
-            fallback: false,
-            ..Default::default()
-        });
-        let r = e.run(&policy, &photo_specs(0.02), SimDuration::from_hours(2));
-        assert!(r.failures() > 0);
-        assert!(r.failure_causes().contains_key("edge-outage"));
+        st.acct.assemble(policy, &self.env, horizon, horizon_end, sim.now(), &mut sites)
     }
 }

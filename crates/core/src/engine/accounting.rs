@@ -1,0 +1,148 @@
+//! Accounting: energy and byte counters, per-job result assembly, and the
+//! final run report.
+
+use ntc_faults::FailureCause;
+use ntc_simcore::timeseries::TimeSeries;
+use ntc_simcore::units::{DataSize, Energy, Money, SimDuration, SimTime};
+
+use super::{BatchState, RunCtx};
+use crate::environment::Environment;
+use crate::policy::OffloadPolicy;
+use crate::report::{JobResult, RunResult};
+use crate::site::SiteRegistry;
+
+/// The run's accumulating ledgers: per-job outcomes plus the device-side
+/// energy and traffic totals.
+#[derive(Debug)]
+pub(crate) struct Accounting {
+    pub results: Vec<Option<JobResult>>,
+    pub device_energy: Energy,
+    pub bytes_up: DataSize,
+    pub bytes_down: DataSize,
+}
+
+impl Accounting {
+    pub(crate) fn new(jobs: usize) -> Self {
+        Accounting {
+            results: vec![None; jobs],
+            device_energy: Energy::ZERO,
+            bytes_up: DataSize::ZERO,
+            bytes_down: DataSize::ZERO,
+        }
+    }
+
+    /// Closes the books: drains every site's bill and assembles the
+    /// [`RunResult`].
+    pub(crate) fn assemble(
+        self,
+        policy: &OffloadPolicy,
+        env: &Environment,
+        horizon: SimDuration,
+        horizon_end: SimTime,
+        now: SimTime,
+        sites: &mut SiteRegistry,
+    ) -> RunResult {
+        let mut completions_per_hour = TimeSeries::new(SimDuration::from_hours(1));
+        for r in self.results.iter().flatten() {
+            completions_per_hour.mark(r.finish);
+        }
+
+        let end = now.max(horizon_end);
+        let mut cloud_cost = Money::ZERO;
+        let mut edge_cost = Money::ZERO;
+        for site in sites.iter_mut() {
+            let cost = site.cost(end, horizon_end);
+            match site.id().as_str() {
+                // Flat-rate edge infrastructure is reported separately
+                // from metered bills; device work is paid in battery, not
+                // money, and is accounted under `device_energy`.
+                "edge" => edge_cost += cost,
+                "device" => {}
+                _ => cloud_cost += cost,
+            }
+        }
+
+        RunResult {
+            policy: policy.name(),
+            jobs: self.results.into_iter().flatten().collect(),
+            cloud_cost,
+            edge_cost,
+            device_energy: self.device_energy,
+            device_energy_cost: env.energy_cost(self.device_energy),
+            bytes_up: self.bytes_up,
+            bytes_down: self.bytes_down,
+            completions_per_hour,
+            horizon,
+        }
+    }
+}
+
+/// Records one exit-component completion; when the last exit lands, every
+/// member receives its [`JobResult`].
+pub(crate) fn record_exit(
+    ctx: &RunCtx<'_>,
+    states: &mut [BatchState],
+    acct: &mut Accounting,
+    bi: usize,
+    finish: SimTime,
+) {
+    let st = &mut states[bi];
+    st.finish = st.finish.max(finish);
+    st.outstanding_exits -= 1;
+    if st.outstanding_exits == 0 && !st.finished {
+        st.finished = true;
+        let attempts = st.attempts.iter().copied().max().unwrap_or(0).max(1);
+        let backoff = st.backoff.iter().copied().max().unwrap_or(SimDuration::ZERO);
+        for &ji in &ctx.batches[bi].members {
+            acct.results[ji] = Some(JobResult {
+                id: ctx.jobs[ji].id,
+                archetype: ctx.jobs[ji].archetype,
+                arrival: ctx.jobs[ji].arrival,
+                dispatched: ctx.dispatched_at[ji],
+                finish: st.finish,
+                deadline: ctx.jobs[ji].deadline(),
+                failed: false,
+                attempts,
+                backoff,
+                fallbacks: st.fallbacks,
+                cause: None,
+            });
+        }
+    }
+}
+
+/// Fails a whole batch: every member receives a failed [`JobResult`]
+/// carrying the cause.
+pub(crate) fn fail_batch(
+    ctx: &RunCtx<'_>,
+    states: &mut [BatchState],
+    acct: &mut Accounting,
+    t: SimTime,
+    bi: usize,
+    cause: FailureCause,
+) {
+    let st = &mut states[bi];
+    if st.finished {
+        return;
+    }
+    st.failed = true;
+    st.finished = true;
+    let attempts = st.attempts.iter().copied().max().unwrap_or(0).max(1);
+    let backoff = st.backoff.iter().copied().max().unwrap_or(SimDuration::ZERO);
+    let fallbacks = st.fallbacks;
+    for &ji in &ctx.batches[bi].members {
+        acct.results[ji] = Some(JobResult {
+            id: ctx.jobs[ji].id,
+            archetype: ctx.jobs[ji].archetype,
+            arrival: ctx.jobs[ji].arrival,
+            dispatched: ctx.dispatched_at[ji],
+            finish: t,
+            deadline: ctx.jobs[ji].deadline(),
+            failed: true,
+            attempts,
+            backoff,
+            fallbacks,
+            cause: Some(cause),
+        });
+    }
+}

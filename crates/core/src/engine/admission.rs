@@ -1,0 +1,150 @@
+//! Admission: coalescing jobs into batches, latest-safe dispatch timing,
+//! the pre-dispatch local override, and per-batch state initialisation.
+
+use std::collections::HashMap;
+
+use ntc_alloc::dispatch_time;
+use ntc_partition::Side;
+use ntc_simcore::units::{DataSize, SimDuration, SimTime};
+use ntc_workloads::{Archetype, Job};
+
+use crate::deploy::Deployment;
+use crate::environment::Environment;
+
+/// One execution unit: one or more coalesced jobs of the same deployment
+/// released together.
+#[derive(Debug)]
+pub(crate) struct Batch {
+    pub di: usize,
+    pub members: Vec<usize>,
+    pub dispatch_at: SimTime,
+    pub sum_input: DataSize,
+    pub max_input: DataSize,
+}
+
+#[derive(Debug)]
+pub(crate) struct BatchState {
+    pub remaining_preds: Vec<usize>,
+    pub ready_at: Vec<SimTime>,
+    pub outstanding_exits: usize,
+    pub finish: SimTime,
+    pub failed: bool,
+    pub finished: bool,
+    /// Execution attempts per component (0 = never attempted).
+    pub attempts: Vec<u32>,
+    /// Cumulative retry backoff per component.
+    pub backoff: Vec<SimDuration>,
+    /// The side each component actually last executed on (for routing its
+    /// outputs after a mid-graph fallback).
+    pub exec_side: Vec<Side>,
+    /// Position in the deployment's site-preference chain. 0 is the
+    /// deployment's primary site; failure-driven fallback advances it.
+    pub chain_pos: usize,
+    /// Site fallback switches performed.
+    pub fallbacks: u32,
+}
+
+/// Coalesces jobs into batches by (deployment, dispatch instant), capped
+/// by the deployment's member and byte limits. Returns the batches plus
+/// each job's dispatch instant.
+pub(crate) fn coalesce(
+    env: &Environment,
+    deployments: &[Deployment],
+    deployment_of: &HashMap<Archetype, usize>,
+    jobs: &[Job],
+) -> (Vec<Batch>, Vec<SimTime>) {
+    let mut dispatched_at: Vec<SimTime> = Vec::with_capacity(jobs.len());
+    let mut batch_key: HashMap<(usize, SimTime), usize> = HashMap::new();
+    let mut batches: Vec<Batch> = Vec::new();
+    for (ji, job) in jobs.iter().enumerate() {
+        let di = deployment_of[&job.archetype];
+        let d = &deployments[di];
+        let at = dispatch_time(
+            d.dispatch,
+            job.arrival,
+            job.slack,
+            d.est_completion,
+            env.completion_margin,
+        );
+        dispatched_at.push(at);
+        let cap = deployments[di].max_batch_members as usize;
+        let byte_cap = deployments[di].max_batch_bytes;
+        let fits = |b: &Batch| {
+            b.members.len() < cap
+                && b.sum_input.as_bytes().saturating_add(job.input.as_bytes())
+                    <= byte_cap.as_bytes()
+        };
+        let bi = match batch_key.get(&(di, at)) {
+            Some(&bi) if fits(&batches[bi]) => bi,
+            _ => {
+                batches.push(Batch {
+                    di,
+                    members: Vec::new(),
+                    dispatch_at: at,
+                    sum_input: DataSize::ZERO,
+                    max_input: DataSize::ZERO,
+                });
+                let bi = batches.len() - 1;
+                batch_key.insert((di, at), bi);
+                bi
+            }
+        };
+        let b = &mut batches[bi];
+        b.members.push(ji);
+        b.sum_input += job.input;
+        b.max_input = b.max_input.max(job.input);
+    }
+    (batches, dispatched_at)
+}
+
+/// Local fallback: a batch whose offloaded completion estimate (which
+/// reserves for outages, chunking and noise) cannot meet its tightest
+/// member deadline — but whose device execution can — runs entirely on
+/// the members' own devices.
+pub(crate) fn local_overrides(
+    env: &Environment,
+    deployments: &[Deployment],
+    jobs: &[Job],
+    batches: &[Batch],
+) -> Vec<bool> {
+    batches
+        .iter()
+        .map(|b| {
+            let d = &deployments[b.di];
+            if !d.fallback_local || d.plan.offloaded().count() == 0 {
+                return false;
+            }
+            let min_deadline =
+                b.members.iter().map(|&ji| jobs[ji].deadline()).min().expect("batch is non-empty");
+            // Only outages that can actually intersect this batch's
+            // execution window count against offloading.
+            let outage = env.connectivity.worst_wait_within(b.dispatch_at, min_deadline);
+            let reserve = d.est_completion + outage + env.completion_margin;
+            let local_reserve = d.est_local + env.completion_margin;
+            b.dispatch_at + reserve > min_deadline && b.dispatch_at + local_reserve <= min_deadline
+        })
+        .collect()
+}
+
+/// Fresh per-batch execution state.
+pub(crate) fn init_states(deployments: &[Deployment], batches: &[Batch]) -> Vec<BatchState> {
+    batches
+        .iter()
+        .map(|b| {
+            let d = &deployments[b.di];
+            BatchState {
+                remaining_preds: d.graph.ids().map(|c| d.graph.predecessors(c).count()).collect(),
+                ready_at: vec![SimTime::ZERO; d.graph.len()],
+                outstanding_exits: d.graph.exits().len(),
+                finish: SimTime::ZERO,
+                failed: false,
+                finished: false,
+                attempts: vec![0; d.graph.len()],
+                backoff: vec![SimDuration::ZERO; d.graph.len()],
+                exec_side: vec![Side::Device; d.graph.len()],
+                chain_pos: 0,
+                fallbacks: 0,
+            }
+        })
+        .collect()
+}

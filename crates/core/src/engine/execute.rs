@@ -1,0 +1,157 @@
+//! Execution: provisioning deployments onto their site chains, keep-warm
+//! pings, and per-component invocation through the
+//! [`ExecutionSite`](crate::site::ExecutionSite) trait.
+
+use ntc_faults::{classify_injected, classify_outage};
+use ntc_partition::Side;
+use ntc_simcore::event::Simulator;
+use ntc_simcore::units::{Cycles, SimDuration, SimTime};
+use ntc_taskgraph::ComponentId;
+use ntc_workloads::Job;
+
+use super::{recovery, Ev, RunCtx, RunState};
+use crate::deploy::Deployment;
+use crate::site::{InvokeRequest, SiteId, SiteOutcome, SiteRegistry, SiteRole};
+
+/// Provisions every deployment's offloaded components on every remote
+/// site of its preference chain: the primary hosts the live functions or
+/// services, later sites hold cheap mirrors so failure-driven fallback
+/// can re-route mid-run. Returns keep-warm pings via the event queue.
+pub(crate) fn provision_deployments(
+    deployments: &[Deployment],
+    chains: &[Vec<SiteId>],
+    sites: &mut SiteRegistry,
+    sim: &mut Simulator<Ev>,
+) {
+    for (di, d) in deployments.iter().enumerate() {
+        let chain = &chains[di];
+        sites.get_mut(&chain[0]).attach();
+        for comp in d.plan.offloaded() {
+            for (ci, sid) in chain.iter().enumerate() {
+                let site = sites.get_mut(sid);
+                if !site.is_remote() {
+                    continue;
+                }
+                let role = if ci == 0 { SiteRole::Primary } else { SiteRole::Mirror };
+                if let Some(period) = site.provision(di, d, comp, role) {
+                    sim.schedule_after(period, Ev::Ping(di, comp, period));
+                }
+            }
+        }
+    }
+}
+
+/// Keep-warm ping: re-touch the primary site's function and re-arm.
+pub(crate) fn handle_ping(
+    ctx: &RunCtx<'_>,
+    sites: &mut SiteRegistry,
+    sim: &mut Simulator<Ev>,
+    t: SimTime,
+    di: usize,
+    comp: ComponentId,
+    period: SimDuration,
+) {
+    if t <= ctx.horizon_end {
+        sites.get_mut(&ctx.chains[di][0]).keep_warm(t, di, comp);
+        sim.schedule_after(period, Ev::Ping(di, comp, period));
+    }
+}
+
+/// Executes one ready component of a batch on its current site.
+pub(crate) fn handle_exec(
+    ctx: &RunCtx<'_>,
+    sites: &mut SiteRegistry,
+    st: &mut RunState,
+    sim: &mut Simulator<Ev>,
+    t: SimTime,
+    bi: usize,
+    comp: ComponentId,
+) {
+    if st.states[bi].failed {
+        return;
+    }
+    let b = &ctx.batches[bi];
+    let d = &ctx.deployments[b.di];
+    let chain = &ctx.chains[b.di];
+    let pos = st.states[bi].chain_pos;
+    let degraded = ctx.local_override[bi] || !sites.get(&chain[pos]).is_remote();
+    let side = if degraded { Side::Device } else { d.plan.side(comp) };
+    st.states[bi].exec_side[comp.index()] = side;
+    let noise = noise_factor(ctx, bi, comp);
+    match side {
+        Side::Device => {
+            // Per-member execution on each member's own device: wall-clock
+            // is the slowest member; energy is paid by every member.
+            let member_works: Vec<Cycles> =
+                b.members.iter().map(|&ji| member_work(&ctx.jobs[ji], d, comp, noise)).collect();
+            let req = InvokeRequest {
+                at: t,
+                di: b.di,
+                comp,
+                work: Cycles::new(0),
+                member_works: &member_works,
+                device: &ctx.env.device,
+            };
+            let inv = sites
+                .get_mut(&SiteId::device())
+                .invoke(&req)
+                .expect("device execution cannot fail");
+            st.acct.device_energy += inv.device_energy;
+            sim.schedule_at(inv.finish, Ev::Done(bi, comp)).expect("future");
+        }
+        Side::Cloud => {
+            // One invocation for the whole batch, on the concatenated
+            // input: the fixed demand and the request fee amortise across
+            // members.
+            let annotated =
+                d.graph.component(comp).batch_demand_cycles(b.members.len() as u64, b.sum_input);
+            let work = Cycles::new((annotated.get() as f64 * noise).round() as u64);
+            st.states[bi].attempts[comp.index()] += 1;
+            let attempt = st.states[bi].attempts[comp.index()];
+            let first = ctx.jobs[b.members[0]].id;
+            let site_id = &chain[pos];
+            let fault_key = format!("{first}-{comp}-{site_id}-a{attempt}");
+            let outcome: SiteOutcome = if let Some(fault) = ctx.faults.invocation_fault(&fault_key)
+            {
+                Err(classify_injected(fault))
+            } else {
+                let site = sites.get_mut(site_id);
+                match classify_outage(site.id().as_str(), site.outage(ctx.faults, t)) {
+                    Some(err) => Err(err),
+                    None => site.invoke(&InvokeRequest {
+                        at: t,
+                        di: b.di,
+                        comp,
+                        work,
+                        member_works: &[],
+                        device: &ctx.env.device,
+                    }),
+                }
+            };
+            match outcome {
+                Ok(inv) => {
+                    st.acct.device_energy += inv.device_energy;
+                    sim.schedule_at(inv.finish, Ev::Done(bi, comp)).expect("future");
+                }
+                Err((class, cause)) => {
+                    recovery::recover(ctx, sites, st, sim, t, bi, comp, class, cause);
+                }
+            }
+        }
+    }
+}
+
+/// Execution-to-execution noise, sampled once per (batch, component) so
+/// retries re-observe the same value.
+fn noise_factor(ctx: &RunCtx<'_>, bi: usize, comp: ComponentId) -> f64 {
+    let b = &ctx.batches[bi];
+    let first = ctx.jobs[b.members[0]].id;
+    let archetype = ctx.jobs[b.members[0]].archetype;
+    let mut r = ctx.work_rng.derive(&format!("{first}-{comp}"));
+    archetype.demand_drift() * r.lognormal(0.0, archetype.demand_noise_sigma())
+}
+
+fn member_work(job: &Job, d: &Deployment, comp: ComponentId, noise: f64) -> Cycles {
+    let annotated = d.graph.component(comp).demand_cycles(job.input).get() as f64;
+    Cycles::new((annotated * noise).round() as u64)
+}

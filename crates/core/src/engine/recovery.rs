@@ -1,0 +1,89 @@
+//! Recovery: acting on classified attempt failures — deterministic waits,
+//! retry with decorrelated-jitter backoff, and fallback down the
+//! deployment's site-preference chain.
+
+use ntc_faults::{ErrorClass, FailureCause};
+use ntc_simcore::event::Simulator;
+use ntc_simcore::units::SimTime;
+use ntc_taskgraph::ComponentId;
+
+use super::{accounting, Ev, RunCtx, RunState};
+use crate::site::SiteRegistry;
+
+/// Acts on a classified attempt failure: wait, retry with backoff, fall
+/// back down the site chain, or fail the batch.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn recover(
+    ctx: &RunCtx<'_>,
+    sites: &SiteRegistry,
+    st: &mut RunState,
+    sim: &mut Simulator<Ev>,
+    t: SimTime,
+    bi: usize,
+    comp: ComponentId,
+    class: ErrorClass,
+    cause: FailureCause,
+) {
+    let detect = ctx.env.faults.error_detect_latency;
+    match class {
+        ErrorClass::WaitUntil(r) => {
+            // A deterministic wait (service still installing, outage
+            // with a known end): free, no retry budget consumed.
+            sim.schedule_at(r.max(t), Ev::Exec(bi, comp)).expect("future");
+        }
+        ErrorClass::Retryable => {
+            let attempt = st.states[bi].attempts[comp.index()];
+            let first = ctx.jobs[ctx.batches[bi].members[0]].id;
+            let backoff = ctx.retry.backoff(ctx.retry_rng, &format!("{first}-{comp}"), attempt);
+            let resume = t + detect + backoff;
+            let min_deadline = ctx.batches[bi]
+                .members
+                .iter()
+                .map(|&ji| ctx.jobs[ji].deadline())
+                .min()
+                .expect("batch is non-empty");
+            if ctx.retry.allows(attempt, resume, min_deadline) {
+                st.states[bi].backoff[comp.index()] += backoff;
+                sim.schedule_at(resume, Ev::Exec(bi, comp)).expect("future");
+            } else {
+                fall_back_or_fail(ctx, sites, st, sim, t, bi, comp, cause);
+            }
+        }
+        ErrorClass::Fallback => fall_back_or_fail(ctx, sites, st, sim, t, bi, comp, cause),
+        ErrorClass::Terminal => {
+            let RunState { states, acct, .. } = st;
+            accounting::fail_batch(ctx, states, acct, t, bi, cause);
+        }
+    }
+}
+
+/// Advances the batch to the next site in its preference chain that can
+/// serve this component, or fails it when the chain is exhausted.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn fall_back_or_fail(
+    ctx: &RunCtx<'_>,
+    sites: &SiteRegistry,
+    st: &mut RunState,
+    sim: &mut Simulator<Ev>,
+    t: SimTime,
+    bi: usize,
+    comp: ComponentId,
+    cause: FailureCause,
+) {
+    let detect = ctx.env.faults.error_detect_latency;
+    let di = ctx.batches[bi].di;
+    let chain = &ctx.chains[di];
+    let pos = st.states[bi].chain_pos;
+    let next = (pos + 1..chain.len()).find(|&i| sites.get(&chain[i]).can_serve(di, comp));
+    match next {
+        Some(i) => {
+            st.states[bi].chain_pos = i;
+            st.states[bi].fallbacks += 1;
+            sim.schedule_at(t + detect, Ev::Exec(bi, comp)).expect("future");
+        }
+        None => {
+            let RunState { states, acct, .. } = st;
+            accounting::fail_batch(ctx, states, acct, t, bi, cause);
+        }
+    }
+}

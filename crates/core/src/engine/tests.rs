@@ -1,0 +1,301 @@
+//! End-to-end engine behaviour tests, run against the full site pipeline.
+
+use ntc_simcore::units::{DataSize, Energy, SimDuration};
+use ntc_workloads::{Archetype, StreamSpec};
+
+use crate::engine::Engine;
+use crate::environment::Environment;
+use crate::policy::{Backend, OffloadPolicy};
+
+fn engine() -> Engine {
+    Engine::new(Environment::metro_reference(), 7)
+}
+
+fn photo_specs(rate: f64) -> [StreamSpec; 1] {
+    [StreamSpec::poisson(Archetype::PhotoPipeline, rate)]
+}
+
+#[test]
+fn all_jobs_complete_under_every_policy() {
+    let e = engine();
+    let horizon = SimDuration::from_hours(2);
+    for policy in [
+        OffloadPolicy::LocalOnly,
+        OffloadPolicy::EdgeAll,
+        OffloadPolicy::CloudAll,
+        OffloadPolicy::ntc(),
+    ] {
+        let r = e.run(&policy, &photo_specs(0.02), horizon);
+        assert!(!r.jobs.is_empty(), "{policy}: no jobs ran");
+        assert_eq!(r.failures(), 0, "{policy}: unexpected failures");
+        for j in &r.jobs {
+            assert!(j.finish >= j.arrival, "{policy}: job finished before arriving");
+        }
+    }
+}
+
+#[test]
+fn every_job_gets_a_result() {
+    let e = engine();
+    for policy in [OffloadPolicy::CloudAll, OffloadPolicy::ntc()] {
+        let r = e.run(&policy, &photo_specs(0.05), SimDuration::from_hours(2));
+        let mut ids: Vec<u64> = r.jobs.iter().map(|j| j.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), r.jobs.len(), "{policy}: duplicate results");
+    }
+}
+
+#[test]
+fn local_only_costs_no_money_but_burns_battery() {
+    let e = engine();
+    let r = e.run(&OffloadPolicy::LocalOnly, &photo_specs(0.02), SimDuration::from_hours(1));
+    assert_eq!(r.cloud_cost, ntc_simcore::units::Money::ZERO);
+    assert_eq!(r.edge_cost, ntc_simcore::units::Money::ZERO);
+    assert!(r.device_energy > Energy::ZERO);
+    assert_eq!(r.bytes_up, DataSize::ZERO);
+}
+
+#[test]
+fn cloud_all_moves_bytes_and_money() {
+    let e = engine();
+    let r = e.run(&OffloadPolicy::CloudAll, &photo_specs(0.02), SimDuration::from_hours(1));
+    assert!(r.cloud_cost > ntc_simcore::units::Money::ZERO);
+    assert!(r.bytes_up > DataSize::ZERO);
+    assert!(r.bytes_down > DataSize::ZERO);
+    assert_eq!(r.edge_cost, ntc_simcore::units::Money::ZERO);
+}
+
+#[test]
+fn edge_all_pays_infrastructure_even_when_idle() {
+    let e = engine();
+    let r = e.run(&OffloadPolicy::EdgeAll, &photo_specs(0.001), SimDuration::from_hours(1));
+    assert!(r.edge_cost > ntc_simcore::units::Money::ZERO);
+    assert_eq!(r.cloud_cost, ntc_simcore::units::Money::ZERO);
+}
+
+#[test]
+fn offloading_beats_local_latency_for_heavy_work() {
+    let e = engine();
+    let specs = [StreamSpec::poisson(Archetype::SciSweep, 0.002)];
+    let horizon = SimDuration::from_hours(4);
+    let local = e.run(&OffloadPolicy::LocalOnly, &specs, horizon);
+    let cloud = e.run(&OffloadPolicy::CloudAll, &specs, horizon);
+    let l50 = local.latency_summary().unwrap().p50;
+    let c50 = cloud.latency_summary().unwrap().p50;
+    // The default cloud function gets one 2.5 GHz vCPU vs the 1.5 GHz
+    // UE core: ~1.7× faster even after paying the WAN transfers.
+    assert!(c50 < l50 * 0.7, "cloud p50 {c50}s should beat local {l50}s");
+}
+
+#[test]
+fn ntc_is_cheaper_than_cloud_all() {
+    let e = engine();
+    let specs = [StreamSpec::poisson(Archetype::ReportRendering, 0.01)];
+    let horizon = SimDuration::from_hours(6);
+    let naive = e.run(&OffloadPolicy::CloudAll, &specs, horizon);
+    let ntc = e.run(&OffloadPolicy::ntc(), &specs, horizon);
+    assert!(
+        ntc.total_cost() <= naive.total_cost(),
+        "ntc {} should not out-cost cloud-all {}",
+        ntc.total_cost(),
+        naive.total_cost()
+    );
+    assert_eq!(ntc.miss_rate(), 0.0, "slack is huge; nothing should miss");
+}
+
+#[test]
+fn batching_coalesces_jobs_and_meets_deadlines() {
+    let e = engine();
+    let specs = [StreamSpec::poisson(Archetype::ReportRendering, 0.01)];
+    let r = e.run(&OffloadPolicy::ntc(), &specs, SimDuration::from_hours(4));
+    let held = r.jobs.iter().filter(|j| j.dispatched > j.arrival).count();
+    assert!(held > 0, "batching should hold at least some jobs");
+    assert_eq!(r.deadline_misses(), 0);
+    // Coalescing: several jobs share a finish instant.
+    let mut finishes: Vec<_> = r.jobs.iter().map(|j| j.finish).collect();
+    finishes.sort_unstable();
+    finishes.dedup();
+    assert!(finishes.len() < r.jobs.len(), "some jobs should share a batch");
+}
+
+#[test]
+fn sparse_traffic_deployment_warms_and_stays_mostly_warm() {
+    // 1 job / 25 min < the 10-min platform TTL: the deployment picks a
+    // warmer, and the engine's periodic pings keep tails down.
+    let e = engine();
+    let specs = [StreamSpec::poisson(Archetype::MlInference, 1.0 / 1500.0)];
+    let r = e.run(&OffloadPolicy::ntc(), &specs, SimDuration::from_hours(12));
+    assert!(!r.jobs.is_empty());
+    assert_eq!(r.failures(), 0);
+    // With warming, p95 should sit close to p50 (no pervasive cold tail).
+    let s = r.latency_summary().unwrap();
+    assert!(s.p95 < s.p50 * 20.0, "p95 {} vs p50 {}", s.p95, s.p50);
+    // And the run still costs money (pings and invocations are billed).
+    assert!(r.cloud_cost > ntc_simcore::units::Money::ZERO);
+}
+
+#[test]
+fn bursty_stream_survives_end_to_end() {
+    let e = engine();
+    let specs = [StreamSpec::bursty(
+        Archetype::LogAnalytics,
+        0.005,
+        1.0,
+        SimDuration::from_mins(30),
+        SimDuration::from_mins(2),
+    )];
+    for policy in [OffloadPolicy::CloudAll, OffloadPolicy::ntc()] {
+        let r = e.run(&policy, &specs, SimDuration::from_hours(6));
+        assert_eq!(r.failures(), 0, "{policy}");
+        assert_eq!(r.deadline_misses(), 0, "{policy}");
+    }
+}
+
+#[test]
+fn hourly_completions_sum_to_job_count() {
+    let e = engine();
+    let r = e.run(&OffloadPolicy::ntc(), &photo_specs(0.05), SimDuration::from_hours(3));
+    let total: u64 =
+        (0..r.completions_per_hour.len()).map(|i| r.completions_per_hour.count(i)).sum();
+    assert_eq!(total, r.jobs.len() as u64);
+}
+
+#[test]
+fn runs_are_reproducible() {
+    let e = engine();
+    let a = e.run(&OffloadPolicy::ntc(), &photo_specs(0.02), SimDuration::from_hours(1));
+    let b = e.run(&OffloadPolicy::ntc(), &photo_specs(0.02), SimDuration::from_hours(1));
+    assert_eq!(a.jobs, b.jobs);
+    assert_eq!(a.cloud_cost, b.cloud_cost);
+    assert_eq!(a.device_energy, b.device_energy);
+}
+
+#[test]
+fn empty_spec_list_yields_an_empty_result() {
+    let e = engine();
+    let r = e.run(&OffloadPolicy::ntc(), &[], SimDuration::from_hours(1));
+    assert!(r.jobs.is_empty());
+    assert_eq!(r.total_cost(), ntc_simcore::units::Money::ZERO);
+    assert_eq!(r.device_energy, Energy::ZERO);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = Engine::new(Environment::metro_reference(), 1).run(
+        &OffloadPolicy::ntc(),
+        &photo_specs(0.02),
+        SimDuration::from_hours(1),
+    );
+    let b = Engine::new(Environment::metro_reference(), 2).run(
+        &OffloadPolicy::ntc(),
+        &photo_specs(0.02),
+        SimDuration::from_hours(1),
+    );
+    assert_ne!(a.jobs, b.jobs);
+}
+
+// --- Fault injection and recovery. ---
+
+fn faulty_env(rate: f64) -> Environment {
+    let mut env = Environment::metro_reference();
+    env.faults = ntc_faults::FaultConfig::transient(rate);
+    env
+}
+
+#[test]
+fn fault_free_runs_record_single_attempts() {
+    let e = engine();
+    let r = e.run(&OffloadPolicy::ntc(), &photo_specs(0.02), SimDuration::from_hours(1));
+    for j in &r.jobs {
+        assert_eq!(j.attempts, 1);
+        assert_eq!(j.backoff, SimDuration::ZERO);
+        assert_eq!(j.fallbacks, 0);
+        assert!(j.cause.is_none());
+    }
+    assert_eq!(r.total_retries(), 0);
+}
+
+#[test]
+fn ntc_retries_through_transient_faults() {
+    let e = Engine::new(faulty_env(0.10), 7);
+    let r = e.run(&OffloadPolicy::ntc(), &photo_specs(0.02), SimDuration::from_hours(2));
+    assert!(!r.jobs.is_empty());
+    assert_eq!(r.failures(), 0, "NTC must ride out transient faults by retrying");
+    assert!(r.total_retries() > 0, "a 10% fault rate must trigger retries");
+    assert!(r.total_backoff() > SimDuration::ZERO);
+}
+
+#[test]
+fn zero_retry_baseline_loses_jobs_under_faults() {
+    let e = Engine::new(faulty_env(0.10), 7);
+    let r = e.run(&OffloadPolicy::CloudAll, &photo_specs(0.02), SimDuration::from_hours(2));
+    assert!(r.failures() > 0, "a zero-retry baseline must lose jobs at 10% faults");
+    assert_eq!(r.failure_causes().get("transient"), Some(&r.failures()));
+}
+
+#[test]
+fn faulty_runs_are_reproducible() {
+    let e = Engine::new(faulty_env(0.2), 11);
+    let a = e.run(&OffloadPolicy::ntc(), &photo_specs(0.02), SimDuration::from_hours(1));
+    let b = e.run(&OffloadPolicy::ntc(), &photo_specs(0.02), SimDuration::from_hours(1));
+    assert_eq!(a.jobs, b.jobs);
+    assert_eq!(a.cloud_cost, b.cloud_cost);
+    assert_eq!(a.device_energy, b.device_energy);
+}
+
+#[test]
+fn backoff_never_exceeds_job_latency() {
+    let e = Engine::new(faulty_env(0.3), 5);
+    let r = e.run(&OffloadPolicy::ntc(), &photo_specs(0.02), SimDuration::from_hours(2));
+    assert!(r.total_retries() > 0);
+    for j in &r.jobs {
+        assert!(
+            j.backoff <= j.finish.saturating_duration_since(j.dispatched),
+            "job {}: backoff {} vs latency {}",
+            j.id,
+            j.backoff,
+            j.finish.saturating_duration_since(j.dispatched)
+        );
+    }
+}
+
+#[test]
+fn permanent_edge_outage_falls_back_to_cloud() {
+    let mut env = Environment::metro_reference();
+    env.faults.edge_availability = ntc_net::ConnectivityTrace::new(
+        SimDuration::from_hours(1),
+        vec![(SimDuration::ZERO, false)],
+    );
+    let e = Engine::new(env, 7);
+    let policy = OffloadPolicy::Ntc(crate::NtcConfig {
+        primary_backend: Backend::Edge,
+        ..Default::default()
+    });
+    let r = e.run(&policy, &photo_specs(0.02), SimDuration::from_hours(2));
+    assert!(!r.jobs.is_empty());
+    assert_eq!(r.failures(), 0, "the cloud fallback must save every job");
+    assert!(r.total_fallbacks() > 0, "every batch must have fallen back");
+    assert!(
+        r.cloud_cost > ntc_simcore::units::Money::ZERO,
+        "fallback work is billed on the platform"
+    );
+}
+
+#[test]
+fn edge_outage_without_fallback_fails_jobs() {
+    let mut env = Environment::metro_reference();
+    env.faults.edge_availability = ntc_net::ConnectivityTrace::new(
+        SimDuration::from_hours(1),
+        vec![(SimDuration::ZERO, false)],
+    );
+    let e = Engine::new(env, 7);
+    let policy = OffloadPolicy::Ntc(crate::NtcConfig {
+        primary_backend: Backend::Edge,
+        fallback: false,
+        ..Default::default()
+    });
+    let r = e.run(&policy, &photo_specs(0.02), SimDuration::from_hours(2));
+    assert!(r.failures() > 0);
+    assert!(r.failure_causes().contains_key("edge-outage"));
+}

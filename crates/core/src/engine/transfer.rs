@@ -1,0 +1,165 @@
+//! Transfer timing: congestion- and outage-aware uploads, inter-component
+//! flows, result returns, and faulty-transfer injection.
+//!
+//! All durations draw from the sequential `net_rng` stream; the draw
+//! order below is part of the reproducibility contract.
+
+use ntc_faults::FaultPlan;
+use ntc_partition::Side;
+use ntc_simcore::event::Simulator;
+use ntc_simcore::units::{SimDuration, SimTime};
+use ntc_taskgraph::ComponentId;
+
+use super::{accounting, Ev, RunCtx, RunState};
+use crate::site::{SiteId, SiteRegistry};
+
+/// The site whose network paths carry this batch's offloaded traffic: the
+/// last *remote* site at or before the batch's chain position. After a
+/// last-resort degrade to device, in-flight remote outputs still route
+/// over the site they were produced on.
+fn offload_site(chain: &[SiteId], pos: usize) -> &SiteId {
+    chain[..=pos]
+        .iter()
+        .rev()
+        .find(|s| s.as_str() != "device")
+        .expect("site chains start at a remote site")
+}
+
+/// Scales a transfer duration by the fault plan's drop penalty for
+/// `key`. A fault-free plan leaves the duration untouched.
+fn faulty_transfer(dur: SimDuration, faults: &FaultPlan, key: &str) -> SimDuration {
+    let penalty = faults.transfer_penalty(key);
+    if penalty > 1.0 {
+        dur.mul_f64(penalty)
+    } else {
+        dur
+    }
+}
+
+/// Releases a batch: schedules every entry component, timing the upload
+/// of offloaded entries over the primary site's UE path.
+pub(crate) fn handle_dispatch(
+    ctx: &RunCtx<'_>,
+    sites: &SiteRegistry,
+    st: &mut RunState,
+    sim: &mut Simulator<Ev>,
+    t: SimTime,
+    bi: usize,
+) {
+    let RunState { acct, net_rng, .. } = st;
+    let b = &ctx.batches[bi];
+    let d = &ctx.deployments[b.di];
+    let primary = sites.get(&ctx.chains[b.di][0]);
+    for c in d.graph.entries() {
+        let side = if ctx.local_override[bi] { Side::Device } else { d.plan.side(c) };
+        let ready = match side {
+            Side::Device => t,
+            Side::Cloud => {
+                // Each member uploads its own input, in parallel
+                // across devices; the batch is ready when the
+                // largest upload lands. Offline devices wait for
+                // reconnection before transmitting.
+                let online = ctx.env.connectivity.next_online(t);
+                let path = primary.ue_path(ctx.env);
+                let share = primary.wan_share(ctx.env, online);
+                let dur = path.transfer_time_at_share(b.max_input, share, net_rng);
+                let dur = faulty_transfer(dur, ctx.faults, &format!("up-{bi}-{c}"));
+                for &ji in &b.members {
+                    let jdur = path.transfer_time_at_share(ctx.jobs[ji].input, share, net_rng);
+                    acct.device_energy += ctx.env.device.radio_energy(jdur);
+                    acct.bytes_up += ctx.jobs[ji].input;
+                }
+                online + dur
+            }
+        };
+        sim.schedule_at(ready, Ev::Exec(bi, c)).expect("ready >= now");
+    }
+}
+
+/// Routes a finished component's outputs to its successors and, for exit
+/// components, returns results to each member device.
+pub(crate) fn handle_done(
+    ctx: &RunCtx<'_>,
+    sites: &SiteRegistry,
+    st: &mut RunState,
+    sim: &mut Simulator<Ev>,
+    t: SimTime,
+    bi: usize,
+    comp: ComponentId,
+) {
+    let RunState { states, acct, net_rng } = st;
+    if states[bi].failed {
+        return;
+    }
+    let b = &ctx.batches[bi];
+    let d = &ctx.deployments[b.di];
+    let chain = &ctx.chains[b.di];
+    let pos = states[bi].chain_pos;
+    // What the component actually ran on (it may have fallen back
+    // mid-graph), and where offloaded work now runs.
+    let from_side = states[bi].exec_side[comp.index()];
+    let eff = sites.get(offload_site(chain, pos));
+    let degraded = ctx.local_override[bi] || !sites.get(&chain[pos]).is_remote();
+
+    // Propagate data to successors.
+    let flows: Vec<(ComponentId, &ntc_taskgraph::LinearModel)> =
+        d.graph.flows_from(comp).map(|f| (f.to, &f.payload)).collect();
+    for (to, payload) in flows {
+        let to_side = if degraded { Side::Device } else { d.plan.side(to) };
+        let dur = match (from_side, to_side) {
+            (Side::Device, Side::Device) => SimDuration::ZERO,
+            (Side::Cloud, Side::Cloud) => {
+                // One merged transfer inside the backend.
+                let bytes = payload.eval_bytes(b.sum_input);
+                eff.internal_path(ctx.env).transfer_time(bytes, net_rng)
+            }
+            _ => {
+                // Boundary crossing: per-member payloads move in
+                // parallel over each member's own radio link,
+                // waiting out any outage first.
+                let online = ctx.env.connectivity.next_online(t);
+                let path = eff.ue_path(ctx.env);
+                let share = eff.wan_share(ctx.env, online);
+                let dur =
+                    path.transfer_time_at_share(payload.eval_bytes(b.max_input), share, net_rng);
+                let dur = faulty_transfer(dur, ctx.faults, &format!("flow-{bi}-{comp}-{to}"));
+                for &ji in &b.members {
+                    let bytes = payload.eval_bytes(ctx.jobs[ji].input);
+                    let jdur = path.transfer_time_at_share(bytes, share, net_rng);
+                    acct.device_energy += ctx.env.device.radio_energy(jdur);
+                    match to_side {
+                        Side::Cloud => acct.bytes_up += bytes,
+                        Side::Device => acct.bytes_down += bytes,
+                    }
+                }
+                online.saturating_duration_since(t) + dur
+            }
+        };
+        let arrival = t + dur;
+        let stb = &mut states[bi];
+        stb.ready_at[to.index()] = stb.ready_at[to.index()].max(arrival);
+        stb.remaining_preds[to.index()] -= 1;
+        if stb.remaining_preds[to.index()] == 0 {
+            let ready = stb.ready_at[to.index()].max(t);
+            sim.schedule_at(ready, Ev::Exec(bi, to)).expect("future");
+        }
+    }
+
+    // Exit component: return results to each member device.
+    if d.graph.successors(comp).next().is_none() {
+        let finish = match from_side {
+            Side::Device => t,
+            Side::Cloud => {
+                let online = ctx.env.connectivity.next_online(t);
+                let path = eff.ue_path(ctx.env);
+                let share = eff.wan_share(ctx.env, online);
+                let dur = path.transfer_time_at_share(ctx.env.result_return, share, net_rng);
+                let dur = faulty_transfer(dur, ctx.faults, &format!("ret-{bi}-{comp}"));
+                acct.device_energy += ctx.env.device.radio_energy(dur) * (b.members.len() as u64);
+                acct.bytes_down += ctx.env.result_return * b.members.len() as u64;
+                online + dur
+            }
+        };
+        accounting::record_exit(ctx, states, acct, bi, finish);
+    }
+}

@@ -14,9 +14,13 @@
 //!   the full NTC framework with ablation switches.
 //! * [`mod@deploy`] — policy → [`deploy::Deployment`] (profile, partition,
 //!   allocate, batching plan).
+//! * [`site`] — the [`ExecutionSite`] trait and registry: cloud, edge and
+//!   device as uniform plug-in backends with per-site paths, outages,
+//!   costs and capabilities.
 //! * [`engine`] — the discrete-event execution [`Engine`] replaying job
-//!   streams over all substrates, with deterministic fault injection,
-//!   retry backoff and backend fallback (see [`ntc_faults`]).
+//!   streams over all registered sites, with deterministic fault
+//!   injection, retry backoff and site-chain fallback (see
+//!   [`ntc_faults`]).
 //! * [`runner`] — parallel, deterministic replications.
 //! * [`report`] — per-job and aggregate results.
 //!
@@ -49,6 +53,7 @@ pub mod environment;
 pub mod policy;
 pub mod report;
 pub mod runner;
+pub mod site;
 
 pub use deploy::{deploy, Deployment};
 pub use device::DeviceModel;
@@ -58,3 +63,7 @@ pub use ntc_faults::{FailureCause, FaultConfig, RetryBudget, RetryPolicy};
 pub use policy::{Backend, NtcConfig, OffloadPolicy};
 pub use report::{JobResult, RunResult};
 pub use runner::{across, run_replications, MetricSummary};
+pub use site::{
+    CloudSite, DeviceSite, EdgeSite, ExecutionSite, InvokeRequest, Invoked, SiteId, SiteOutcome,
+    SiteRegistry, SiteRole,
+};

@@ -1,0 +1,146 @@
+//! The cloud serverless execution site.
+
+use std::collections::HashMap;
+
+use ntc_alloc::{SiteCapabilities, WarmStrategy};
+use ntc_faults::{classify_invoke, classify_timeout, FaultPlan, SiteOutage};
+use ntc_net::PathModel;
+use ntc_serverless::{FunctionConfig, FunctionId, PlatformConfig, ServerlessPlatform};
+use ntc_simcore::rng::RngStream;
+use ntc_simcore::units::{ClockSpeed, Cycles, DataSize, Energy, Money, SimDuration, SimTime};
+use ntc_taskgraph::ComponentId;
+
+use super::{ExecutionSite, InvokeRequest, Invoked, SiteId, SiteOutcome, SiteRole};
+use crate::deploy::Deployment;
+use crate::environment::Environment;
+
+/// A metered serverless platform behind the WAN: cold starts, queueing,
+/// per-invocation billing, diurnal congestion on the UE path.
+#[derive(Debug)]
+pub struct CloudSite {
+    id: SiteId,
+    platform: ServerlessPlatform,
+    fns: HashMap<(usize, ComponentId), FunctionId>,
+}
+
+impl CloudSite {
+    /// Wraps a platform built from `config`, drawing from `rng`.
+    pub fn new(config: PlatformConfig, rng: RngStream) -> Self {
+        CloudSite {
+            id: SiteId::cloud(),
+            platform: ServerlessPlatform::new(config, rng),
+            fns: HashMap::new(),
+        }
+    }
+
+    /// The wrapped platform (for inspection in tests and reports).
+    pub fn platform(&self) -> &ServerlessPlatform {
+        &self.platform
+    }
+}
+
+impl ExecutionSite for CloudSite {
+    fn id(&self) -> &SiteId {
+        &self.id
+    }
+
+    fn is_remote(&self) -> bool {
+        true
+    }
+
+    fn fallback_rank(&self) -> u32 {
+        20
+    }
+
+    fn ue_path<'e>(&self, env: &'e Environment) -> &'e PathModel {
+        &env.topology.ue_cloud
+    }
+
+    fn internal_path<'e>(&self, env: &'e Environment) -> &'e PathModel {
+        &env.intra_cloud
+    }
+
+    fn wan_share(&self, env: &Environment, at: SimTime) -> f64 {
+        env.wan_congestion.share_at(at).clamp(0.01, 1.0)
+    }
+
+    fn planning_share(&self, env: &Environment) -> f64 {
+        // Plan WAN transfers at the congestion trough so held jobs stay
+        // deadline-safe even if released into the evening peak.
+        env.wan_congestion.min_share().max(0.01)
+    }
+
+    fn outage(&self, faults: &FaultPlan, at: SimTime) -> SiteOutage {
+        faults.site_outage(self.id.as_str(), at)
+    }
+
+    fn attach(&mut self) {}
+
+    fn provision(
+        &mut self,
+        di: usize,
+        d: &Deployment,
+        comp: ComponentId,
+        role: SiteRole,
+    ) -> Option<SimDuration> {
+        let c = d.graph.component(comp);
+        let name = match role {
+            SiteRole::Primary => format!("{}/{}", d.archetype.name(), c.name()),
+            // Mirrors accrue no cost from registration alone: nothing
+            // is billed unless they are invoked.
+            SiteRole::Mirror => format!("{}/{}@fallback", d.archetype.name(), c.name()),
+        };
+        let f = self.platform.register(
+            FunctionConfig::new(name, d.memory[comp.index()]).with_artifact_size(c.artifact_size()),
+        );
+        self.fns.insert((di, comp), f);
+        if role == SiteRole::Primary {
+            match d.warm {
+                WarmStrategy::Provisioned { count } => {
+                    self.platform.set_provisioned(SimTime::ZERO, f, count);
+                }
+                WarmStrategy::Warmer { period } if !period.is_zero() => return Some(period),
+                _ => {}
+            }
+        }
+        None
+    }
+
+    fn can_serve(&self, di: usize, comp: ComponentId) -> bool {
+        self.fns.contains_key(&(di, comp))
+    }
+
+    fn invoke(&mut self, req: &InvokeRequest<'_>) -> SiteOutcome {
+        let f = self.fns[&(req.di, req.comp)];
+        match self.platform.invoke(req.at, f, req.work) {
+            Ok(out) if !out.timed_out => {
+                Ok(Invoked { finish: out.finish, device_energy: Energy::ZERO })
+            }
+            Ok(_) => Err(classify_timeout()),
+            Err(e) => Err(classify_invoke(&e)),
+        }
+    }
+
+    fn keep_warm(&mut self, at: SimTime, di: usize, comp: ComponentId) {
+        if let Some(&f) = self.fns.get(&(di, comp)) {
+            let _ = self.platform.invoke(at, f, Cycles::new(1_000));
+        }
+    }
+
+    fn cost(&mut self, drained_end: SimTime, _horizon_end: SimTime) -> Money {
+        self.platform.total_cost(drained_end)
+    }
+
+    fn execution_speed(&self, env: &Environment, memory: DataSize) -> ClockSpeed {
+        env.platform.cpu.effective_speed(memory)
+    }
+
+    fn marginal_cost(&self, env: &Environment, memory: DataSize) -> (Money, Money) {
+        let gb = memory.as_bytes() as f64 / (1024.0 * 1024.0 * 1024.0);
+        (env.platform.billing.per_gb_second.mul_f64(gb), env.platform.billing.per_request)
+    }
+
+    fn capabilities(&self) -> SiteCapabilities {
+        SiteCapabilities::metered_faas(SimDuration::from_mins(15))
+    }
+}

@@ -1,0 +1,114 @@
+//! The on-device execution site: the fallback of last resort.
+
+use ntc_alloc::SiteCapabilities;
+use ntc_faults::{FaultPlan, SiteOutage};
+use ntc_net::PathModel;
+use ntc_simcore::units::{ClockSpeed, DataSize, Energy, Money, SimDuration, SimTime};
+use ntc_taskgraph::ComponentId;
+
+use super::{ExecutionSite, InvokeRequest, Invoked, SiteId, SiteOutcome, SiteRole};
+use crate::deploy::Deployment;
+use crate::environment::Environment;
+
+/// Execution on the batch members' own devices: each member runs its own
+/// share in parallel, so wall-clock is the slowest member and battery
+/// energy is paid by every member. Needs no provisioning, suffers no
+/// outages, costs no money — only time and battery.
+#[derive(Debug)]
+pub struct DeviceSite {
+    id: SiteId,
+}
+
+impl DeviceSite {
+    /// A fresh device site.
+    pub fn new() -> Self {
+        DeviceSite { id: SiteId::device() }
+    }
+}
+
+impl Default for DeviceSite {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExecutionSite for DeviceSite {
+    fn id(&self) -> &SiteId {
+        &self.id
+    }
+
+    fn is_remote(&self) -> bool {
+        false
+    }
+
+    fn fallback_rank(&self) -> u32 {
+        30
+    }
+
+    fn ue_path<'e>(&self, env: &'e Environment) -> &'e PathModel {
+        // Device execution never crosses the network; the edge path is
+        // the conservative stand-in for planning queries that insist.
+        &env.topology.ue_edge
+    }
+
+    fn internal_path<'e>(&self, env: &'e Environment) -> &'e PathModel {
+        &env.intra_edge
+    }
+
+    fn wan_share(&self, _env: &Environment, _at: SimTime) -> f64 {
+        1.0
+    }
+
+    fn planning_share(&self, _env: &Environment) -> f64 {
+        1.0
+    }
+
+    fn outage(&self, _faults: &FaultPlan, _at: SimTime) -> SiteOutage {
+        // A member's device is, by definition, reachable from itself.
+        SiteOutage::Online
+    }
+
+    fn attach(&mut self) {}
+
+    fn provision(
+        &mut self,
+        _di: usize,
+        _d: &Deployment,
+        _comp: ComponentId,
+        _role: SiteRole,
+    ) -> Option<SimDuration> {
+        None
+    }
+
+    fn can_serve(&self, _di: usize, _comp: ComponentId) -> bool {
+        true
+    }
+
+    fn invoke(&mut self, req: &InvokeRequest<'_>) -> SiteOutcome {
+        let mut slowest = SimDuration::ZERO;
+        let mut energy = Energy::ZERO;
+        for &work in req.member_works {
+            slowest = slowest.max(req.device.execution_time(work));
+            energy += req.device.compute_energy(work);
+        }
+        Ok(Invoked { finish: req.at + slowest, device_energy: energy })
+    }
+
+    fn keep_warm(&mut self, _at: SimTime, _di: usize, _comp: ComponentId) {}
+
+    fn cost(&mut self, _drained_end: SimTime, _horizon_end: SimTime) -> Money {
+        Money::ZERO
+    }
+
+    fn execution_speed(&self, env: &Environment, _memory: DataSize) -> ClockSpeed {
+        env.device.clock
+    }
+
+    fn marginal_cost(&self, _env: &Environment, _memory: DataSize) -> (Money, Money) {
+        (Money::ZERO, Money::ZERO)
+    }
+
+    fn capabilities(&self) -> SiteCapabilities {
+        SiteCapabilities::local()
+    }
+}

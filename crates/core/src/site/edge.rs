@@ -1,0 +1,135 @@
+//! The edge fleet execution site.
+
+use std::collections::HashMap;
+
+use ntc_alloc::SiteCapabilities;
+use ntc_edge::{EdgeConfig, EdgeFleet, ServiceId};
+use ntc_faults::{classify_edge, FaultPlan, SiteOutage};
+use ntc_net::PathModel;
+use ntc_simcore::units::{ClockSpeed, DataSize, Energy, Money, SimDuration, SimTime};
+use ntc_taskgraph::ComponentId;
+
+use super::{ExecutionSite, InvokeRequest, Invoked, SiteId, SiteOutcome, SiteRole};
+use crate::deploy::Deployment;
+use crate::environment::Environment;
+
+/// A pre-paid edge fleet on the metro LAN: slot admission, installation
+/// delay, flat standing cost, no per-invocation fee.
+#[derive(Debug)]
+pub struct EdgeSite {
+    id: SiteId,
+    fleet: EdgeFleet,
+    svcs: HashMap<(usize, ComponentId), ServiceId>,
+    /// Whether any deployment targets this site as its primary; the
+    /// standing infrastructure cost is billed from the moment it does,
+    /// busy or idle.
+    attached: bool,
+}
+
+impl EdgeSite {
+    /// Wraps a fleet built from `config`.
+    pub fn new(config: EdgeConfig) -> Self {
+        EdgeSite {
+            id: SiteId::edge(),
+            fleet: EdgeFleet::new(config),
+            svcs: HashMap::new(),
+            attached: false,
+        }
+    }
+
+    /// The wrapped fleet (for inspection in tests and reports).
+    pub fn fleet(&self) -> &EdgeFleet {
+        &self.fleet
+    }
+}
+
+impl ExecutionSite for EdgeSite {
+    fn id(&self) -> &SiteId {
+        &self.id
+    }
+
+    fn is_remote(&self) -> bool {
+        true
+    }
+
+    fn fallback_rank(&self) -> u32 {
+        10
+    }
+
+    fn ue_path<'e>(&self, env: &'e Environment) -> &'e PathModel {
+        &env.topology.ue_edge
+    }
+
+    fn internal_path<'e>(&self, env: &'e Environment) -> &'e PathModel {
+        &env.intra_edge
+    }
+
+    fn wan_share(&self, _env: &Environment, _at: SimTime) -> f64 {
+        // The edge LAN is assumed provisioned for local traffic;
+        // congestion applies to the WAN segment only.
+        1.0
+    }
+
+    fn planning_share(&self, _env: &Environment) -> f64 {
+        1.0
+    }
+
+    fn outage(&self, faults: &FaultPlan, at: SimTime) -> SiteOutage {
+        faults.site_outage(self.id.as_str(), at)
+    }
+
+    fn attach(&mut self) {
+        self.attached = true;
+    }
+
+    fn provision(
+        &mut self,
+        di: usize,
+        d: &Deployment,
+        comp: ComponentId,
+        _role: SiteRole,
+    ) -> Option<SimDuration> {
+        let c = d.graph.component(comp);
+        let s = self.fleet.register(format!("{}/{}", d.archetype.name(), c.name()));
+        self.fleet.install(SimTime::ZERO, s, c.artifact_size());
+        self.svcs.insert((di, comp), s);
+        None
+    }
+
+    fn can_serve(&self, di: usize, comp: ComponentId) -> bool {
+        self.svcs.contains_key(&(di, comp))
+    }
+
+    fn invoke(&mut self, req: &InvokeRequest<'_>) -> SiteOutcome {
+        let s = self.svcs[&(req.di, req.comp)];
+        match self.fleet.invoke(req.at, s, req.work) {
+            Ok(out) => Ok(Invoked { finish: out.finish, device_energy: Energy::ZERO }),
+            Err(e) => Err(classify_edge(&e, req.at)),
+        }
+    }
+
+    fn keep_warm(&mut self, _at: SimTime, _di: usize, _comp: ComponentId) {
+        // Edge services are always resident once installed.
+    }
+
+    fn cost(&mut self, _drained_end: SimTime, horizon_end: SimTime) -> Money {
+        if self.attached {
+            self.fleet.infrastructure_cost(horizon_end)
+        } else {
+            Money::ZERO
+        }
+    }
+
+    fn execution_speed(&self, env: &Environment, _memory: DataSize) -> ClockSpeed {
+        env.edge.clock
+    }
+
+    fn marginal_cost(&self, _env: &Environment, _memory: DataSize) -> (Money, Money) {
+        // Edge infrastructure is pre-paid: marginal money per job is zero.
+        (Money::ZERO, Money::ZERO)
+    }
+
+    fn capabilities(&self) -> SiteCapabilities {
+        SiteCapabilities::flat_rate()
+    }
+}

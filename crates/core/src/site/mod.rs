@@ -1,0 +1,353 @@
+//! Execution sites: the pluggable backends of the engine.
+//!
+//! Everything the engine asks of a backend — UE and internal network
+//! paths, WAN congestion share, provisioning and invocation semantics,
+//! outage lookup, per-invocation and standing cost, and fallback
+//! ordering — is captured by the [`ExecutionSite`] trait. The engine
+//! itself is backend-agnostic: it walks a per-deployment *site chain*
+//! (e.g. edge → cloud → device) and talks to whatever [`SiteRegistry`]
+//! entry the chain names. Adding a backend (a second cloud region, a
+//! sharded fleet) means implementing the trait and registering it — no
+//! engine changes, no new `match` arms.
+//!
+//! The three built-in sites mirror the paper's comparison:
+//!
+//! * [`CloudSite`] — a metered serverless platform
+//!   ([`ntc_serverless`]): cold starts, queueing, per-invocation
+//!   billing, WAN congestion.
+//! * [`EdgeSite`] — a pre-paid edge fleet ([`ntc_edge`]): slot
+//!   admission, installation delay, flat standing cost, LAN paths.
+//! * [`DeviceSite`] — the members' own devices: no transfers, no
+//!   faults, battery energy instead of money.
+
+mod cloud;
+mod device;
+mod edge;
+
+use core::fmt;
+
+pub use cloud::CloudSite;
+pub use device::DeviceSite;
+pub use edge::EdgeSite;
+pub use ntc_alloc::SiteCapabilities;
+
+use ntc_faults::{ErrorClass, FailureCause, FaultPlan, SiteOutage};
+use ntc_net::PathModel;
+use ntc_simcore::rng::RngStream;
+use ntc_simcore::units::{ClockSpeed, Cycles, DataSize, Energy, Money, SimDuration, SimTime};
+use ntc_taskgraph::ComponentId;
+use serde::{Deserialize, Serialize};
+
+use crate::deploy::Deployment;
+use crate::device::DeviceModel;
+use crate::environment::Environment;
+use crate::policy::Backend;
+
+/// The stable identity of one execution site.
+///
+/// Site ids name registry entries, key fault-plan availability
+/// schedules, and appear verbatim in fault keys and reports (the
+/// [`Display`](fmt::Display) form), so they must stay stable across
+/// runs. The built-in ids are `"cloud"`, `"edge"` and `"device"`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct SiteId(String);
+
+impl SiteId {
+    /// The built-in cloud serverless site.
+    pub fn cloud() -> Self {
+        SiteId("cloud".into())
+    }
+
+    /// The built-in edge fleet site.
+    pub fn edge() -> Self {
+        SiteId("edge".into())
+    }
+
+    /// The built-in on-device site.
+    pub fn device() -> Self {
+        SiteId("device".into())
+    }
+
+    /// A custom site id, for plug-in backends.
+    pub fn new(name: impl Into<String>) -> Self {
+        SiteId(name.into())
+    }
+
+    /// The id as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<Backend> for SiteId {
+    fn from(backend: Backend) -> Self {
+        match backend {
+            Backend::Cloud => SiteId::cloud(),
+            Backend::Edge => SiteId::edge(),
+        }
+    }
+}
+
+/// Why a component is being provisioned on a site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteRole {
+    /// The deployment's first-choice site.
+    Primary,
+    /// A standby mirror, provisioned so a failure on an earlier chain
+    /// entry can re-route mid-run. Mirrors are never kept warm.
+    Mirror,
+}
+
+/// One invocation request, covering both remote coalesced execution and
+/// per-member device execution.
+#[derive(Debug)]
+pub struct InvokeRequest<'a> {
+    /// Submission instant.
+    pub at: SimTime,
+    /// Deployment index the component belongs to.
+    pub di: usize,
+    /// The component to execute.
+    pub comp: ComponentId,
+    /// Coalesced batch work (what remote sites execute once).
+    pub work: Cycles,
+    /// Per-member work (what each member's own device executes).
+    pub member_works: &'a [Cycles],
+    /// The UE hardware model, for device-side execution and energy.
+    pub device: &'a DeviceModel,
+}
+
+/// A successful invocation: when it finishes and what it cost the
+/// members' batteries (zero for remote sites).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Invoked {
+    /// Completion instant.
+    pub finish: SimTime,
+    /// Battery energy drawn on the members' devices.
+    pub device_energy: Energy,
+}
+
+/// Outcome of one invocation attempt on a site.
+pub type SiteOutcome = Result<Invoked, (ErrorClass, FailureCause)>;
+
+/// Everything the engine asks of an execution backend.
+///
+/// Implementations wrap one concrete substrate (a serverless platform,
+/// an edge fleet, the members' devices) behind a uniform surface. The
+/// engine never matches on a backend enum: dispatch, transfer timing,
+/// execution, recovery and accounting all go through this trait, so a
+/// fourth backend is a plug-in, not a refactor (see `DESIGN.md` §2 for
+/// the ≤50-line recipe).
+pub trait ExecutionSite {
+    /// The site's stable identity.
+    fn id(&self) -> &SiteId;
+
+    /// Whether work here leaves the device. Remote sites pay transfers
+    /// and are subject to the fault machinery; non-remote sites execute
+    /// on the members' own hardware with neither.
+    fn is_remote(&self) -> bool;
+
+    /// Where this site sorts in a failure-driven fallback chain (lower
+    /// ranks are tried first; the device is last). The built-ins use
+    /// spaced ranks — edge 10, cloud 20, device 30 — so a plug-in can
+    /// slot anywhere between them without touching existing sites.
+    fn fallback_rank(&self) -> u32;
+
+    /// The UE ↔ site network path.
+    fn ue_path<'e>(&self, env: &'e Environment) -> &'e PathModel;
+
+    /// The path between two components hosted on this site.
+    fn internal_path<'e>(&self, env: &'e Environment) -> &'e PathModel;
+
+    /// Share of nominal UE-path bandwidth available at `at` (congestion
+    /// applies to the WAN; provisioned local segments report 1.0).
+    fn wan_share(&self, env: &Environment, at: SimTime) -> f64;
+
+    /// The bandwidth share planning should assume (the congestion
+    /// trough for WAN sites, 1.0 elsewhere).
+    fn planning_share(&self, env: &Environment) -> f64;
+
+    /// The site's availability at `at` under `faults`.
+    fn outage(&self, faults: &FaultPlan, at: SimTime) -> SiteOutage;
+
+    /// Marks this site as a deployment's primary, so standing
+    /// infrastructure cost is billed even if no work ever arrives.
+    fn attach(&mut self);
+
+    /// Provisions `comp` of deployment `di` on this site. Returns the
+    /// keep-warm ping period the engine should schedule, if any.
+    fn provision(
+        &mut self,
+        di: usize,
+        d: &Deployment,
+        comp: ComponentId,
+        role: SiteRole,
+    ) -> Option<SimDuration>;
+
+    /// Whether `comp` of deployment `di` can execute here (it was
+    /// provisioned, or the site needs no provisioning).
+    fn can_serve(&self, di: usize, comp: ComponentId) -> bool;
+
+    /// Executes one attempt.
+    fn invoke(&mut self, req: &InvokeRequest<'_>) -> SiteOutcome;
+
+    /// Fires a keep-warm ping for `comp` of deployment `di`.
+    fn keep_warm(&mut self, at: SimTime, di: usize, comp: ComponentId);
+
+    /// Total money this site charged: metered sites bill work drained
+    /// through `drained_end`; flat-rate sites bill standing
+    /// infrastructure through `horizon_end` once attached.
+    fn cost(&mut self, drained_end: SimTime, horizon_end: SimTime) -> Money;
+
+    /// Execution speed of one invocation at `memory` (planning).
+    fn execution_speed(&self, env: &Environment, memory: DataSize) -> ClockSpeed;
+
+    /// Marginal money per second of execution and per request at
+    /// `memory` (planning; zero for pre-paid sites).
+    fn marginal_cost(&self, env: &Environment, memory: DataSize) -> (Money, Money);
+
+    /// What allocation may assume about this site.
+    fn capabilities(&self) -> SiteCapabilities;
+}
+
+/// The set of execution sites one engine run dispatches to.
+///
+/// Sites are stored in fallback-rank order, so iteration (provisioning,
+/// cost assembly) is deterministic.
+pub struct SiteRegistry {
+    sites: Vec<Box<dyn ExecutionSite>>,
+}
+
+impl fmt::Debug for SiteRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.sites.iter().map(|s| s.id())).finish()
+    }
+}
+
+impl SiteRegistry {
+    /// Builds a registry from sites, sorted by fallback rank.
+    pub fn new(mut sites: Vec<Box<dyn ExecutionSite>>) -> Self {
+        sites.sort_by_key(|s| s.fallback_rank());
+        SiteRegistry { sites }
+    }
+
+    /// The standard three-site registry (edge, cloud, device) backed by
+    /// live simulators, drawing platform randomness from `rng` exactly
+    /// as the pre-trait engine did.
+    pub fn standard(env: &Environment, rng: &RngStream) -> Self {
+        Self::new(vec![
+            Box::new(CloudSite::new(env.platform.clone(), rng.derive("platform"))),
+            Box::new(EdgeSite::new(env.edge)),
+            Box::new(DeviceSite::new()),
+        ])
+    }
+
+    /// A registry for planning-time queries only (paths, speeds, costs,
+    /// capabilities): cheap to build, fed no engine randomness.
+    pub fn planning(env: &Environment) -> Self {
+        Self::standard(env, &RngStream::root(0))
+    }
+
+    /// The site registered under `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no site has that id — a deployment naming an
+    /// unregistered site is a configuration bug.
+    pub fn get(&self, id: &SiteId) -> &dyn ExecutionSite {
+        self.sites
+            .iter()
+            .find(|s| s.id() == id)
+            .unwrap_or_else(|| panic!("no execution site registered as '{id}'"))
+            .as_ref()
+    }
+
+    /// Mutable access to the site registered under `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no site has that id.
+    pub fn get_mut(&mut self, id: &SiteId) -> &mut dyn ExecutionSite {
+        self.sites
+            .iter_mut()
+            .find(|s| s.id() == id)
+            .unwrap_or_else(|| panic!("no execution site registered as '{id}'"))
+            .as_mut()
+    }
+
+    /// All sites, in fallback-rank order.
+    pub fn iter(&self) -> impl Iterator<Item = &dyn ExecutionSite> {
+        self.sites.iter().map(|s| s.as_ref())
+    }
+
+    /// All sites mutably, in fallback-rank order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Box<dyn ExecutionSite>> {
+        self.sites.iter_mut()
+    }
+
+    /// The failure-driven site-preference chain for a deployment whose
+    /// primary is `primary`: the primary first, then every site of
+    /// strictly greater fallback rank, in rank order. With fallback
+    /// disabled the chain is just the primary.
+    pub fn fallback_chain(&self, primary: &SiteId, fallback_enabled: bool) -> Vec<SiteId> {
+        let mut chain = vec![primary.clone()];
+        if fallback_enabled {
+            let rank = self.get(primary).fallback_rank();
+            chain.extend(
+                self.sites.iter().filter(|s| s.fallback_rank() > rank).map(|s| s.id().clone()),
+            );
+        }
+        chain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_ids_display_their_names() {
+        assert_eq!(SiteId::cloud().to_string(), "cloud");
+        assert_eq!(SiteId::edge().to_string(), "edge");
+        assert_eq!(SiteId::device().to_string(), "device");
+        assert_eq!(SiteId::new("cloud-eu").as_str(), "cloud-eu");
+        assert_eq!(SiteId::from(Backend::Cloud), SiteId::cloud());
+        assert_eq!(SiteId::from(Backend::Edge), SiteId::edge());
+    }
+
+    #[test]
+    fn registry_resolves_all_standard_sites() {
+        let reg = SiteRegistry::planning(&Environment::metro_reference());
+        for id in [SiteId::edge(), SiteId::cloud(), SiteId::device()] {
+            assert_eq!(reg.get(&id).id(), &id);
+        }
+        assert!(reg.get(&SiteId::device()).can_serve(0, ComponentId::from_index(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "no execution site")]
+    fn unknown_site_ids_panic() {
+        let reg = SiteRegistry::planning(&Environment::metro_reference());
+        let _ = reg.get(&SiteId::new("mars"));
+    }
+
+    #[test]
+    fn fallback_chains_walk_rank_order() {
+        let reg = SiteRegistry::planning(&Environment::metro_reference());
+        assert_eq!(
+            reg.fallback_chain(&SiteId::edge(), true),
+            vec![SiteId::edge(), SiteId::cloud(), SiteId::device()]
+        );
+        assert_eq!(
+            reg.fallback_chain(&SiteId::cloud(), true),
+            vec![SiteId::cloud(), SiteId::device()]
+        );
+        assert_eq!(reg.fallback_chain(&SiteId::edge(), false), vec![SiteId::edge()]);
+    }
+}

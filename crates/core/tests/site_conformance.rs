@@ -1,0 +1,224 @@
+//! Behavioral conformance suite for [`ExecutionSite`] implementations.
+//!
+//! Every trait obligation gets one `#[test]`, exercised against all
+//! registered sites through the same generic fixture, so a fourth
+//! backend inherits the whole suite by being added to the registry (and
+//! to [`fixture`]'s provisioning loop if it needs provisioning).
+
+use ntc_core::{
+    deploy, Deployment, Environment, InvokeRequest, OffloadPolicy, SiteId, SiteRegistry, SiteRole,
+};
+use ntc_faults::{FaultConfig, FaultPlan, SiteOutage};
+use ntc_net::ConnectivityTrace;
+use ntc_simcore::rng::RngStream;
+use ntc_simcore::units::{Cycles, SimDuration, SimTime};
+use ntc_taskgraph::ComponentId;
+use ntc_workloads::Archetype;
+
+/// A registry with one provisioned deployment per remote site: index 0 is
+/// cloud-backed, index 1 is edge-backed. Deterministic for a given seed.
+struct Fixture {
+    env: Environment,
+    registry: SiteRegistry,
+    deployments: Vec<Deployment>,
+}
+
+/// One provisioned (site, deployment, component) case.
+struct Case {
+    site: SiteId,
+    di: usize,
+    comp: ComponentId,
+}
+
+fn fixture(seed: u64) -> Fixture {
+    let env = Environment::metro_reference();
+    let rng = RngStream::root(seed);
+    let mut registry = SiteRegistry::standard(&env, &rng);
+    let slack = Archetype::PhotoPipeline.typical_slack();
+    let deployments = vec![
+        deploy(&OffloadPolicy::CloudAll, Archetype::PhotoPipeline, &env, 0.1, slack, &rng),
+        deploy(&OffloadPolicy::EdgeAll, Archetype::PhotoPipeline, &env, 0.1, slack, &rng),
+    ];
+    for (di, d) in deployments.iter().enumerate() {
+        let comp = d.plan.offloaded().next().expect("full offload has offloaded components");
+        let site = registry.get_mut(&SiteId::from(d.backend));
+        site.attach();
+        site.provision(di, d, comp, SiteRole::Primary);
+    }
+    Fixture { env, registry, deployments }
+}
+
+impl Fixture {
+    /// The provisioned remote cases plus the (provision-free) device case.
+    fn cases(&self) -> Vec<Case> {
+        let mut cases: Vec<Case> = self
+            .deployments
+            .iter()
+            .enumerate()
+            .map(|(di, d)| Case {
+                site: SiteId::from(d.backend),
+                di,
+                comp: d.plan.offloaded().next().expect("offloaded component"),
+            })
+            .collect();
+        cases.push(Case { site: SiteId::device(), di: 0, comp: ComponentId::from_index(0) });
+        cases
+    }
+
+    /// Runs one batch-sized invocation of `case` at `at` and returns the
+    /// outcome. Remote sites get the coalesced work, the device site the
+    /// per-member split of the same total.
+    fn invoke(&mut self, case: &Case, at: SimTime, work: Cycles) -> ntc_core::SiteOutcome {
+        let member_works = [work];
+        let remote = self.registry.get(&case.site).is_remote();
+        let req = InvokeRequest {
+            at,
+            di: case.di,
+            comp: case.comp,
+            work: if remote { work } else { Cycles::new(0) },
+            member_works: if remote { &[] } else { &member_works },
+            device: &self.env.device,
+        };
+        self.registry.get_mut(&case.site).invoke(&req)
+    }
+}
+
+/// A fault plan in which every *remote* site is permanently offline.
+fn all_remote_sites_dark(fx: &Fixture) -> FaultPlan {
+    let mut cfg = FaultConfig::none();
+    let dead = ConnectivityTrace::new(SimDuration::from_hours(1), vec![(SimDuration::ZERO, false)]);
+    for site in fx.registry.iter().filter(|s| s.is_remote()) {
+        cfg.site_availability.insert(site.id().as_str().to_string(), dead.clone());
+    }
+    FaultPlan::new(cfg, RngStream::root(1))
+}
+
+#[test]
+fn identities_and_ranks_are_distinct_and_device_is_last() {
+    let fx = fixture(7);
+    let ids: Vec<&SiteId> = fx.registry.iter().map(|s| s.id()).collect();
+    let mut unique = ids.clone();
+    unique.sort();
+    unique.dedup();
+    assert_eq!(unique.len(), ids.len(), "site ids must be unique");
+    let ranks: Vec<u32> = fx.registry.iter().map(|s| s.fallback_rank()).collect();
+    assert!(ranks.windows(2).all(|w| w[0] < w[1]), "registry iterates in strict rank order");
+    let last = fx.registry.iter().last().expect("non-empty registry");
+    assert_eq!(last.id(), &SiteId::device(), "the device is the fallback of last resort");
+    assert!(!last.is_remote());
+}
+
+#[test]
+fn outages_honor_the_fault_plan_on_every_remote_site() {
+    let fx = fixture(7);
+    let dark = all_remote_sites_dark(&fx);
+    let clear = FaultPlan::new(FaultConfig::none(), RngStream::root(1));
+    let at = SimTime::ZERO + SimDuration::from_mins(30);
+    for site in fx.registry.iter() {
+        if site.is_remote() {
+            assert_eq!(
+                site.outage(&dark, at),
+                SiteOutage::Forever,
+                "{}: a permanently-dark schedule must read as Forever",
+                site.id()
+            );
+        } else {
+            // A member's device is reachable from itself even when every
+            // remote site is dark.
+            assert_eq!(site.outage(&dark, at), SiteOutage::Online, "{}", site.id());
+        }
+        assert_eq!(site.outage(&clear, at), SiteOutage::Online, "{}", site.id());
+    }
+}
+
+#[test]
+fn provisioning_gates_can_serve_on_remote_sites_only() {
+    let env = Environment::metro_reference();
+    let registry = SiteRegistry::standard(&env, &RngStream::root(3));
+    let comp = ComponentId::from_index(0);
+    for site in registry.iter() {
+        assert_eq!(
+            site.can_serve(0, comp),
+            !site.is_remote(),
+            "{}: fresh remote sites serve nothing; the device serves anything",
+            site.id()
+        );
+    }
+    let fx = fixture(7);
+    for case in fx.cases() {
+        assert!(
+            fx.registry.get(&case.site).can_serve(case.di, case.comp),
+            "{}: provisioned component must be servable",
+            case.site
+        );
+    }
+}
+
+#[test]
+fn cost_is_monotone_in_work() {
+    let at = SimTime::ZERO + SimDuration::from_hours(1);
+    let light = Cycles::new(1_000_000);
+    let heavy = Cycles::new(50_000_000_000);
+    let horizon_end = SimTime::ZERO + SimDuration::from_hours(2);
+    let drained = SimTime::ZERO + SimDuration::from_hours(10);
+    let cases = fixture(7).cases();
+    for case in &cases {
+        let run = |work: Cycles| {
+            let mut fx = fixture(7);
+            fx.invoke(case, at, work).unwrap_or_else(|e| {
+                panic!("{}: clean invocation failed: {e:?}", case.site);
+            });
+            fx.registry.get_mut(&case.site).cost(drained, horizon_end)
+        };
+        let cheap = run(light);
+        let dear = run(heavy);
+        assert!(
+            dear >= cheap,
+            "{}: cost must not decrease with work ({cheap} vs {dear})",
+            case.site
+        );
+        let fx = fixture(7);
+        if fx.registry.get(&case.site).capabilities().metered {
+            assert!(dear > cheap, "{}: metered sites bill execution time", case.site);
+        }
+    }
+}
+
+#[test]
+fn invocations_are_deterministic_under_a_fixed_seed() {
+    let at = SimTime::ZERO + SimDuration::from_hours(1);
+    let work = Cycles::new(10_000_000_000);
+    let cases = fixture(7).cases();
+    for case in &cases {
+        let mut a = fixture(7);
+        let mut b = fixture(7);
+        let ra = a.invoke(case, at, work).expect("clean invocation succeeds");
+        let rb = b.invoke(case, at, work).expect("clean invocation succeeds");
+        assert_eq!(ra, rb, "{}: same seed must replay the same outcome", case.site);
+        assert!(ra.finish >= at, "{}: completion cannot precede submission", case.site);
+    }
+}
+
+#[test]
+fn shares_and_paths_stay_physical() {
+    let fx = fixture(7);
+    for site in fx.registry.iter() {
+        for hour in 0..24 {
+            let at = SimTime::ZERO + SimDuration::from_hours(hour);
+            let share = site.wan_share(&fx.env, at);
+            assert!(
+                share > 0.0 && share <= 1.0,
+                "{}: wan share {share} at hour {hour} outside (0, 1]",
+                site.id()
+            );
+        }
+        let planning = site.planning_share(&fx.env);
+        assert!(planning > 0.0 && planning <= 1.0, "{}", site.id());
+        assert!(site.ue_path(&fx.env).base_latency() >= SimDuration::ZERO);
+        assert!(
+            site.execution_speed(&fx.env, ntc_core::deploy::DEFAULT_MEMORY).as_hz() > 0,
+            "{}: execution speed must be positive",
+            site.id()
+        );
+    }
+}

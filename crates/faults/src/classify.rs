@@ -11,7 +11,7 @@ use ntc_simcore::units::SimTime;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-use crate::plan::InjectedFault;
+use crate::plan::{InjectedFault, SiteOutage as Outage};
 
 /// Why an attempt (or, ultimately, a job) failed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
@@ -24,6 +24,9 @@ pub enum FailureCause {
     Timeout,
     /// The edge site was unreachable.
     EdgeOutage,
+    /// Some other execution site was unreachable (a site-keyed
+    /// availability schedule declared it down).
+    SiteOutage,
     /// The backend permanently ran out of capacity.
     Capacity,
     /// The service or function was missing or not deployable.
@@ -41,6 +44,7 @@ impl FailureCause {
             FailureCause::Throttled => "throttled",
             FailureCause::Timeout => "timeout",
             FailureCause::EdgeOutage => "edge-outage",
+            FailureCause::SiteOutage => "site-outage",
             FailureCause::Capacity => "capacity",
             FailureCause::Deployment => "deployment",
             FailureCause::Ordering => "ordering",
@@ -97,6 +101,20 @@ pub fn classify_invoke(err: &InvokeError) -> (ErrorClass, FailureCause) {
         // permanently exhausted), so retrying the same backend is futile.
         InvokeError::CapacityExhausted => (ErrorClass::Fallback, FailureCause::Capacity),
         InvokeError::OutOfOrder { .. } => (ErrorClass::Terminal, FailureCause::Ordering),
+    }
+}
+
+/// Classifies an outage of the execution site identified by `site`:
+/// `None` while the site is online, a free deterministic wait when the
+/// outage has a known end, and a fallback down the site chain when it
+/// does not. The edge keeps its historical `edge-outage` cause; every
+/// other site reports the generic `site-outage`.
+pub fn classify_outage(site: &str, outage: Outage) -> Option<(ErrorClass, FailureCause)> {
+    let cause = if site == "edge" { FailureCause::EdgeOutage } else { FailureCause::SiteOutage };
+    match outage {
+        Outage::Online => None,
+        Outage::Until(resume) => Some((ErrorClass::WaitUntil(resume), cause)),
+        Outage::Forever => Some((ErrorClass::Fallback, cause)),
     }
 }
 
@@ -216,5 +234,25 @@ mod tests {
     fn cause_names_are_stable() {
         assert_eq!(FailureCause::Transient.to_string(), "transient");
         assert_eq!(FailureCause::EdgeOutage.name(), "edge-outage");
+        assert_eq!(FailureCause::SiteOutage.name(), "site-outage");
+    }
+
+    #[test]
+    fn outages_wait_when_bounded_and_fall_back_when_not() {
+        assert_eq!(classify_outage("edge", Outage::Online), None);
+        let resume = SimTime::from_secs(90);
+        assert_eq!(
+            classify_outage("edge", Outage::Until(resume)),
+            Some((ErrorClass::WaitUntil(resume), FailureCause::EdgeOutage))
+        );
+        assert_eq!(
+            classify_outage("edge", Outage::Forever),
+            Some((ErrorClass::Fallback, FailureCause::EdgeOutage))
+        );
+        // Non-edge sites report the generic cause.
+        assert_eq!(
+            classify_outage("cloud", Outage::Forever),
+            Some((ErrorClass::Fallback, FailureCause::SiteOutage))
+        );
     }
 }

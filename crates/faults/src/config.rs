@@ -1,5 +1,7 @@
 //! Static description of how unreliable the world is.
 
+use std::collections::BTreeMap;
+
 use ntc_net::ConnectivityTrace;
 use ntc_simcore::units::SimDuration;
 use serde::{Deserialize, Serialize};
@@ -22,6 +24,13 @@ pub struct FaultConfig {
     /// the edge fleet that the UE `ConnectivityTrace` plays for the
     /// device radio.
     pub edge_availability: ConnectivityTrace,
+    /// Availability schedules for additional execution sites, keyed by
+    /// site id (e.g. `"cloud"`, or a plug-in site such as
+    /// `"cloud-eu"`). Sites absent from the map are always online. An
+    /// `"edge"` entry overrides
+    /// [`edge_availability`](Self::edge_availability).
+    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
+    pub site_availability: BTreeMap<String, ConnectivityTrace>,
     /// Probability that a UE-side transfer drops mid-flight and must
     /// re-send part of its payload.
     pub transfer_drop_rate: f64,
@@ -40,6 +49,7 @@ impl FaultConfig {
             transient_rate: 0.0,
             throttle_rate: 0.0,
             edge_availability: ConnectivityTrace::always(),
+            site_availability: BTreeMap::new(),
             transfer_drop_rate: 0.0,
             transfer_progress_loss: 0.5,
             error_detect_latency: SimDuration::from_millis(500),
@@ -62,6 +72,7 @@ impl FaultConfig {
             && self.throttle_rate == 0.0
             && self.transfer_drop_rate == 0.0
             && self.edge_availability.offline_fraction() == 0.0
+            && self.site_availability.values().all(|t| t.offline_fraction() == 0.0)
     }
 
     /// Combined per-attempt probability of any injected invocation fault.

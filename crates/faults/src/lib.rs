@@ -29,7 +29,8 @@ pub mod plan;
 pub mod retry;
 
 pub use classify::{
-    classify_edge, classify_injected, classify_invoke, classify_timeout, ErrorClass, FailureCause,
+    classify_edge, classify_injected, classify_invoke, classify_outage, classify_timeout,
+    ErrorClass, FailureCause,
 };
 pub use config::FaultConfig;
 pub use plan::{FaultPlan, InjectedFault, SiteOutage};

@@ -69,9 +69,21 @@ impl FaultPlan {
         }
     }
 
-    /// The edge site's availability at `at`.
-    pub fn edge_outage(&self, at: SimTime) -> SiteOutage {
-        let trace = &self.config.edge_availability;
+    /// The availability of the execution site identified by `site` at
+    /// `at`.
+    ///
+    /// `"edge"` consults the dedicated
+    /// [`edge_availability`](FaultConfig::edge_availability) trace unless
+    /// the [`site_availability`](FaultConfig::site_availability) map
+    /// overrides it; every other site id is looked up in the map, and
+    /// sites absent from both are always online — so plug-in backends
+    /// get outage modelling for free once they appear in the map.
+    pub fn site_outage(&self, site: &str, at: SimTime) -> SiteOutage {
+        let trace = match self.config.site_availability.get(site) {
+            Some(trace) => trace,
+            None if site == "edge" => &self.config.edge_availability,
+            None => return SiteOutage::Online,
+        };
         if trace.is_online(at) {
             SiteOutage::Online
         } else if trace.offline_fraction() >= 1.0 {
@@ -79,6 +91,12 @@ impl FaultPlan {
         } else {
             SiteOutage::Until(trace.next_online(at))
         }
+    }
+
+    /// The edge site's availability at `at` (shorthand for
+    /// [`site_outage`](Self::site_outage) with `"edge"`).
+    pub fn edge_outage(&self, at: SimTime) -> SiteOutage {
+        self.site_outage("edge", at)
     }
 
     /// How many times the transfer identified by `key` drops mid-flight,
@@ -194,6 +212,31 @@ mod tests {
         };
         let p = plan(cfg, 1);
         assert_eq!(p.edge_outage(SimTime::ZERO), SiteOutage::Forever);
+    }
+
+    #[test]
+    fn site_outages_follow_the_keyed_availability_map() {
+        let mut cfg = FaultConfig::none();
+        cfg.site_availability.insert(
+            "cloud".into(),
+            ConnectivityTrace::new(SimDuration::from_hours(1), vec![(SimDuration::ZERO, false)]),
+        );
+        let p = plan(cfg, 1);
+        assert_eq!(p.site_outage("cloud", SimTime::ZERO), SiteOutage::Forever);
+        // Unlisted sites are always online.
+        assert_eq!(p.site_outage("cloud-eu", SimTime::ZERO), SiteOutage::Online);
+        // The edge keeps following its dedicated trace.
+        assert_eq!(p.site_outage("edge", SimTime::ZERO), SiteOutage::Online);
+    }
+
+    #[test]
+    fn map_entry_overrides_the_dedicated_edge_trace() {
+        let mut cfg =
+            FaultConfig { edge_availability: ConnectivityTrace::flaky(), ..FaultConfig::none() };
+        cfg.site_availability.insert("edge".into(), ConnectivityTrace::always());
+        let p = plan(cfg, 1);
+        let mid_outage = SimTime::from_secs(110 * 60);
+        assert_eq!(p.site_outage("edge", mid_outage), SiteOutage::Online);
     }
 
     #[test]
