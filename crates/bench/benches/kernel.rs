@@ -1,0 +1,58 @@
+//! Criterion benchmarks of the simulation kernel's three perf layers:
+//! the calendar event queue against the binary-heap reference, one engine
+//! replication (fresh scratch vs reused scratch), and the parallel sweep
+//! runner end to end. The committed baseline lives in `BENCH_kernel.json`
+//! (regenerate with `cargo run --release -p ntc-bench --bin
+//! bench_kernel_baseline`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ntc_bench::kernel::{
+    calendar_churn, engine_run_fresh, engine_run_reused, heap_churn, kernel_engine,
+    sweep_replications,
+};
+use ntc_core::RunScratch;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel/event_queue");
+    for pending in [64u64, 4_096] {
+        group.bench_with_input(
+            BenchmarkId::new("calendar_churn_50k", pending),
+            &pending,
+            |b, &p| b.iter(|| black_box(calendar_churn(50_000, p))),
+        );
+        group.bench_with_input(BenchmarkId::new("heap_churn_50k", pending), &pending, |b, &p| {
+            b.iter(|| black_box(heap_churn(50_000, p)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel/engine_run");
+    group.sample_size(10);
+    let engine = kernel_engine(1);
+    group.bench_function("fresh_scratch", |b| b.iter(|| black_box(engine_run_fresh(&engine, 1))));
+    let mut scratch = RunScratch::new();
+    group.bench_function("reused_scratch", |b| {
+        b.iter(|| black_box(engine_run_reused(&engine, 1, &mut scratch)))
+    });
+    group.finish();
+}
+
+fn bench_sweep_e2e(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel/sweep_e2e");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("replications_8", threads),
+            &threads,
+            |b, &threads| b.iter(|| black_box(sweep_replications(8, threads))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_engine_run, bench_sweep_e2e);
+criterion_main!(benches);

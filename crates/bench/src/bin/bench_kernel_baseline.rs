@@ -1,0 +1,151 @@
+//! Writes the committed `kernel` perf baseline.
+//!
+//! Times the same workloads as `benches/kernel.rs` with a plain `Instant`
+//! harness (median of several rounds) and writes `BENCH_kernel.json` at
+//! the workspace root. Each entry is paired with a pre-refactor reference
+//! measured on the same machine with the same harness at the commit just
+//! before the calendar-queue/scratch-reuse/parallel-sweep PR, so the file
+//! records the speedup the PR bought, not just a raw number.
+//!
+//! Numbers are machine-dependent; compare trends on the same hardware.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use ntc_bench::kernel::{
+    calendar_churn, engine_run_fresh, engine_run_reused, heap_churn, kernel_engine,
+    sweep_replications,
+};
+use ntc_core::RunScratch;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Baseline {
+    bench: &'static str,
+    units: &'static str,
+    regenerate: &'static str,
+    note: &'static str,
+    environment_note: &'static str,
+    results: Vec<Entry>,
+}
+
+#[derive(Debug, Serialize)]
+struct Entry {
+    name: String,
+    ns_per_op: u128,
+    ops_timed: u64,
+    rounds: u32,
+    /// Same workload at the pre-refactor commit (binary-heap queue,
+    /// per-run allocation, serial sweep), measured with this harness on
+    /// the reference machine. `None` for workloads with no pre-PR
+    /// equivalent.
+    pre_refactor_ns_per_op: Option<u128>,
+    /// `pre_refactor_ns_per_op / ns_per_op`, when a reference exists.
+    speedup: Option<f64>,
+}
+
+/// Pre-refactor references (commit c2fc403, same machine, same harness).
+/// The sweep references are flat across thread counts because the old
+/// runner ran serially regardless of the requested width.
+const PRE_ENGINE_RUN_NS: u128 = 143_171;
+const PRE_QUEUE_CHURN_50K_NS: u128 = 2_599_472;
+const PRE_SWEEP_8_NS: [(usize, u128); 3] = [(1, 1_015_925), (2, 1_021_945), (4, 1_073_474)];
+
+/// Runs `iters` calls of `op` per round, `rounds` times, and returns the
+/// median per-op nanoseconds.
+fn median_ns(rounds: u32, iters: u64, mut op: impl FnMut()) -> u128 {
+    let mut samples: Vec<u128> = (0..rounds)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                op();
+            }
+            start.elapsed().as_nanos() / u128::from(iters)
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn entry(
+    name: impl Into<String>,
+    rounds: u32,
+    iters: u64,
+    pre: Option<u128>,
+    op: impl FnMut(),
+) -> Entry {
+    let ns = median_ns(rounds, iters, op);
+    Entry {
+        name: name.into(),
+        ns_per_op: ns,
+        ops_timed: iters,
+        rounds,
+        pre_refactor_ns_per_op: pre,
+        speedup: pre.map(|p| (p as f64 / ns as f64 * 100.0).round() / 100.0),
+    }
+}
+
+fn main() {
+    let mut results = Vec::new();
+
+    results.push(entry(
+        "event_queue/calendar_churn_50k/pending_64",
+        7,
+        10,
+        Some(PRE_QUEUE_CHURN_50K_NS),
+        || {
+            black_box(calendar_churn(50_000, 64));
+        },
+    ));
+    results.push(entry("event_queue/heap_churn_50k/pending_64", 7, 10, None, || {
+        black_box(heap_churn(50_000, 64));
+    }));
+    results.push(entry("event_queue/calendar_churn_50k/pending_4096", 7, 10, None, || {
+        black_box(calendar_churn(50_000, 4_096));
+    }));
+    results.push(entry("event_queue/heap_churn_50k/pending_4096", 7, 10, None, || {
+        black_box(heap_churn(50_000, 4_096));
+    }));
+
+    let engine = kernel_engine(1);
+    results.push(entry("engine_run/fresh_scratch", 7, 20, None, || {
+        black_box(engine_run_fresh(&engine, 1));
+    }));
+    let mut scratch = RunScratch::new();
+    results.push(entry("engine_run/reused_scratch", 7, 20, Some(PRE_ENGINE_RUN_NS), || {
+        black_box(engine_run_reused(&engine, 1, &mut scratch));
+    }));
+
+    for (threads, pre) in PRE_SWEEP_8_NS {
+        results.push(entry(
+            format!("sweep_e2e/replications_8/threads_{threads}"),
+            5,
+            3,
+            Some(pre),
+            || {
+                black_box(sweep_replications(8, threads));
+            },
+        ));
+    }
+
+    let baseline = Baseline {
+        bench: "kernel",
+        units: "nanoseconds per operation (median over rounds)",
+        regenerate: "cargo run --release -p ntc-bench --bin bench_kernel_baseline",
+        note: "pre_refactor_ns_per_op was measured at the commit before the \
+               calendar-queue/scratch-reuse/parallel-sweep change, on the same \
+               machine with this harness; speedup = pre / current. \
+               engine_run/reused_scratch is compared against the old Engine::run \
+               because reuse is the replication path sweeps actually take.",
+        environment_note: "reference numbers were captured in a container exposing a \
+                           single CPU core, so sweep_e2e cannot show parallel scaling \
+                           there; thread-count invariance of results is covered by \
+                           crates/core/tests/determinism.rs and scaling is bounded by \
+                           available cores.",
+        results,
+    };
+    let json = serde_json::to_string_pretty(&baseline).expect("serialise baseline");
+    std::fs::write("BENCH_kernel.json", format!("{json}\n")).expect("write BENCH_kernel.json");
+    println!("{json}");
+    println!("\nbaseline written to BENCH_kernel.json");
+}

@@ -12,8 +12,8 @@
 //! wins, and the cloud/edge latency ratio decays toward 1 — the gap a
 //! non-time-critical job does not care about.
 
-use ntc_bench::{f3, seed_from_args, write_json, Table};
-use ntc_core::{deploy, Environment, OffloadPolicy};
+use ntc_bench::{f3, seed_from_args, threads_from_args, write_json, Table};
+use ntc_core::{deploy, run_sweep, Environment, OffloadPolicy};
 use ntc_simcore::rng::RngStream;
 use ntc_simcore::units::DataSize;
 use ntc_workloads::Archetype;
@@ -61,6 +61,7 @@ fn synthetic_graph(intensity: f64) -> ntc_taskgraph::TaskGraph {
 
 fn main() {
     let seed = seed_from_args();
+    let threads = threads_from_args();
     let env = Environment::metro_reference();
     let rng = RngStream::root(seed);
     let rate = 0.05;
@@ -92,27 +93,28 @@ fn main() {
     );
 
     let inputs_kib: [u64; 10] = [102, 512, 1024, 2048, 4096, 8192, 16384, 65536, 131072, 262144];
-    let mut size_series = Vec::new();
-    let mut ta = Table::new(["input", "local", "edge", "cloud", "cloud/edge"]);
-    for &kib in &inputs_kib {
+    let size_series: Vec<SizePoint> = run_sweep(&inputs_kib, threads, |&kib, _| {
         let input = DataSize::from_kib(kib);
         let l = local.estimated_latency(&env, input).as_secs_f64();
         let e = edge.estimated_latency(&env, input).as_secs_f64();
         let c = cloud.estimated_latency(&env, input).as_secs_f64();
-        ta.row([
-            format!("{input}"),
-            format!("{}s", f3(l)),
-            format!("{}s", f3(e)),
-            format!("{}s", f3(c)),
-            f3(c / e),
-        ]);
-        size_series.push(SizePoint {
+        SizePoint {
             input_mib: input.as_mib_f64(),
             local_s: l,
             edge_s: e,
             cloud_s: c,
             cloud_over_edge: c / e,
-        });
+        }
+    });
+    let mut ta = Table::new(["input", "local", "edge", "cloud", "cloud/edge"]);
+    for (&kib, p) in inputs_kib.iter().zip(&size_series) {
+        ta.row([
+            format!("{}", DataSize::from_kib(kib)),
+            format!("{}s", f3(p.local_s)),
+            format!("{}s", f3(p.edge_s)),
+            format!("{}s", f3(p.cloud_s)),
+            f3(p.cloud_over_edge),
+        ]);
     }
 
     println!("Figure 1a — photo-pipeline completion time vs input size (seed {seed})\n");
@@ -126,9 +128,7 @@ fn main() {
     // --- Panel (b): compute-intensity sweep at fixed 4 MiB input. ---
     let input = DataSize::from_mib(4);
     let intensities = [5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 3000.0, 10_000.0];
-    let mut intensity_series = Vec::new();
-    let mut tb = Table::new(["cyc/B", "local", "edge", "cloud", "winner", "cloud/edge"]);
-    for &k in &intensities {
+    let intensity_series: Vec<IntensityPoint> = run_sweep(&intensities, threads, |&k, _| {
         let graph = synthetic_graph(k);
         // Deterministic per-plan latency via the same estimator: build the
         // three plans by hand on the synthetic graph.
@@ -167,22 +167,25 @@ fn main() {
         } else {
             "cloud"
         };
-        tb.row([
-            format!("{k}"),
-            format!("{}s", f3(l)),
-            format!("{}s", f3(e)),
-            format!("{}s", f3(c)),
-            winner.into(),
-            f3(c / e),
-        ]);
-        intensity_series.push(IntensityPoint {
+        IntensityPoint {
             cycles_per_byte: k,
             local_s: l,
             edge_s: e,
             cloud_s: c,
             winner: winner.into(),
             cloud_over_edge: c / e,
-        });
+        }
+    });
+    let mut tb = Table::new(["cyc/B", "local", "edge", "cloud", "winner", "cloud/edge"]);
+    for p in &intensity_series {
+        tb.row([
+            format!("{}", p.cycles_per_byte),
+            format!("{}s", f3(p.local_s)),
+            format!("{}s", f3(p.edge_s)),
+            format!("{}s", f3(p.cloud_s)),
+            p.winner.clone(),
+            f3(p.cloud_over_edge),
+        ]);
     }
 
     println!("Figure 1b — completion time vs compute intensity at {input} input (seed {seed})\n");

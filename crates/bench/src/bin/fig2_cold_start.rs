@@ -9,7 +9,8 @@
 //! converges.
 
 use ntc_alloc::WarmStrategy;
-use ntc_bench::{f3, quick_from_args, seed_from_args, write_json, Table};
+use ntc_bench::{f3, quick_from_args, seed_from_args, threads_from_args, write_json, Table};
+use ntc_core::run_sweep;
 use ntc_serverless::{FunctionConfig, PlatformConfig, ServerlessPlatform};
 use ntc_simcore::rng::RngStream;
 use ntc_simcore::units::{Cycles, DataSize, SimDuration, SimTime};
@@ -96,23 +97,22 @@ fn main() {
         WarmStrategy::Provisioned { count: 1 },
     ];
 
-    let mut series = Vec::new();
+    let grid: Vec<(f64, WarmStrategy)> =
+        rates.iter().flat_map(|&r| strategies.iter().map(move |&s| (r, s))).collect();
+    let series: Vec<Point> =
+        run_sweep(&grid, threads_from_args(), |&(rate, s), _| run_one(rate, s, horizon, seed));
     let mut table =
         Table::new(["rate/s", "strategy", "invocations", "cold %", "p50 ms", "p99 ms", "$/hour"]);
-    for &rate in &rates {
-        for &s in &strategies {
-            let p = run_one(rate, s, horizon, seed);
-            table.row([
-                format!("{rate}"),
-                p.strategy.clone(),
-                p.invocations.to_string(),
-                f3(p.cold_fraction * 100.0),
-                f3(p.p50_ms),
-                f3(p.p99_ms),
-                format!("{:.5}", p.cost_per_hour_usd),
-            ]);
-            series.push(p);
-        }
+    for p in &series {
+        table.row([
+            format!("{}", p.rate_per_sec),
+            p.strategy.clone(),
+            p.invocations.to_string(),
+            f3(p.cold_fraction * 100.0),
+            f3(p.p50_ms),
+            f3(p.p99_ms),
+            format!("{:.5}", p.cost_per_hour_usd),
+        ]);
     }
 
     println!("Figure 2 — cold-start tail vs arrival rate over {horizon} (seed {seed})\n");

@@ -6,7 +6,8 @@
 //! allocator's pick is the cheapest point meeting the deadline budget.
 
 use ntc_alloc::{pareto_frontier, select_memory, standard_sizes, sweep};
-use ntc_bench::{f3, seed_from_args, write_json, Table};
+use ntc_bench::{f3, seed_from_args, threads_from_args, write_json, Table};
+use ntc_core::run_sweep;
 use ntc_serverless::{BillingModel, CpuScaling};
 use ntc_simcore::rng::RngStream;
 use ntc_simcore::units::SimDuration;
@@ -37,7 +38,11 @@ fn main() {
         graph.components().max_by_key(|(_, c)| c.demand_cycles(input)).expect("non-empty graph");
     let work = transcode.demand_cycles(input);
 
-    let points = sweep(work, &cpu, &billing, &standard_sizes());
+    // Each ladder rung is an independent (exec, cost) evaluation, so the
+    // ladder fans out across the sweep pool like every other grid here.
+    let sizes = standard_sizes();
+    let points: Vec<ntc_alloc::MemoryPoint> =
+        run_sweep(&sizes, threads_from_args(), |&m, _| sweep(work, &cpu, &billing, &[m]).remove(0));
     let frontier = pareto_frontier(&points);
     let budget = SimDuration::from_mins(2);
     let pick =

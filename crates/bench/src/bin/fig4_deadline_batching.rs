@@ -6,8 +6,8 @@
 //! saving; savings grow with slack (cold starts amortise over warm
 //! batches) and saturate once windows exceed the keep-alive TTL.
 
-use ntc_bench::{f3, pct, quick_from_args, seed_from_args, write_json, Table};
-use ntc_core::{Engine, Environment, NtcConfig, OffloadPolicy};
+use ntc_bench::{f3, pct, quick_from_args, seed_from_args, threads_from_args, write_json, Table};
+use ntc_core::{run_sweep_with, Engine, Environment, NtcConfig, OffloadPolicy, RunScratch};
 use ntc_simcore::units::SimDuration;
 use ntc_workloads::{Archetype, StreamSpec};
 use serde::Serialize;
@@ -34,40 +34,42 @@ fn main() {
     let unbatched = OffloadPolicy::Ntc(NtcConfig { use_batching: false, ..Default::default() });
 
     let factors = [0.0, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0];
-    let mut series = Vec::new();
+    let series: Vec<Point> =
+        run_sweep_with(&factors, threads_from_args(), RunScratch::new, |scratch, &factor, _| {
+            let specs =
+                [StreamSpec::poisson(Archetype::ReportRendering, 0.005).with_slack_factor(factor)];
+            let rb = engine.run_seeded(seed, &batched, &specs, horizon, scratch);
+            let ru = engine.run_seeded(seed, &unbatched, &specs, horizon, scratch);
+            let cb = rb.total_cost().as_usd_f64();
+            let cu = ru.total_cost().as_usd_f64();
+            let saving = if cu > 0.0 { 1.0 - cb / cu } else { 0.0 };
+            let hold: f64 =
+                rb.jobs.iter().map(|j| (j.dispatched - j.arrival).as_secs_f64()).sum::<f64>()
+                    / rb.jobs.len().max(1) as f64;
+            let slack_hours =
+                Archetype::ReportRendering.typical_slack().as_secs_f64() * factor / 3600.0;
+            Point {
+                slack_factor: factor,
+                slack_hours,
+                cost_batched_usd: cb,
+                cost_unbatched_usd: cu,
+                saving_pct: saving * 100.0,
+                misses_batched: rb.deadline_misses(),
+                misses_unbatched: ru.deadline_misses(),
+                mean_hold_s: hold,
+            }
+        });
     let mut table =
         Table::new(["slack", "batched $", "unbatched $", "saving", "misses (b/u)", "mean hold"]);
-    for &factor in &factors {
-        let specs =
-            [StreamSpec::poisson(Archetype::ReportRendering, 0.005).with_slack_factor(factor)];
-        let rb = engine.run(&batched, &specs, horizon);
-        let ru = engine.run(&unbatched, &specs, horizon);
-        let cb = rb.total_cost().as_usd_f64();
-        let cu = ru.total_cost().as_usd_f64();
-        let saving = if cu > 0.0 { 1.0 - cb / cu } else { 0.0 };
-        let hold: f64 =
-            rb.jobs.iter().map(|j| (j.dispatched - j.arrival).as_secs_f64()).sum::<f64>()
-                / rb.jobs.len().max(1) as f64;
-        let slack_hours =
-            Archetype::ReportRendering.typical_slack().as_secs_f64() * factor / 3600.0;
+    for p in &series {
         table.row([
-            format!("{factor}x ({:.1}h)", slack_hours),
-            format!("{cb:.4}"),
-            format!("{cu:.4}"),
-            pct(saving),
-            format!("{}/{}", rb.deadline_misses(), ru.deadline_misses()),
-            format!("{}s", f3(hold)),
+            format!("{}x ({:.1}h)", p.slack_factor, p.slack_hours),
+            format!("{:.4}", p.cost_batched_usd),
+            format!("{:.4}", p.cost_unbatched_usd),
+            pct(p.saving_pct / 100.0),
+            format!("{}/{}", p.misses_batched, p.misses_unbatched),
+            format!("{}s", f3(p.mean_hold_s)),
         ]);
-        series.push(Point {
-            slack_factor: factor,
-            slack_hours,
-            cost_batched_usd: cb,
-            cost_unbatched_usd: cu,
-            saving_pct: saving * 100.0,
-            misses_batched: rb.deadline_misses(),
-            misses_unbatched: ru.deadline_misses(),
-            mean_hold_s: hold,
-        });
     }
 
     println!("Figure 4 — batching saving vs deadline slack over {horizon} (seed {seed})\n");

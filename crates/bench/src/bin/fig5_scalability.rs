@@ -6,8 +6,8 @@
 //! capacity — queueing blows up the p95 and deadline misses appear —
 //! while the serverless platform scales out ~linearly.
 
-use ntc_bench::{f3, pct, quick_from_args, seed_from_args, write_json, Table};
-use ntc_core::{Engine, Environment, OffloadPolicy};
+use ntc_bench::{f3, pct, quick_from_args, seed_from_args, threads_from_args, write_json, Table};
+use ntc_core::{run_sweep_with, Engine, Environment, OffloadPolicy, RunScratch};
 use ntc_simcore::units::SimDuration;
 use ntc_workloads::{Archetype, StreamSpec};
 use serde::Serialize;
@@ -35,35 +35,44 @@ fn main() {
     let user_counts: &[u32] =
         if quick { &[10, 100, 1000, 3000] } else { &[10, 50, 100, 250, 500, 1000, 2000, 3000] };
 
-    let mut series = Vec::new();
-    let mut table = Table::new(["users", "rate/s", "policy", "jobs", "p50", "p95", "miss rate"]);
-    for &users in user_counts {
-        let rate = f64::from(users) * per_user_rate;
-        // Tighter-than-typical slack so saturation shows up as misses.
-        let specs = [StreamSpec::poisson(Archetype::LogAnalytics, rate).with_slack_factor(0.05)];
-        for policy in [OffloadPolicy::EdgeAll, OffloadPolicy::CloudAll] {
-            let r = engine.run(&policy, &specs, horizon);
+    let grid: Vec<(u32, OffloadPolicy)> = user_counts
+        .iter()
+        .flat_map(|&u| [OffloadPolicy::EdgeAll, OffloadPolicy::CloudAll].map(|p| (u, p)))
+        .collect();
+    let series: Vec<Point> = run_sweep_with(
+        &grid,
+        threads_from_args(),
+        RunScratch::new,
+        |scratch, (users, policy), _| {
+            let rate = f64::from(*users) * per_user_rate;
+            // Tighter-than-typical slack so saturation shows up as misses.
+            let specs =
+                [StreamSpec::poisson(Archetype::LogAnalytics, rate).with_slack_factor(0.05)];
+            let r = engine.run_seeded(seed, policy, &specs, horizon, scratch);
             let s = r.latency_summary();
             let (p50, p95) = s.map(|s| (s.p50, s.p95)).unwrap_or((0.0, 0.0));
-            table.row([
-                users.to_string(),
-                f3(rate),
-                policy.name(),
-                r.jobs.len().to_string(),
-                format!("{}s", f3(p50)),
-                format!("{}s", f3(p95)),
-                pct(r.miss_rate()),
-            ]);
-            series.push(Point {
-                users,
+            Point {
+                users: *users,
                 rate_per_sec: rate,
                 policy: policy.name(),
                 jobs: r.jobs.len(),
                 p50_s: p50,
                 p95_s: p95,
                 miss_rate: r.miss_rate(),
-            });
-        }
+            }
+        },
+    );
+    let mut table = Table::new(["users", "rate/s", "policy", "jobs", "p50", "p95", "miss rate"]);
+    for p in &series {
+        table.row([
+            p.users.to_string(),
+            f3(p.rate_per_sec),
+            p.policy.clone(),
+            p.jobs.to_string(),
+            format!("{}s", f3(p.p50_s)),
+            format!("{}s", f3(p.p95_s)),
+            pct(p.miss_rate),
+        ]);
     }
 
     println!("Figure 5 — load scalability over {horizon} (seed {seed}, quick={quick})\n");

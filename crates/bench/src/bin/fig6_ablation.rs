@@ -5,8 +5,8 @@
 //! removal degrades cost and/or deadline behaviour; the full system
 //! dominates (or ties) all ablations.
 
-use ntc_bench::{f3, pct, quick_from_args, seed_from_args, write_json, Table};
-use ntc_core::{Engine, Environment, NtcConfig, OffloadPolicy};
+use ntc_bench::{f3, pct, quick_from_args, seed_from_args, threads_from_args, write_json, Table};
+use ntc_core::{run_sweep_with, Engine, Environment, NtcConfig, OffloadPolicy, RunScratch};
 use ntc_simcore::units::SimDuration;
 use ntc_workloads::{Archetype, StreamSpec};
 use serde::Serialize;
@@ -47,27 +47,29 @@ fn main() {
         OffloadPolicy::CloudAll,
     ];
 
-    let mut rows = Vec::new();
-    let mut table = Table::new(["policy", "jobs", "total $", "miss rate", "p95", "device J"]);
-    for policy in &variants {
-        let r = engine.run(policy, &specs, horizon);
-        let p95 = r.latency_summary().map(|s| s.p95).unwrap_or(0.0);
-        table.row([
-            policy.name(),
-            r.jobs.len().to_string(),
-            format!("{:.4}", r.total_cost().as_usd_f64()),
-            pct(r.miss_rate()),
-            format!("{}s", f3(p95)),
-            f3(r.device_energy.as_joules_f64()),
-        ]);
-        rows.push(Row {
-            policy: policy.name(),
-            jobs: r.jobs.len(),
-            total_cost_usd: r.total_cost().as_usd_f64(),
-            miss_rate: r.miss_rate(),
-            p95_s: p95,
-            device_energy_j: r.device_energy.as_joules_f64(),
+    let rows: Vec<Row> =
+        run_sweep_with(&variants, threads_from_args(), RunScratch::new, |scratch, policy, _| {
+            let r = engine.run_seeded(seed, policy, &specs, horizon, scratch);
+            let p95 = r.latency_summary().map(|s| s.p95).unwrap_or(0.0);
+            Row {
+                policy: policy.name(),
+                jobs: r.jobs.len(),
+                total_cost_usd: r.total_cost().as_usd_f64(),
+                miss_rate: r.miss_rate(),
+                p95_s: p95,
+                device_energy_j: r.device_energy.as_joules_f64(),
+            }
         });
+    let mut table = Table::new(["policy", "jobs", "total $", "miss rate", "p95", "device J"]);
+    for r in &rows {
+        table.row([
+            r.policy.clone(),
+            r.jobs.to_string(),
+            format!("{:.4}", r.total_cost_usd),
+            pct(r.miss_rate),
+            format!("{}s", f3(r.p95_s)),
+            f3(r.device_energy_j),
+        ]);
     }
 
     println!("Figure 6 — ablation over {horizon}, mixed stream (seed {seed}, quick={quick})\n");

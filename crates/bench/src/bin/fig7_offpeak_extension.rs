@@ -9,8 +9,8 @@
 //! device energy than plain windowed batching, at the price of latency the
 //! workload tolerates by definition — and still zero deadline misses.
 
-use ntc_bench::{f3, pct, quick_from_args, seed_from_args, write_json, Table};
-use ntc_core::{Engine, Environment, NtcConfig, OffloadPolicy};
+use ntc_bench::{f3, pct, quick_from_args, seed_from_args, threads_from_args, write_json, Table};
+use ntc_core::{run_sweep_with, Engine, Environment, NtcConfig, OffloadPolicy, RunScratch};
 use ntc_simcore::units::SimDuration;
 use ntc_workloads::{Archetype, StreamSpec};
 use serde::Serialize;
@@ -45,42 +45,44 @@ fn main() {
         OffloadPolicy::Ntc(NtcConfig { off_peak: true, ..Default::default() }),
     ];
 
-    let mut rows = Vec::new();
-    let mut night_profile: Option<Vec<u64>> = None;
-    let mut table =
-        Table::new(["policy", "jobs", "total $", "misses", "p95", "device J", "mean hold"]);
-    for policy in &policies {
-        let r = engine.run(policy, &specs, horizon);
-        if policy.name() == "ntc[+offpeak]" {
-            night_profile = Some(
+    let swept: Vec<(Row, Option<Vec<u64>>)> =
+        run_sweep_with(&policies, threads_from_args(), RunScratch::new, |scratch, policy, _| {
+            let r = engine.run_seeded(seed, policy, &specs, horizon, scratch);
+            let profile = (policy.name() == "ntc[+offpeak]").then(|| {
                 (0..r.completions_per_hour.len().min(48))
                     .map(|i| r.completions_per_hour.count(i))
-                    .collect(),
-            );
-        }
-        let p95 = r.latency_summary().map(|s| s.p95).unwrap_or(0.0);
-        let hold: f64 =
-            r.jobs.iter().map(|j| (j.dispatched - j.arrival).as_secs_f64()).sum::<f64>()
-                / r.jobs.len().max(1) as f64
-                / 60.0;
-        table.row([
-            policy.name(),
-            r.jobs.len().to_string(),
-            format!("{:.4}", r.total_cost().as_usd_f64()),
-            r.deadline_misses().to_string(),
-            format!("{}s", f3(p95)),
-            f3(r.device_energy.as_joules_f64()),
-            format!("{:.1}min", hold),
-        ]);
-        rows.push(Row {
-            policy: policy.name(),
-            jobs: r.jobs.len(),
-            total_cost_usd: r.total_cost().as_usd_f64(),
-            misses: r.deadline_misses(),
-            p95_s: p95,
-            device_energy_j: r.device_energy.as_joules_f64(),
-            mean_hold_min: hold,
+                    .collect()
+            });
+            let p95 = r.latency_summary().map(|s| s.p95).unwrap_or(0.0);
+            let hold: f64 =
+                r.jobs.iter().map(|j| (j.dispatched - j.arrival).as_secs_f64()).sum::<f64>()
+                    / r.jobs.len().max(1) as f64
+                    / 60.0;
+            let row = Row {
+                policy: policy.name(),
+                jobs: r.jobs.len(),
+                total_cost_usd: r.total_cost().as_usd_f64(),
+                misses: r.deadline_misses(),
+                p95_s: p95,
+                device_energy_j: r.device_energy.as_joules_f64(),
+                mean_hold_min: hold,
+            };
+            (row, profile)
         });
+    let night_profile: Option<Vec<u64>> = swept.iter().find_map(|(_, p)| p.clone());
+    let rows: Vec<Row> = swept.into_iter().map(|(row, _)| row).collect();
+    let mut table =
+        Table::new(["policy", "jobs", "total $", "misses", "p95", "device J", "mean hold"]);
+    for r in &rows {
+        table.row([
+            r.policy.clone(),
+            r.jobs.to_string(),
+            format!("{:.4}", r.total_cost_usd),
+            r.misses.to_string(),
+            format!("{}s", f3(r.p95_s)),
+            f3(r.device_energy_j),
+            format!("{:.1}min", r.mean_hold_min),
+        ]);
     }
 
     println!(

@@ -9,8 +9,8 @@
 //! deadline-safe holding (which reserves for the worst outage window)
 //! keeps misses at zero.
 
-use ntc_bench::{f3, pct, quick_from_args, seed_from_args, write_json, Table};
-use ntc_core::{Engine, Environment, OffloadPolicy};
+use ntc_bench::{f3, pct, quick_from_args, seed_from_args, threads_from_args, write_json, Table};
+use ntc_core::{run_sweep_with, Engine, Environment, OffloadPolicy, RunScratch};
 use ntc_net::ConnectivityTrace;
 use ntc_simcore::units::SimDuration;
 use ntc_workloads::{Archetype, StreamSpec};
@@ -40,34 +40,42 @@ fn main() {
     // fraction of the deadline budget.
     let specs = [StreamSpec::poisson(Archetype::PhotoPipeline, 0.02)];
 
-    let mut rows = Vec::new();
-    let mut table =
-        Table::new(["connectivity", "offline", "policy", "jobs", "p50", "p95", "miss rate"]);
-    for (name, trace) in &traces {
-        let mut env = Environment::metro_reference();
-        env.connectivity = trace.clone();
-        let engine = Engine::new(env, seed);
-        for policy in [OffloadPolicy::LocalOnly, OffloadPolicy::CloudAll, OffloadPolicy::ntc()] {
-            let r = engine.run(&policy, &specs, horizon);
+    let grid: Vec<(usize, OffloadPolicy)> = (0..traces.len())
+        .flat_map(|ti| {
+            [OffloadPolicy::LocalOnly, OffloadPolicy::CloudAll, OffloadPolicy::ntc()]
+                .map(|p| (ti, p))
+        })
+        .collect();
+    let rows: Vec<Row> =
+        run_sweep_with(&grid, threads_from_args(), RunScratch::new, |scratch, (ti, policy), _| {
+            let (name, trace) = &traces[*ti];
+            let mut env = Environment::metro_reference();
+            env.connectivity = trace.clone();
+            let engine = Engine::new(env, seed);
+            let r = engine.run_seeded(seed, policy, &specs, horizon, scratch);
             let s = r.latency_summary().expect("jobs ran");
-            table.row([
-                (*name).to_string(),
-                pct(trace.offline_fraction()),
-                policy.name(),
-                r.jobs.len().to_string(),
-                format!("{}s", f3(s.p50)),
-                format!("{}s", f3(s.p95)),
-                pct(r.miss_rate()),
-            ]);
-            rows.push(Row {
+            Row {
                 connectivity: (*name).into(),
                 policy: policy.name(),
                 jobs: r.jobs.len(),
                 p50_s: s.p50,
                 p95_s: s.p95,
                 miss_rate: r.miss_rate(),
-            });
-        }
+            }
+        });
+    let mut table =
+        Table::new(["connectivity", "offline", "policy", "jobs", "p50", "p95", "miss rate"]);
+    for r in &rows {
+        let (_, trace) = traces.iter().find(|(n, _)| *n == r.connectivity).expect("present");
+        table.row([
+            r.connectivity.clone(),
+            pct(trace.offline_fraction()),
+            r.policy.clone(),
+            r.jobs.to_string(),
+            format!("{}s", f3(r.p50_s)),
+            format!("{}s", f3(r.p95_s)),
+            pct(r.miss_rate),
+        ]);
     }
 
     println!("Figure 8 (extension) — connectivity outages over {horizon} (seed {seed})\n");

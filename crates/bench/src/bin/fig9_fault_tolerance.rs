@@ -9,8 +9,11 @@
 //! price of extra attempts and backoff time — delay tolerance buys
 //! robustness, not just cheap latency.
 
-use ntc_bench::{f3, pct, quick_from_args, seed_from_args, write_json, Table};
-use ntc_core::{Engine, Environment, FaultConfig, NtcConfig, OffloadPolicy, RetryPolicy};
+use ntc_bench::{f3, pct, quick_from_args, seed_from_args, threads_from_args, write_json, Table};
+use ntc_core::{
+    run_sweep_with, Engine, Environment, FaultConfig, NtcConfig, OffloadPolicy, RetryPolicy,
+    RunScratch,
+};
 use ntc_simcore::units::SimDuration;
 use ntc_workloads::{Archetype, StreamSpec};
 use serde::Serialize;
@@ -51,38 +54,20 @@ fn main() {
     let policies =
         [OffloadPolicy::CloudAll, OffloadPolicy::EdgeAll, no_retry, OffloadPolicy::ntc()];
 
-    let mut rows = Vec::new();
-    let mut table = Table::new([
-        "policy",
-        "fault rate",
-        "jobs",
-        "lost",
-        "loss",
-        "retries",
-        "fallbacks",
-        "backoff",
-        "miss",
-    ]);
-    for &rate in &rates {
-        let mut env = Environment::metro_reference();
-        env.faults = FaultConfig::transient(rate);
-        let engine = Engine::new(env, seed);
-        for policy in &policies {
-            let r = engine.run(policy, &specs, horizon);
+    let grid: Vec<(f64, &OffloadPolicy)> =
+        rates.iter().flat_map(|&rate| policies.iter().map(move |p| (rate, p))).collect();
+    let rows: Vec<Row> = run_sweep_with(
+        &grid,
+        threads_from_args(),
+        RunScratch::new,
+        |scratch, &(rate, policy), _| {
+            let mut env = Environment::metro_reference();
+            env.faults = FaultConfig::transient(rate);
+            let engine = Engine::new(env, seed);
+            let r = engine.run_seeded(seed, policy, &specs, horizon, scratch);
             let loss =
                 if r.jobs.is_empty() { 0.0 } else { r.failures() as f64 / r.jobs.len() as f64 };
-            table.row([
-                policy.name(),
-                pct(rate),
-                r.jobs.len().to_string(),
-                r.failures().to_string(),
-                pct(loss),
-                r.total_retries().to_string(),
-                r.total_fallbacks().to_string(),
-                format!("{}s", f3(r.total_backoff().as_secs_f64())),
-                pct(r.miss_rate()),
-            ]);
-            rows.push(Row {
+            Row {
                 policy: policy.name(),
                 fault_rate: rate,
                 jobs: r.jobs.len(),
@@ -98,8 +83,32 @@ fn main() {
                 backoff_s: r.total_backoff().as_secs_f64(),
                 miss_rate: r.miss_rate(),
                 total_cost_usd: r.total_cost().as_usd_f64(),
-            });
-        }
+            }
+        },
+    );
+    let mut table = Table::new([
+        "policy",
+        "fault rate",
+        "jobs",
+        "lost",
+        "loss",
+        "retries",
+        "fallbacks",
+        "backoff",
+        "miss",
+    ]);
+    for r in &rows {
+        table.row([
+            r.policy.clone(),
+            pct(r.fault_rate),
+            r.jobs.to_string(),
+            r.failures.to_string(),
+            pct(r.loss_rate),
+            r.total_retries.to_string(),
+            r.total_fallbacks.to_string(),
+            format!("{}s", f3(r.backoff_s)),
+            pct(r.miss_rate),
+        ]);
     }
 
     println!("Figure 9 — fault-rate sweep over {horizon} (seed {seed}, quick={quick})\n");

@@ -11,8 +11,8 @@
 //! traffic density until the pre-paid edge fleet becomes cheaper per job
 //! than per-use FaaS.
 
-use ntc_bench::{f3, quick_from_args, seed_from_args, write_json, Table};
-use ntc_core::{Engine, Environment, OffloadPolicy};
+use ntc_bench::{f3, quick_from_args, seed_from_args, threads_from_args, write_json, Table};
+use ntc_core::{run_sweep_with, Engine, Environment, OffloadPolicy, RunScratch};
 use ntc_simcore::units::SimDuration;
 use ntc_workloads::{Archetype, StreamSpec};
 use serde::Serialize;
@@ -72,7 +72,18 @@ fn main() {
         OffloadPolicy::ntc(),
     ];
 
-    // --- Panel (a): per-archetype. ---
+    // --- Panel (a): per-archetype. Each (archetype, policy) cell is an
+    // independent simulation, so the whole panel fans out at once. ---
+    let threads = threads_from_args();
+    let cells: Vec<(Archetype, &OffloadPolicy)> =
+        Archetype::all().into_iter().flat_map(|a| policies.iter().map(move |p| (a, p))).collect();
+    let cell_results: Vec<(usize, f64)> =
+        run_sweep_with(&cells, threads, RunScratch::new, |scratch, &(a, p), _| {
+            let specs = [StreamSpec::diurnal(a, peak_rate(a) * rate_scale)];
+            let r = engine.run_seeded(seed, p, &specs, horizon, scratch);
+            let jobs = r.jobs.len();
+            (jobs, per_1k(r.total_cost().as_usd_f64(), jobs))
+        });
     let mut rows = Vec::new();
     let mut table = Table::new([
         "archetype",
@@ -83,15 +94,10 @@ fn main() {
         "ntc $/1k",
         "cheapest remote",
     ]);
-    for a in Archetype::all() {
-        let specs = [StreamSpec::diurnal(a, peak_rate(a) * rate_scale)];
-        let mut costs = [0.0f64; 4];
-        let mut jobs = 0usize;
-        for (i, p) in policies.iter().enumerate() {
-            let r = engine.run(p, &specs, horizon);
-            jobs = r.jobs.len();
-            costs[i] = per_1k(r.total_cost().as_usd_f64(), jobs);
-        }
+    for (ai, a) in Archetype::all().into_iter().enumerate() {
+        let cell = &cell_results[ai * policies.len()..(ai + 1) * policies.len()];
+        let costs: Vec<f64> = cell.iter().map(|&(_, c)| c).collect();
+        let jobs = cell.last().expect("four policies").0;
         let cheapest_remote = if costs[1] <= costs[2] && costs[1] <= costs[3] {
             "edge-all"
         } else if costs[2] <= costs[3] {
@@ -135,28 +141,30 @@ fn main() {
     // --- Panel (b): amortisation crossover. ---
     let sweep_horizon = if quick { SimDuration::from_hours(2) } else { SimDuration::from_hours(6) };
     let rates: &[f64] = if quick { &[0.05, 1.0, 8.0] } else { &[0.05, 0.5, 2.0, 8.0, 16.0] };
-    let mut sweep = Vec::new();
-    let mut tb = Table::new(["rate/s", "jobs", "edge $/1k", "cloud $/1k", "cheaper"]);
-    for &rate in rates {
-        let specs = [StreamSpec::poisson(Archetype::PhotoPipeline, rate)];
-        let re = engine.run(&OffloadPolicy::EdgeAll, &specs, sweep_horizon);
-        let rc = engine.run(&OffloadPolicy::CloudAll, &specs, sweep_horizon);
-        let e1k = per_1k(re.total_cost().as_usd_f64(), re.jobs.len());
-        let c1k = per_1k(rc.total_cost().as_usd_f64(), rc.jobs.len());
-        tb.row([
-            f3(rate),
-            re.jobs.len().to_string(),
-            f3(e1k),
-            f3(c1k),
-            if e1k < c1k { "edge" } else { "cloud" }.into(),
-        ]);
-        sweep.push(SweepPoint {
-            rate_per_sec: rate,
-            jobs: re.jobs.len(),
-            edge_per_1k: e1k,
-            cloud_per_1k: c1k,
-            edge_utilization_proxy: rate,
+    let sweep: Vec<SweepPoint> =
+        run_sweep_with(rates, threads, RunScratch::new, |scratch, &rate, _| {
+            let specs = [StreamSpec::poisson(Archetype::PhotoPipeline, rate)];
+            let re =
+                engine.run_seeded(seed, &OffloadPolicy::EdgeAll, &specs, sweep_horizon, scratch);
+            let rc =
+                engine.run_seeded(seed, &OffloadPolicy::CloudAll, &specs, sweep_horizon, scratch);
+            SweepPoint {
+                rate_per_sec: rate,
+                jobs: re.jobs.len(),
+                edge_per_1k: per_1k(re.total_cost().as_usd_f64(), re.jobs.len()),
+                cloud_per_1k: per_1k(rc.total_cost().as_usd_f64(), rc.jobs.len()),
+                edge_utilization_proxy: rate,
+            }
         });
+    let mut tb = Table::new(["rate/s", "jobs", "edge $/1k", "cloud $/1k", "cheaper"]);
+    for p in &sweep {
+        tb.row([
+            f3(p.rate_per_sec),
+            p.jobs.to_string(),
+            f3(p.edge_per_1k),
+            f3(p.cloud_per_1k),
+            if p.edge_per_1k < p.cloud_per_1k { "edge" } else { "cloud" }.into(),
+        ]);
     }
     println!("Table 1b — edge amortisation sweep, photo-pipeline over {sweep_horizon}\n");
     tb.print();

@@ -6,7 +6,8 @@
 //! greedy lands within ~10–20 %; naive full-offload pays the transfer
 //! penalty; keep-local pays the device-compute penalty.
 
-use ntc_bench::{f3, pct, seed_from_args, write_json, Table};
+use ntc_bench::{f3, pct, seed_from_args, threads_from_args, write_json, Table};
+use ntc_core::run_sweep_with;
 use ntc_partition::{
     standard_roster, CostParams, ExhaustivePartitioner, PartitionContext, Partitioner,
 };
@@ -53,22 +54,38 @@ fn main() {
     let params = CostParams::default();
 
     let roster = standard_roster();
+    // Per-graph work (exhaustive optimum + every roster algorithm) fans
+    // out across the pool; trait objects are not Sync, so each worker
+    // builds its own roster copy once.
+    let per_graph: Vec<Vec<(f64, f64, f64, f64)>> =
+        run_sweep_with(&gs, threads_from_args(), standard_roster, |roster, g, _| {
+            let ctx = PartitionContext::new(g, input, params);
+            let opt = ctx.evaluate(&ExhaustivePartitioner.partition(&ctx)).weighted;
+            roster
+                .iter()
+                .map(|p| {
+                    let plan = p.partition(&ctx);
+                    plan.validate(g).expect("roster plans are valid");
+                    let cost = ctx.evaluate(&plan);
+                    (
+                        (cost.weighted - opt).max(0.0) / opt.max(1.0),
+                        cost.bytes_moved.as_bytes() as f64 / 1024.0,
+                        plan.offloaded().count() as f64,
+                        cost.makespan.as_secs_f64(),
+                    )
+                })
+                .collect()
+        });
     let mut gaps: Vec<Vec<f64>> = vec![Vec::new(); roster.len()];
     let mut bytes: Vec<Vec<f64>> = vec![Vec::new(); roster.len()];
     let mut offloaded: Vec<Vec<f64>> = vec![Vec::new(); roster.len()];
     let mut makespans: Vec<Vec<f64>> = vec![Vec::new(); roster.len()];
-
-    for g in &gs {
-        let ctx = PartitionContext::new(g, input, params);
-        let opt = ctx.evaluate(&ExhaustivePartitioner.partition(&ctx)).weighted;
-        for (pi, p) in roster.iter().enumerate() {
-            let plan = p.partition(&ctx);
-            plan.validate(g).expect("roster plans are valid");
-            let cost = ctx.evaluate(&plan);
-            gaps[pi].push((cost.weighted - opt).max(0.0) / opt.max(1.0));
-            bytes[pi].push(cost.bytes_moved.as_bytes() as f64 / 1024.0);
-            offloaded[pi].push(plan.offloaded().count() as f64);
-            makespans[pi].push(cost.makespan.as_secs_f64());
+    for row in &per_graph {
+        for (pi, &(g, b, o, m)) in row.iter().enumerate() {
+            gaps[pi].push(g);
+            bytes[pi].push(b);
+            offloaded[pi].push(o);
+            makespans[pi].push(m);
         }
     }
 

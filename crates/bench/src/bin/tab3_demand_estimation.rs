@@ -6,7 +6,8 @@
 //! with input size (video, logs), EWMA where it does not (inference), and
 //! the hybrid is never far from the better of the two.
 
-use ntc_bench::{f3, quick_from_args, seed_from_args, write_json, Table};
+use ntc_bench::{f3, quick_from_args, seed_from_args, threads_from_args, write_json, Table};
+use ntc_core::run_sweep;
 use ntc_profiler::{evaluate, EstimatorKind};
 use ntc_simcore::rng::RngStream;
 use ntc_simcore::units::{Cycles, DataSize};
@@ -43,35 +44,46 @@ fn main() {
     let seed = seed_from_args();
     let n = if quick_from_args() { 2_000 } else { 10_000 };
 
+    // One sweep point per archetype: the trace synthesis dominates, and
+    // every estimator family shares the archetype's trace.
+    let archetypes = Archetype::all();
+    let per_arch: Vec<(Vec<Row>, (String, f64))> =
+        run_sweep(&archetypes, threads_from_args(), |&a, _| {
+            let t = trace(a, n, seed);
+            let mut arch_rows = Vec::new();
+            let mut best: Option<(String, f64)> = None;
+            for kind in EstimatorKind::all() {
+                let mut est = kind.build();
+                let report = evaluate(est.as_mut(), &t, 20).expect("long trace");
+                if best.as_ref().is_none_or(|(_, m)| report.mape < *m) {
+                    best = Some((kind.to_string(), report.mape));
+                }
+                arch_rows.push(Row {
+                    archetype: a.name().into(),
+                    estimator: kind.to_string(),
+                    mape_pct: report.mape,
+                    p95_ape_pct: report.p95_ape,
+                    underestimate_rate: report.underestimate_rate,
+                });
+            }
+            (arch_rows, best.expect("estimators ran"))
+        });
     let mut rows = Vec::new();
     let mut table = Table::new(["archetype", "estimator", "MAPE %", "p95 APE %", "under-rate"]);
-    for a in Archetype::all() {
-        let t = trace(a, n, seed);
-        let mut best: Option<(String, f64)> = None;
-        for kind in EstimatorKind::all() {
-            let mut est = kind.build();
-            let report = evaluate(est.as_mut(), &t, 20).expect("long trace");
-            if best.as_ref().is_none_or(|(_, m)| report.mape < *m) {
-                best = Some((kind.to_string(), report.mape));
-            }
+    for (arch_rows, (bname, bmape)) in per_arch {
+        let archetype = arch_rows[0].archetype.clone();
+        for r in arch_rows {
             table.row([
-                a.name().to_string(),
-                kind.to_string(),
-                f3(report.mape),
-                f3(report.p95_ape),
-                f3(report.underestimate_rate),
+                r.archetype.clone(),
+                r.estimator.clone(),
+                f3(r.mape_pct),
+                f3(r.p95_ape_pct),
+                f3(r.underestimate_rate),
             ]);
-            rows.push(Row {
-                archetype: a.name().into(),
-                estimator: kind.to_string(),
-                mape_pct: report.mape,
-                p95_ape_pct: report.p95_ape,
-                underestimate_rate: report.underestimate_rate,
-            });
+            rows.push(r);
         }
-        let (bname, bmape) = best.expect("estimators ran");
         table.row([
-            a.name().to_string(),
+            archetype,
             format!("-> best: {bname}"),
             f3(bmape),
             String::new(),

@@ -7,8 +7,9 @@
 //! and rollback keeps the previous plan live; healthy releases are not
 //! falsely rolled back.
 
-use ntc_bench::{f3, pct, seed_from_args, write_json, Table};
+use ntc_bench::{f3, pct, seed_from_args, threads_from_args, write_json, Table};
 use ntc_cicd::{Outcome, Pipeline, PipelineConfig, ReleaseSpec, Stage};
+use ntc_core::run_sweep;
 use ntc_simcore::rng::RngStream;
 use ntc_simcore::units::SimDuration;
 use ntc_workloads::Archetype;
@@ -70,8 +71,14 @@ fn run_variant(offloading: bool, releases: u32, seed: u64) -> Summary {
 fn main() {
     let seed = seed_from_args();
     let releases = 50;
-    let with = run_variant(true, releases, seed);
-    let without = run_variant(false, releases, seed);
+    // Each variant is an independent 50-release pipeline replay; the two
+    // run side by side on the sweep pool.
+    let variants = [true, false];
+    let mut swept =
+        run_sweep(&variants, threads_from_args(), |&o, _| run_variant(o, releases, seed))
+            .into_iter();
+    let with = swept.next().expect("two variants");
+    let without = swept.next().expect("two variants");
 
     let mut table = Table::new([
         "variant",

@@ -8,7 +8,7 @@
 //! the "developer-friendly approach" pays no penalty where it does not
 //! matter.
 
-use ntc_bench::{f3, pct, quick_from_args, seed_from_args, write_json, Table};
+use ntc_bench::{f3, pct, quick_from_args, seed_from_args, threads_from_args, write_json, Table};
 use ntc_core::{across, run_replications, Environment, OffloadPolicy};
 use ntc_simcore::units::SimDuration;
 use ntc_workloads::{Archetype, StreamSpec};
@@ -54,7 +54,7 @@ fn main() {
         OffloadPolicy::ntc(),
     ];
 
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = threads_from_args();
     let mut rows = Vec::new();
     let mut ntc_breakdown = Vec::new();
     let mut table = Table::new([

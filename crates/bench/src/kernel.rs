@@ -1,0 +1,145 @@
+//! Shared fixtures for the simulation-kernel benchmarks.
+//!
+//! Used by both `benches/kernel.rs` (criterion harness) and the
+//! `bench_kernel_baseline` regenerator so the committed `BENCH_kernel.json`
+//! numbers time exactly the code the bench suite times. Three layers are
+//! covered:
+//!
+//! * the event queue in isolation — the calendar [`EventQueue`] against the
+//!   pre-refactor binary-heap [`HeapQueue`] on an engine-like
+//!   hold-model churn (bounded pending set, near-monotone pushes);
+//! * one engine replication — the fresh-engine path every caller used
+//!   before scratch reuse existed, against [`Engine::run_seeded`] on a
+//!   long-lived [`RunScratch`] (the replication fast path);
+//! * an end-to-end sweep — [`run_replications`] at a given thread count.
+
+use ntc_core::{run_replications, Engine, Environment, OffloadPolicy, RunResult, RunScratch};
+use ntc_simcore::event::{reference::HeapQueue, EventQueue};
+use ntc_simcore::units::{SimDuration, SimTime};
+use ntc_workloads::{Archetype, StreamSpec};
+
+/// The kernel workload: a 30-minute photo-pipeline run under the full NTC
+/// policy — the same shape as `dispatch::engine_run_short`, so kernel
+/// numbers line up with the older dispatch baseline.
+pub fn kernel_specs() -> [StreamSpec; 1] {
+    [StreamSpec::poisson(Archetype::PhotoPipeline, 0.05)]
+}
+
+/// Horizon of one kernel replication.
+pub fn kernel_horizon() -> SimDuration {
+    SimDuration::from_mins(30)
+}
+
+/// A long-lived engine over the reference environment.
+pub fn kernel_engine(seed: u64) -> Engine {
+    Engine::new(Environment::metro_reference(), seed)
+}
+
+/// One replication the pre-reuse way: a fresh scratch is allocated and
+/// grown inside this call.
+pub fn engine_run_fresh(engine: &Engine, seed: u64) -> RunResult {
+    engine.run_seeded(
+        seed,
+        &OffloadPolicy::ntc(),
+        &kernel_specs(),
+        kernel_horizon(),
+        &mut RunScratch::new(),
+    )
+}
+
+/// One replication on a reused scratch: the steady-state path sweeps and
+/// replication loops run on.
+pub fn engine_run_reused(engine: &Engine, seed: u64, scratch: &mut RunScratch) -> RunResult {
+    engine.run_seeded(seed, &OffloadPolicy::ntc(), &kernel_specs(), kernel_horizon(), scratch)
+}
+
+/// `reps` independent kernel replications fanned across `threads` workers.
+pub fn sweep_replications(reps: u32, threads: usize) -> Vec<RunResult> {
+    let env = Environment::metro_reference();
+    run_replications(
+        &env,
+        &OffloadPolicy::ntc(),
+        &kernel_specs(),
+        kernel_horizon(),
+        1,
+        reps,
+        threads,
+    )
+}
+
+/// Maximum forward jitter of a replacement push, in microseconds (2 s —
+/// engine-like sparse spacing, wider than the calendar's initial width).
+const CHURN_JITTER_US: u64 = 2_000_000;
+
+#[inline]
+fn xorshift(x: &mut u64) -> u64 {
+    *x ^= *x << 13;
+    *x ^= *x >> 7;
+    *x ^= *x << 17;
+    *x
+}
+
+/// Hold-model churn on the calendar queue: seed `pending` events, then
+/// pop-earliest/push-replacement `events` times and drain. Returns a
+/// checksum over `(time, payload)` so the work cannot be optimised away
+/// and so the heap variant can be asserted order-identical. Small
+/// `pending` exercises the sparse regime (the heap's best case: it stays
+/// cache-resident); large `pending` the dense regime the engine hits at
+/// realistic traffic.
+pub fn calendar_churn(events: u64, pending: u64) -> u64 {
+    let mut q = EventQueue::new();
+    let mut x = 0x9e37_79b9_7f4a_7c15u64;
+    for i in 0..pending {
+        q.push(SimTime::from_micros(xorshift(&mut x) % CHURN_JITTER_US), i);
+    }
+    let mut acc = 0u64;
+    for i in 0..events {
+        let (t, v) = q.pop().expect("pending set never empties");
+        acc = acc.wrapping_mul(31).wrapping_add(t.as_micros()).wrapping_add(v);
+        q.push(t + SimDuration::from_micros(xorshift(&mut x) % CHURN_JITTER_US), pending + i);
+    }
+    while let Some((t, v)) = q.pop() {
+        acc = acc.wrapping_mul(31).wrapping_add(t.as_micros()).wrapping_add(v);
+    }
+    acc
+}
+
+/// The same churn on the pre-refactor binary-heap queue; must return the
+/// same checksum as [`calendar_churn`] for the same arguments.
+pub fn heap_churn(events: u64, pending: u64) -> u64 {
+    let mut q = HeapQueue::new();
+    let mut x = 0x9e37_79b9_7f4a_7c15u64;
+    for i in 0..pending {
+        q.push(SimTime::from_micros(xorshift(&mut x) % CHURN_JITTER_US), i);
+    }
+    let mut acc = 0u64;
+    for i in 0..events {
+        let (t, v) = q.pop().expect("pending set never empties");
+        acc = acc.wrapping_mul(31).wrapping_add(t.as_micros()).wrapping_add(v);
+        q.push(t + SimDuration::from_micros(xorshift(&mut x) % CHURN_JITTER_US), pending + i);
+    }
+    while let Some((t, v)) = q.pop() {
+        acc = acc.wrapping_mul(31).wrapping_add(t.as_micros()).wrapping_add(v);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn churn_checksums_agree() {
+        assert_eq!(calendar_churn(5_000, 64), heap_churn(5_000, 64));
+        assert_eq!(calendar_churn(5_000, 4_096), heap_churn(5_000, 4_096));
+    }
+
+    #[test]
+    fn fresh_and_reused_replications_are_identical() {
+        let engine = kernel_engine(1);
+        let mut scratch = RunScratch::new();
+        let fresh = engine_run_fresh(&engine, 7);
+        let reused = engine_run_reused(&engine, 7, &mut scratch);
+        assert_eq!(serde_json::to_string(&fresh).unwrap(), serde_json::to_string(&reused).unwrap());
+    }
+}

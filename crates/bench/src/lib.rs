@@ -4,8 +4,10 @@
 //! table/figure of the reconstructed evaluation (see `DESIGN.md` §4), plus
 //! Criterion micro-benchmarks of the framework's own overheads.
 //!
-//! Every binary accepts `--seed <u64>` (default 42) and prints an aligned
-//! text table; it also writes the raw series as JSON under `results/`.
+//! Every binary accepts `--seed <u64>` (default 42) and `--threads <n>`
+//! (default `NTC_THREADS`, else all cores; thread count never changes the
+//! numbers, only the wall-clock) and prints an aligned text table; it
+//! also writes the raw series as JSON under `results/`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -16,6 +18,7 @@ use std::path::PathBuf;
 use serde::Serialize;
 
 pub mod dispatch;
+pub mod kernel;
 
 /// Parses `--seed <u64>` from the process arguments (default 42).
 pub fn seed_from_args() -> u64 {
@@ -27,6 +30,19 @@ pub fn seed_from_args() -> u64 {
 /// horizons/replications so CI stays fast.
 pub fn quick_from_args() -> bool {
     std::env::args().any(|a| a == "--quick")
+}
+
+/// Resolves the sweep worker-thread count: `--threads <n>` from the
+/// process arguments, else `NTC_THREADS`, else
+/// [`std::thread::available_parallelism`]. Thread count never changes the
+/// numbers an experiment produces — only how fast they arrive.
+pub fn threads_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2)
+        .find(|w| w[0] == "--threads")
+        .and_then(|w| w[1].parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(ntc_core::default_threads)
 }
 
 /// Writes `value` as pretty JSON to `results/<id>.json`, creating the

@@ -31,6 +31,16 @@
 //! demand model `fixed + per_byte × input` means the fixed part (model
 //! loading, template compilation, runtime warm-up) and the per-request
 //! fee are paid once per batch instead of once per job.
+//!
+//! # Allocation discipline
+//!
+//! Every run-sized buffer — jobs, batches, per-batch state, result
+//! slots, the event calendar — lives in a [`RunScratch`]. A fresh run
+//! allocates them once; reusing the scratch across runs (as
+//! [`run_seeded`](Engine::run_seeded) encourages and the sweep runner
+//! does per worker thread) re-fills the same allocations, so steady-state
+//! replication throughput is bounded by simulation work, not the
+//! allocator.
 
 mod accounting;
 mod admission;
@@ -41,13 +51,14 @@ mod tests;
 mod transfer;
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
-use ntc_faults::{FaultPlan, RetryPolicy};
+use ntc_faults::{FaultConfig, FaultPlan, RetryPolicy};
 use ntc_simcore::event::Simulator;
 use ntc_simcore::rng::RngStream;
-use ntc_simcore::units::{SimDuration, SimTime};
+use ntc_simcore::units::{Cycles, SimDuration, SimTime};
 use ntc_taskgraph::ComponentId;
-use ntc_workloads::{generate_jobs, Job, StreamSpec};
+use ntc_workloads::{generate_jobs_into, Archetype, Job, StreamSpec};
 
 use crate::deploy::{deploy, Deployment};
 use crate::environment::Environment;
@@ -56,7 +67,7 @@ use crate::report::RunResult;
 use crate::site::{SiteId, SiteRegistry};
 
 use accounting::Accounting;
-use admission::{Batch, BatchState};
+use admission::{Batch, BatchStates};
 
 /// Events of the execution loop.
 #[derive(Debug, Clone, Copy)]
@@ -88,14 +99,54 @@ pub(crate) struct RunCtx<'a> {
     horizon_end: SimTime,
 }
 
-/// The mutable run state the event handlers thread through the loop.
-pub(crate) struct RunState {
-    states: Vec<BatchState>,
-    acct: Accounting,
+/// The mutable run state the event handlers thread through the loop;
+/// borrows the scratch's buffers.
+pub(crate) struct RunState<'s> {
+    states: &'s mut BatchStates,
+    acct: &'s mut Accounting,
     /// Sequential transfer-noise stream: draw order is part of the
     /// reproducibility contract, so handlers must keep the historical
     /// call sequence.
     net_rng: RngStream,
+    /// Per-event device work-list, reused between events.
+    member_works: &'s mut Vec<Cycles>,
+    /// Reused buffer for fault/backoff/noise derivation keys. The key
+    /// *strings* are part of the reproducibility contract (they are
+    /// hashed to derive RNG children), so writers must reproduce the
+    /// historical `format!` output byte for byte.
+    key_buf: &'s mut String,
+}
+
+/// Reusable run buffers: all the run-sized allocations `Engine::run`
+/// needs — the event calendar, job/batch/state vectors, accounting slots
+/// and string keys. Create once, pass to
+/// [`run_seeded`](Engine::run_seeded) repeatedly; each run clears and
+/// refills the buffers in place. A fresh scratch behaves identically to a
+/// reused one — reuse changes performance, never results.
+#[derive(Debug, Default)]
+pub struct RunScratch {
+    sim: Simulator<Ev>,
+    jobs: Vec<Job>,
+    deployments: Vec<Deployment>,
+    deployment_of: HashMap<Archetype, usize>,
+    chains: Vec<Vec<SiteId>>,
+    batches: Vec<Batch>,
+    member_pool: Vec<Vec<usize>>,
+    batch_key: HashMap<(usize, SimTime), usize>,
+    dispatched_at: Vec<SimTime>,
+    local_override: Vec<bool>,
+    states: BatchStates,
+    acct: Accounting,
+    member_works: Vec<Cycles>,
+    key_buf: String,
+}
+
+impl RunScratch {
+    /// Creates an empty scratch; buffers grow to steady-state capacity
+    /// over the first run and are reused afterwards.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// The simulation engine: one environment, reusable across policies.
@@ -120,12 +171,17 @@ pub(crate) struct RunState {
 pub struct Engine {
     env: Environment,
     seed: u64,
+    /// The environment's fault config, shared once here so every run (and
+    /// every replication in a sweep) hands the same `Arc` to its
+    /// [`FaultPlan`] instead of deep-cloning traces per run.
+    faults: Arc<FaultConfig>,
 }
 
 impl Engine {
     /// Creates an engine over `env` with a master seed.
     pub fn new(env: Environment, seed: u64) -> Self {
-        Engine { env, seed }
+        let faults = Arc::new(env.faults.clone());
+        Engine { env, seed, faults }
     }
 
     /// The environment this engine simulates.
@@ -146,77 +202,121 @@ impl Engine {
         specs: &[StreamSpec],
         horizon: SimDuration,
     ) -> RunResult {
-        let rng = RngStream::root(self.seed).derive("engine");
-        let jobs = generate_jobs(specs, horizon, &rng.derive("jobs"));
+        self.run_seeded(self.seed, policy, specs, horizon, &mut RunScratch::new())
+    }
+
+    /// [`run`](Self::run) with an explicit master seed and a reusable
+    /// [`RunScratch`]: the allocation-free replication path. The result
+    /// for a given `(seed, policy, specs, horizon)` is bit-identical to
+    /// `Engine::new(env, seed).run(policy, specs, horizon)` regardless of
+    /// what the scratch was previously used for.
+    pub fn run_seeded(
+        &self,
+        seed: u64,
+        policy: &OffloadPolicy,
+        specs: &[StreamSpec],
+        horizon: SimDuration,
+        scratch: &mut RunScratch,
+    ) -> RunResult {
+        let rng = RngStream::root(seed).derive("engine");
+        generate_jobs_into(specs, horizon, &rng.derive("jobs"), &mut scratch.jobs);
 
         // --- Faults and recovery. All fault/retry draws live in their own
         // derived streams, so a fault-free configuration replays the exact
         // event sequence of an engine without fault modelling. ---
-        let faults = FaultPlan::new(self.env.faults.clone(), rng.derive("faults"));
+        let faults = FaultPlan::shared(Arc::clone(&self.faults), rng.derive("faults"));
         let retry_rng = rng.derive("retry");
         let retry = policy.retry_policy();
 
         // --- Deployments, one per archetype present in the stream. ---
-        let mut deployments: Vec<Deployment> = Vec::new();
-        let mut deployment_of: HashMap<ntc_workloads::Archetype, usize> = HashMap::new();
+        scratch.deployments.clear();
+        scratch.deployment_of.clear();
         for spec in specs {
-            if deployment_of.contains_key(&spec.archetype) {
+            if scratch.deployment_of.contains_key(&spec.archetype) {
                 continue;
             }
             let slack = spec.archetype.typical_slack().mul_f64(spec.slack_factor);
             let d =
                 deploy(policy, spec.archetype, &self.env, spec.arrivals.mean_rate(), slack, &rng);
-            deployment_of.insert(spec.archetype, deployments.len());
-            deployments.push(d);
+            scratch.deployment_of.insert(spec.archetype, scratch.deployments.len());
+            scratch.deployments.push(d);
         }
 
         // --- Sites: provision every deployment along its chain. ---
         let mut sites = SiteRegistry::standard(&self.env, &rng);
-        let chains: Vec<Vec<SiteId>> = deployments.iter().map(|d| d.resolved_chain()).collect();
-        let mut sim: Simulator<Ev> = Simulator::new();
-        execute::provision_deployments(&deployments, &chains, &mut sites, &mut sim);
+        scratch.chains.clear();
+        scratch.chains.extend(scratch.deployments.iter().map(Deployment::resolved_chain));
+        scratch.sim.reset();
+        execute::provision_deployments(
+            &scratch.deployments,
+            &scratch.chains,
+            &mut sites,
+            &mut scratch.sim,
+        );
 
         // --- Admission: coalesce jobs into batches and schedule them. ---
-        let (batches, dispatched_at) =
-            admission::coalesce(&self.env, &deployments, &deployment_of, &jobs);
-        let local_override = admission::local_overrides(&self.env, &deployments, &jobs, &batches);
-        for (bi, b) in batches.iter().enumerate() {
-            sim.schedule_at(b.dispatch_at, Ev::Dispatch(bi)).expect("dispatch scheduled from t=0");
+        admission::coalesce_into(
+            &self.env,
+            &scratch.deployments,
+            &scratch.deployment_of,
+            &scratch.jobs,
+            &mut scratch.batches,
+            &mut scratch.member_pool,
+            &mut scratch.batch_key,
+            &mut scratch.dispatched_at,
+        );
+        admission::local_overrides_into(
+            &self.env,
+            &scratch.deployments,
+            &scratch.jobs,
+            &scratch.batches,
+            &mut scratch.local_override,
+        );
+        for (bi, b) in scratch.batches.iter().enumerate() {
+            scratch
+                .sim
+                .schedule_at(b.dispatch_at, Ev::Dispatch(bi))
+                .expect("dispatch scheduled from t=0");
         }
-        let states = admission::init_states(&deployments, &batches);
+        scratch.states.reset(&scratch.deployments, &scratch.batches);
+        scratch.acct.reset(scratch.jobs.len());
 
         // --- The loop. ---
         let work_rng = rng.derive("work");
         let horizon_end = SimTime::ZERO + horizon;
         let ctx = RunCtx {
             env: &self.env,
-            deployments: &deployments,
-            chains: &chains,
-            jobs: &jobs,
-            batches: &batches,
-            dispatched_at: &dispatched_at,
-            local_override: &local_override,
+            deployments: &scratch.deployments,
+            chains: &scratch.chains,
+            jobs: &scratch.jobs,
+            batches: &scratch.batches,
+            dispatched_at: &scratch.dispatched_at,
+            local_override: &scratch.local_override,
             faults: &faults,
             retry: &retry,
             retry_rng: &retry_rng,
             work_rng: &work_rng,
             horizon_end,
         };
-        let mut st =
-            RunState { states, acct: Accounting::new(jobs.len()), net_rng: rng.derive("net") };
+        let sim = &mut scratch.sim;
+        let mut st = RunState {
+            states: &mut scratch.states,
+            acct: &mut scratch.acct,
+            net_rng: rng.derive("net"),
+            member_works: &mut scratch.member_works,
+            key_buf: &mut scratch.key_buf,
+        };
         while let Some((t, ev)) = sim.step() {
             match ev {
                 Ev::Ping(di, comp, period) => {
-                    execute::handle_ping(&ctx, &mut sites, &mut sim, t, di, comp, period);
+                    execute::handle_ping(&ctx, &mut sites, sim, t, di, comp, period);
                 }
-                Ev::Dispatch(bi) => {
-                    transfer::handle_dispatch(&ctx, &sites, &mut st, &mut sim, t, bi)
-                }
+                Ev::Dispatch(bi) => transfer::handle_dispatch(&ctx, &sites, &mut st, sim, t, bi),
                 Ev::Exec(bi, comp) => {
-                    execute::handle_exec(&ctx, &mut sites, &mut st, &mut sim, t, bi, comp);
+                    execute::handle_exec(&ctx, &mut sites, &mut st, sim, t, bi, comp);
                 }
                 Ev::Done(bi, comp) => {
-                    transfer::handle_done(&ctx, &sites, &mut st, &mut sim, t, bi, comp);
+                    transfer::handle_done(&ctx, &sites, &mut st, sim, t, bi, comp);
                 }
             }
         }

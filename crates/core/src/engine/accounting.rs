@@ -5,7 +5,7 @@ use ntc_faults::FailureCause;
 use ntc_simcore::timeseries::TimeSeries;
 use ntc_simcore::units::{DataSize, Energy, Money, SimDuration, SimTime};
 
-use super::{BatchState, RunCtx};
+use super::{BatchStates, RunCtx};
 use crate::environment::Environment;
 use crate::policy::OffloadPolicy;
 use crate::report::{JobResult, RunResult};
@@ -13,7 +13,7 @@ use crate::site::SiteRegistry;
 
 /// The run's accumulating ledgers: per-job outcomes plus the device-side
 /// energy and traffic totals.
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub(crate) struct Accounting {
     pub results: Vec<Option<JobResult>>,
     pub device_energy: Energy,
@@ -22,19 +22,20 @@ pub(crate) struct Accounting {
 }
 
 impl Accounting {
-    pub(crate) fn new(jobs: usize) -> Self {
-        Accounting {
-            results: vec![None; jobs],
-            device_energy: Energy::ZERO,
-            bytes_up: DataSize::ZERO,
-            bytes_down: DataSize::ZERO,
-        }
+    /// Re-initialises for a run over `jobs` jobs, reusing the result
+    /// buffer's capacity.
+    pub(crate) fn reset(&mut self, jobs: usize) {
+        self.results.clear();
+        self.results.resize(jobs, None);
+        self.device_energy = Energy::ZERO;
+        self.bytes_up = DataSize::ZERO;
+        self.bytes_down = DataSize::ZERO;
     }
 
     /// Closes the books: drains every site's bill and assembles the
-    /// [`RunResult`].
+    /// [`RunResult`], leaving the ledgers empty for the next run.
     pub(crate) fn assemble(
-        self,
+        &mut self,
         policy: &OffloadPolicy,
         env: &Environment,
         horizon: SimDuration,
@@ -64,7 +65,7 @@ impl Accounting {
 
         RunResult {
             policy: policy.name(),
-            jobs: self.results.into_iter().flatten().collect(),
+            jobs: self.results.drain(..).flatten().collect(),
             cloud_cost,
             edge_cost,
             device_energy: self.device_energy,
@@ -81,30 +82,30 @@ impl Accounting {
 /// member receives its [`JobResult`].
 pub(crate) fn record_exit(
     ctx: &RunCtx<'_>,
-    states: &mut [BatchState],
+    states: &mut BatchStates,
     acct: &mut Accounting,
     bi: usize,
     finish: SimTime,
 ) {
-    let st = &mut states[bi];
-    st.finish = st.finish.max(finish);
-    st.outstanding_exits -= 1;
-    if st.outstanding_exits == 0 && !st.finished {
-        st.finished = true;
-        let attempts = st.attempts.iter().copied().max().unwrap_or(0).max(1);
-        let backoff = st.backoff.iter().copied().max().unwrap_or(SimDuration::ZERO);
+    states.finish[bi] = states.finish[bi].max(finish);
+    states.outstanding_exits[bi] -= 1;
+    if states.outstanding_exits[bi] == 0 && !states.finished[bi] {
+        states.finished[bi] = true;
+        let comps = states.range(bi);
+        let attempts = states.attempts[comps.clone()].iter().copied().max().unwrap_or(0).max(1);
+        let backoff = states.backoff[comps].iter().copied().max().unwrap_or(SimDuration::ZERO);
         for &ji in &ctx.batches[bi].members {
             acct.results[ji] = Some(JobResult {
                 id: ctx.jobs[ji].id,
                 archetype: ctx.jobs[ji].archetype,
                 arrival: ctx.jobs[ji].arrival,
                 dispatched: ctx.dispatched_at[ji],
-                finish: st.finish,
+                finish: states.finish[bi],
                 deadline: ctx.jobs[ji].deadline(),
                 failed: false,
                 attempts,
                 backoff,
-                fallbacks: st.fallbacks,
+                fallbacks: states.fallbacks[bi],
                 cause: None,
             });
         }
@@ -115,21 +116,21 @@ pub(crate) fn record_exit(
 /// carrying the cause.
 pub(crate) fn fail_batch(
     ctx: &RunCtx<'_>,
-    states: &mut [BatchState],
+    states: &mut BatchStates,
     acct: &mut Accounting,
     t: SimTime,
     bi: usize,
     cause: FailureCause,
 ) {
-    let st = &mut states[bi];
-    if st.finished {
+    if states.finished[bi] {
         return;
     }
-    st.failed = true;
-    st.finished = true;
-    let attempts = st.attempts.iter().copied().max().unwrap_or(0).max(1);
-    let backoff = st.backoff.iter().copied().max().unwrap_or(SimDuration::ZERO);
-    let fallbacks = st.fallbacks;
+    states.failed[bi] = true;
+    states.finished[bi] = true;
+    let comps = states.range(bi);
+    let attempts = states.attempts[comps.clone()].iter().copied().max().unwrap_or(0).max(1);
+    let backoff = states.backoff[comps].iter().copied().max().unwrap_or(SimDuration::ZERO);
+    let fallbacks = states.fallbacks[bi];
     for &ji in &ctx.batches[bi].members {
         acct.results[ji] = Some(JobResult {
             id: ctx.jobs[ji].id,

@@ -1,11 +1,16 @@
 //! Admission: coalescing jobs into batches, latest-safe dispatch timing,
 //! the pre-dispatch local override, and per-batch state initialisation.
+//!
+//! Everything here fills caller-owned buffers (see
+//! [`RunScratch`](crate::engine::RunScratch)): a reused scratch re-walks
+//! the same allocations run after run instead of re-growing them.
 
 use std::collections::HashMap;
 
 use ntc_alloc::dispatch_time;
 use ntc_partition::Side;
 use ntc_simcore::units::{DataSize, SimDuration, SimTime};
+use ntc_taskgraph::ComponentId;
 use ntc_workloads::{Archetype, Job};
 
 use crate::deploy::Deployment;
@@ -22,40 +27,117 @@ pub(crate) struct Batch {
     pub max_input: DataSize,
 }
 
-#[derive(Debug)]
-pub(crate) struct BatchState {
+/// Execution state of every batch, flattened struct-of-arrays style: the
+/// per-component arrays are one contiguous allocation each, with batch
+/// `bi` owning the slice `off[bi]..off[bi + 1]`. Compared to the old
+/// `Vec<BatchState>` (six heap allocations per batch), this keeps the
+/// event loop's state accesses contiguous and lets a reused scratch
+/// re-initialise with zero allocation.
+#[derive(Debug, Default)]
+pub(crate) struct BatchStates {
+    /// Prefix offsets into the per-component arrays; `batches + 1` long.
+    off: Vec<usize>,
+    /// Per component: predecessors not yet delivered.
     pub remaining_preds: Vec<usize>,
+    /// Per component: latest input-arrival instant seen.
     pub ready_at: Vec<SimTime>,
-    pub outstanding_exits: usize,
-    pub finish: SimTime,
-    pub failed: bool,
-    pub finished: bool,
-    /// Execution attempts per component (0 = never attempted).
+    /// Per component: execution attempts (0 = never attempted).
     pub attempts: Vec<u32>,
-    /// Cumulative retry backoff per component.
+    /// Per component: cumulative retry backoff.
     pub backoff: Vec<SimDuration>,
-    /// The side each component actually last executed on (for routing its
-    /// outputs after a mid-graph fallback).
+    /// Per component: the side it actually last executed on (for routing
+    /// its outputs after a mid-graph fallback).
     pub exec_side: Vec<Side>,
-    /// Position in the deployment's site-preference chain. 0 is the
-    /// deployment's primary site; failure-driven fallback advances it.
-    pub chain_pos: usize,
-    /// Site fallback switches performed.
-    pub fallbacks: u32,
+    /// Per batch: exit components still outstanding.
+    pub outstanding_exits: Vec<usize>,
+    /// Per batch: latest exit completion seen.
+    pub finish: Vec<SimTime>,
+    /// Per batch: terminally failed.
+    pub failed: Vec<bool>,
+    /// Per batch: all exits landed (or failure recorded).
+    pub finished: Vec<bool>,
+    /// Per batch: position in the deployment's site-preference chain.
+    /// 0 is the primary site; failure-driven fallback advances it.
+    pub chain_pos: Vec<usize>,
+    /// Per batch: site fallback switches performed.
+    pub fallbacks: Vec<u32>,
+}
+
+impl BatchStates {
+    /// Index of `(bi, comp)` in the per-component arrays.
+    #[inline]
+    pub fn ix(&self, bi: usize, comp: ComponentId) -> usize {
+        self.off[bi] + comp.index()
+    }
+
+    /// The per-component index range owned by batch `bi`.
+    #[inline]
+    pub fn range(&self, bi: usize) -> core::ops::Range<usize> {
+        self.off[bi]..self.off[bi + 1]
+    }
+
+    /// Re-initialises for a fresh run over `batches`, reusing every
+    /// array's capacity.
+    pub fn reset(&mut self, deployments: &[Deployment], batches: &[Batch]) {
+        self.off.clear();
+        self.remaining_preds.clear();
+        self.ready_at.clear();
+        self.attempts.clear();
+        self.backoff.clear();
+        self.exec_side.clear();
+        self.outstanding_exits.clear();
+        self.finish.clear();
+        self.failed.clear();
+        self.finished.clear();
+        self.chain_pos.clear();
+        self.fallbacks.clear();
+
+        let mut total = 0;
+        self.off.push(0);
+        for b in batches {
+            let d = &deployments[b.di];
+            let n = d.graph.len();
+            for c in d.graph.ids() {
+                self.remaining_preds.push(d.graph.predecessors(c).count());
+            }
+            self.ready_at.resize(total + n, SimTime::ZERO);
+            self.attempts.resize(total + n, 0);
+            self.backoff.resize(total + n, SimDuration::ZERO);
+            self.exec_side.resize(total + n, Side::Device);
+            self.outstanding_exits.push(d.graph.exits().len());
+            self.finish.push(SimTime::ZERO);
+            self.failed.push(false);
+            self.finished.push(false);
+            self.chain_pos.push(0);
+            self.fallbacks.push(0);
+            total += n;
+            self.off.push(total);
+        }
+    }
 }
 
 /// Coalesces jobs into batches by (deployment, dispatch instant), capped
-/// by the deployment's member and byte limits. Returns the batches plus
-/// each job's dispatch instant.
-pub(crate) fn coalesce(
+/// by the deployment's member and byte limits. Refills `batches` and
+/// `dispatched_at` (each job's dispatch instant), recycling member
+/// vectors through `member_pool` and the keying map through `batch_key`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn coalesce_into(
     env: &Environment,
     deployments: &[Deployment],
     deployment_of: &HashMap<Archetype, usize>,
     jobs: &[Job],
-) -> (Vec<Batch>, Vec<SimTime>) {
-    let mut dispatched_at: Vec<SimTime> = Vec::with_capacity(jobs.len());
-    let mut batch_key: HashMap<(usize, SimTime), usize> = HashMap::new();
-    let mut batches: Vec<Batch> = Vec::new();
+    batches: &mut Vec<Batch>,
+    member_pool: &mut Vec<Vec<usize>>,
+    batch_key: &mut HashMap<(usize, SimTime), usize>,
+    dispatched_at: &mut Vec<SimTime>,
+) {
+    for mut b in batches.drain(..) {
+        b.members.clear();
+        member_pool.push(core::mem::take(&mut b.members));
+    }
+    batch_key.clear();
+    dispatched_at.clear();
+    dispatched_at.reserve(jobs.len());
     for (ji, job) in jobs.iter().enumerate() {
         let di = deployment_of[&job.archetype];
         let d = &deployments[di];
@@ -79,7 +161,7 @@ pub(crate) fn coalesce(
             _ => {
                 batches.push(Batch {
                     di,
-                    members: Vec::new(),
+                    members: member_pool.pop().unwrap_or_default(),
                     dispatch_at: at,
                     sum_input: DataSize::ZERO,
                     max_input: DataSize::ZERO,
@@ -94,57 +176,32 @@ pub(crate) fn coalesce(
         b.sum_input += job.input;
         b.max_input = b.max_input.max(job.input);
     }
-    (batches, dispatched_at)
 }
 
 /// Local fallback: a batch whose offloaded completion estimate (which
 /// reserves for outages, chunking and noise) cannot meet its tightest
 /// member deadline — but whose device execution can — runs entirely on
-/// the members' own devices.
-pub(crate) fn local_overrides(
+/// the members' own devices. Refills `out` with one flag per batch.
+pub(crate) fn local_overrides_into(
     env: &Environment,
     deployments: &[Deployment],
     jobs: &[Job],
     batches: &[Batch],
-) -> Vec<bool> {
-    batches
-        .iter()
-        .map(|b| {
-            let d = &deployments[b.di];
-            if !d.fallback_local || d.plan.offloaded().count() == 0 {
-                return false;
-            }
-            let min_deadline =
-                b.members.iter().map(|&ji| jobs[ji].deadline()).min().expect("batch is non-empty");
-            // Only outages that can actually intersect this batch's
-            // execution window count against offloading.
-            let outage = env.connectivity.worst_wait_within(b.dispatch_at, min_deadline);
-            let reserve = d.est_completion + outage + env.completion_margin;
-            let local_reserve = d.est_local + env.completion_margin;
-            b.dispatch_at + reserve > min_deadline && b.dispatch_at + local_reserve <= min_deadline
-        })
-        .collect()
-}
-
-/// Fresh per-batch execution state.
-pub(crate) fn init_states(deployments: &[Deployment], batches: &[Batch]) -> Vec<BatchState> {
-    batches
-        .iter()
-        .map(|b| {
-            let d = &deployments[b.di];
-            BatchState {
-                remaining_preds: d.graph.ids().map(|c| d.graph.predecessors(c).count()).collect(),
-                ready_at: vec![SimTime::ZERO; d.graph.len()],
-                outstanding_exits: d.graph.exits().len(),
-                finish: SimTime::ZERO,
-                failed: false,
-                finished: false,
-                attempts: vec![0; d.graph.len()],
-                backoff: vec![SimDuration::ZERO; d.graph.len()],
-                exec_side: vec![Side::Device; d.graph.len()],
-                chain_pos: 0,
-                fallbacks: 0,
-            }
-        })
-        .collect()
+    out: &mut Vec<bool>,
+) {
+    out.clear();
+    out.extend(batches.iter().map(|b| {
+        let d = &deployments[b.di];
+        if !d.fallback_local || d.plan.offloaded().count() == 0 {
+            return false;
+        }
+        let min_deadline =
+            b.members.iter().map(|&ji| jobs[ji].deadline()).min().expect("batch is non-empty");
+        // Only outages that can actually intersect this batch's
+        // execution window count against offloading.
+        let outage = env.connectivity.worst_wait_within(b.dispatch_at, min_deadline);
+        let reserve = d.est_completion + outage + env.completion_margin;
+        let local_reserve = d.est_local + env.completion_margin;
+        b.dispatch_at + reserve > min_deadline && b.dispatch_at + local_reserve <= min_deadline
+    }));
 }

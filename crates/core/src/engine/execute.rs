@@ -2,6 +2,8 @@
 //! pings, and per-component invocation through the
 //! [`ExecutionSite`](crate::site::ExecutionSite) trait.
 
+use std::fmt::Write as _;
+
 use ntc_faults::{classify_injected, classify_outage};
 use ntc_partition::Side;
 use ntc_simcore::event::Simulator;
@@ -61,35 +63,37 @@ pub(crate) fn handle_ping(
 pub(crate) fn handle_exec(
     ctx: &RunCtx<'_>,
     sites: &mut SiteRegistry,
-    st: &mut RunState,
+    st: &mut RunState<'_>,
     sim: &mut Simulator<Ev>,
     t: SimTime,
     bi: usize,
     comp: ComponentId,
 ) {
-    if st.states[bi].failed {
+    if st.states.failed[bi] {
         return;
     }
     let b = &ctx.batches[bi];
     let d = &ctx.deployments[b.di];
     let chain = &ctx.chains[b.di];
-    let pos = st.states[bi].chain_pos;
+    let pos = st.states.chain_pos[bi];
     let degraded = ctx.local_override[bi] || !sites.get(&chain[pos]).is_remote();
     let side = if degraded { Side::Device } else { d.plan.side(comp) };
-    st.states[bi].exec_side[comp.index()] = side;
-    let noise = noise_factor(ctx, bi, comp);
+    let cix = st.states.ix(bi, comp);
+    st.states.exec_side[cix] = side;
+    let noise = noise_factor(ctx, st.key_buf, bi, comp);
     match side {
         Side::Device => {
             // Per-member execution on each member's own device: wall-clock
             // is the slowest member; energy is paid by every member.
-            let member_works: Vec<Cycles> =
-                b.members.iter().map(|&ji| member_work(&ctx.jobs[ji], d, comp, noise)).collect();
+            st.member_works.clear();
+            st.member_works
+                .extend(b.members.iter().map(|&ji| member_work(&ctx.jobs[ji], d, comp, noise)));
             let req = InvokeRequest {
                 at: t,
                 di: b.di,
                 comp,
                 work: Cycles::new(0),
-                member_works: &member_works,
+                member_works: st.member_works.as_slice(),
                 device: &ctx.env.device,
             };
             let inv = sites
@@ -106,13 +110,20 @@ pub(crate) fn handle_exec(
             let annotated =
                 d.graph.component(comp).batch_demand_cycles(b.members.len() as u64, b.sum_input);
             let work = Cycles::new((annotated.get() as f64 * noise).round() as u64);
-            st.states[bi].attempts[comp.index()] += 1;
-            let attempt = st.states[bi].attempts[comp.index()];
-            let first = ctx.jobs[b.members[0]].id;
+            st.states.attempts[cix] += 1;
+            let attempt = st.states.attempts[cix];
             let site_id = &chain[pos];
-            let fault_key = format!("{first}-{comp}-{site_id}-a{attempt}");
-            let outcome: SiteOutcome = if let Some(fault) = ctx.faults.invocation_fault(&fault_key)
-            {
+            // Fault-free plans answer every key with "no fault", so the
+            // key string is only materialised when faults are configured.
+            let fault = if ctx.faults.has_invocation_faults() {
+                let first = ctx.jobs[b.members[0]].id;
+                st.key_buf.clear();
+                write!(st.key_buf, "{first}-{comp}-{site_id}-a{attempt}").expect("string write");
+                ctx.faults.invocation_fault(st.key_buf.as_str())
+            } else {
+                None
+            };
+            let outcome: SiteOutcome = if let Some(fault) = fault {
                 Err(classify_injected(fault))
             } else {
                 let site = sites.get_mut(site_id);
@@ -142,12 +153,17 @@ pub(crate) fn handle_exec(
 }
 
 /// Execution-to-execution noise, sampled once per (batch, component) so
-/// retries re-observe the same value.
-fn noise_factor(ctx: &RunCtx<'_>, bi: usize, comp: ComponentId) -> f64 {
+/// retries re-observe the same value. The derivation key is written into
+/// `buf` — it must stay byte-identical to the historical
+/// `format!("{first}-{comp}")`, because the RNG child is derived by
+/// hashing the label.
+fn noise_factor(ctx: &RunCtx<'_>, buf: &mut String, bi: usize, comp: ComponentId) -> f64 {
     let b = &ctx.batches[bi];
     let first = ctx.jobs[b.members[0]].id;
     let archetype = ctx.jobs[b.members[0]].archetype;
-    let mut r = ctx.work_rng.derive(&format!("{first}-{comp}"));
+    buf.clear();
+    write!(buf, "{first}-{comp}").expect("string write");
+    let mut r = ctx.work_rng.derive(buf);
     archetype.demand_drift() * r.lognormal(0.0, archetype.demand_noise_sigma())
 }
 

@@ -2,6 +2,8 @@
 //! retry with decorrelated-jitter backoff, and fallback down the
 //! deployment's site-preference chain.
 
+use std::fmt::Write as _;
+
 use ntc_faults::{ErrorClass, FailureCause};
 use ntc_simcore::event::Simulator;
 use ntc_simcore::units::SimTime;
@@ -16,7 +18,7 @@ use crate::site::SiteRegistry;
 pub(crate) fn recover(
     ctx: &RunCtx<'_>,
     sites: &SiteRegistry,
-    st: &mut RunState,
+    st: &mut RunState<'_>,
     sim: &mut Simulator<Ev>,
     t: SimTime,
     bi: usize,
@@ -32,9 +34,15 @@ pub(crate) fn recover(
             sim.schedule_at(r.max(t), Ev::Exec(bi, comp)).expect("future");
         }
         ErrorClass::Retryable => {
-            let attempt = st.states[bi].attempts[comp.index()];
+            let cix = st.states.ix(bi, comp);
+            let attempt = st.states.attempts[cix];
             let first = ctx.jobs[ctx.batches[bi].members[0]].id;
-            let backoff = ctx.retry.backoff(ctx.retry_rng, &format!("{first}-{comp}"), attempt);
+            // Key must stay byte-identical to the historical
+            // `format!("{first}-{comp}")` — the backoff jitter stream is
+            // derived by hashing it.
+            st.key_buf.clear();
+            write!(st.key_buf, "{first}-{comp}").expect("string write");
+            let backoff = ctx.retry.backoff(ctx.retry_rng, st.key_buf.as_str(), attempt);
             let resume = t + detect + backoff;
             let min_deadline = ctx.batches[bi]
                 .members
@@ -43,7 +51,7 @@ pub(crate) fn recover(
                 .min()
                 .expect("batch is non-empty");
             if ctx.retry.allows(attempt, resume, min_deadline) {
-                st.states[bi].backoff[comp.index()] += backoff;
+                st.states.backoff[cix] += backoff;
                 sim.schedule_at(resume, Ev::Exec(bi, comp)).expect("future");
             } else {
                 fall_back_or_fail(ctx, sites, st, sim, t, bi, comp, cause);
@@ -63,7 +71,7 @@ pub(crate) fn recover(
 pub(crate) fn fall_back_or_fail(
     ctx: &RunCtx<'_>,
     sites: &SiteRegistry,
-    st: &mut RunState,
+    st: &mut RunState<'_>,
     sim: &mut Simulator<Ev>,
     t: SimTime,
     bi: usize,
@@ -73,12 +81,12 @@ pub(crate) fn fall_back_or_fail(
     let detect = ctx.env.faults.error_detect_latency;
     let di = ctx.batches[bi].di;
     let chain = &ctx.chains[di];
-    let pos = st.states[bi].chain_pos;
+    let pos = st.states.chain_pos[bi];
     let next = (pos + 1..chain.len()).find(|&i| sites.get(&chain[i]).can_serve(di, comp));
     match next {
         Some(i) => {
-            st.states[bi].chain_pos = i;
-            st.states[bi].fallbacks += 1;
+            st.states.chain_pos[bi] = i;
+            st.states.fallbacks[bi] += 1;
             sim.schedule_at(t + detect, Ev::Exec(bi, comp)).expect("future");
         }
         None => {

@@ -4,6 +4,8 @@
 //! All durations draw from the sequential `net_rng` stream; the draw
 //! order below is part of the reproducibility contract.
 
+use std::fmt::Write as _;
+
 use ntc_faults::FaultPlan;
 use ntc_partition::Side;
 use ntc_simcore::event::Simulator;
@@ -25,10 +27,23 @@ fn offload_site(chain: &[SiteId], pos: usize) -> &SiteId {
         .expect("site chains start at a remote site")
 }
 
-/// Scales a transfer duration by the fault plan's drop penalty for
-/// `key`. A fault-free plan leaves the duration untouched.
-fn faulty_transfer(dur: SimDuration, faults: &FaultPlan, key: &str) -> SimDuration {
-    let penalty = faults.transfer_penalty(key);
+/// Scales a transfer duration by the fault plan's drop penalty for the
+/// key written by `key` into `buf`. A fault-free plan leaves the duration
+/// untouched without even materialising the key; when the key *is*
+/// needed, it must stay byte-identical to the historical `format!`, since
+/// the plan derives its answer by hashing it.
+fn faulty_transfer(
+    dur: SimDuration,
+    faults: &FaultPlan,
+    buf: &mut String,
+    key: core::fmt::Arguments<'_>,
+) -> SimDuration {
+    if !faults.has_transfer_faults() {
+        return dur;
+    }
+    buf.clear();
+    buf.write_fmt(key).expect("string write");
+    let penalty = faults.transfer_penalty(buf);
     if penalty > 1.0 {
         dur.mul_f64(penalty)
     } else {
@@ -41,12 +56,12 @@ fn faulty_transfer(dur: SimDuration, faults: &FaultPlan, key: &str) -> SimDurati
 pub(crate) fn handle_dispatch(
     ctx: &RunCtx<'_>,
     sites: &SiteRegistry,
-    st: &mut RunState,
+    st: &mut RunState<'_>,
     sim: &mut Simulator<Ev>,
     t: SimTime,
     bi: usize,
 ) {
-    let RunState { acct, net_rng, .. } = st;
+    let RunState { acct, net_rng, key_buf, .. } = st;
     let b = &ctx.batches[bi];
     let d = &ctx.deployments[b.di];
     let primary = sites.get(&ctx.chains[b.di][0]);
@@ -63,7 +78,7 @@ pub(crate) fn handle_dispatch(
                 let path = primary.ue_path(ctx.env);
                 let share = primary.wan_share(ctx.env, online);
                 let dur = path.transfer_time_at_share(b.max_input, share, net_rng);
-                let dur = faulty_transfer(dur, ctx.faults, &format!("up-{bi}-{c}"));
+                let dur = faulty_transfer(dur, ctx.faults, key_buf, format_args!("up-{bi}-{c}"));
                 for &ji in &b.members {
                     let jdur = path.transfer_time_at_share(ctx.jobs[ji].input, share, net_rng);
                     acct.device_energy += ctx.env.device.radio_energy(jdur);
@@ -81,30 +96,29 @@ pub(crate) fn handle_dispatch(
 pub(crate) fn handle_done(
     ctx: &RunCtx<'_>,
     sites: &SiteRegistry,
-    st: &mut RunState,
+    st: &mut RunState<'_>,
     sim: &mut Simulator<Ev>,
     t: SimTime,
     bi: usize,
     comp: ComponentId,
 ) {
-    let RunState { states, acct, net_rng } = st;
-    if states[bi].failed {
+    let RunState { states, acct, net_rng, key_buf, .. } = st;
+    if states.failed[bi] {
         return;
     }
     let b = &ctx.batches[bi];
     let d = &ctx.deployments[b.di];
     let chain = &ctx.chains[b.di];
-    let pos = states[bi].chain_pos;
+    let pos = states.chain_pos[bi];
     // What the component actually ran on (it may have fallen back
     // mid-graph), and where offloaded work now runs.
-    let from_side = states[bi].exec_side[comp.index()];
+    let from_side = states.exec_side[states.ix(bi, comp)];
     let eff = sites.get(offload_site(chain, pos));
     let degraded = ctx.local_override[bi] || !sites.get(&chain[pos]).is_remote();
 
     // Propagate data to successors.
-    let flows: Vec<(ComponentId, &ntc_taskgraph::LinearModel)> =
-        d.graph.flows_from(comp).map(|f| (f.to, &f.payload)).collect();
-    for (to, payload) in flows {
+    for f in d.graph.flows_from(comp) {
+        let (to, payload) = (f.to, &f.payload);
         let to_side = if degraded { Side::Device } else { d.plan.side(to) };
         let dur = match (from_side, to_side) {
             (Side::Device, Side::Device) => SimDuration::ZERO,
@@ -122,7 +136,12 @@ pub(crate) fn handle_done(
                 let share = eff.wan_share(ctx.env, online);
                 let dur =
                     path.transfer_time_at_share(payload.eval_bytes(b.max_input), share, net_rng);
-                let dur = faulty_transfer(dur, ctx.faults, &format!("flow-{bi}-{comp}-{to}"));
+                let dur = faulty_transfer(
+                    dur,
+                    ctx.faults,
+                    key_buf,
+                    format_args!("flow-{bi}-{comp}-{to}"),
+                );
                 for &ji in &b.members {
                     let bytes = payload.eval_bytes(ctx.jobs[ji].input);
                     let jdur = path.transfer_time_at_share(bytes, share, net_rng);
@@ -136,11 +155,11 @@ pub(crate) fn handle_done(
             }
         };
         let arrival = t + dur;
-        let stb = &mut states[bi];
-        stb.ready_at[to.index()] = stb.ready_at[to.index()].max(arrival);
-        stb.remaining_preds[to.index()] -= 1;
-        if stb.remaining_preds[to.index()] == 0 {
-            let ready = stb.ready_at[to.index()].max(t);
+        let ti = states.ix(bi, to);
+        states.ready_at[ti] = states.ready_at[ti].max(arrival);
+        states.remaining_preds[ti] -= 1;
+        if states.remaining_preds[ti] == 0 {
+            let ready = states.ready_at[ti].max(t);
             sim.schedule_at(ready, Ev::Exec(bi, to)).expect("future");
         }
     }
@@ -154,7 +173,8 @@ pub(crate) fn handle_done(
                 let path = eff.ue_path(ctx.env);
                 let share = eff.wan_share(ctx.env, online);
                 let dur = path.transfer_time_at_share(ctx.env.result_return, share, net_rng);
-                let dur = faulty_transfer(dur, ctx.faults, &format!("ret-{bi}-{comp}"));
+                let dur =
+                    faulty_transfer(dur, ctx.faults, key_buf, format_args!("ret-{bi}-{comp}"));
                 acct.device_energy += ctx.env.device.radio_energy(dur) * (b.members.len() as u64);
                 acct.bytes_down += ctx.env.result_return * b.members.len() as u64;
                 online + dur

@@ -57,12 +57,14 @@ pub mod site;
 
 pub use deploy::{deploy, Deployment};
 pub use device::DeviceModel;
-pub use engine::Engine;
+pub use engine::{Engine, RunScratch};
 pub use environment::Environment;
 pub use ntc_faults::{FailureCause, FaultConfig, RetryBudget, RetryPolicy};
 pub use policy::{Backend, NtcConfig, OffloadPolicy};
 pub use report::{JobResult, RunResult};
-pub use runner::{across, run_replications, MetricSummary};
+pub use runner::{
+    across, default_threads, run_replications, run_sweep, run_sweep_with, MetricSummary,
+};
 pub use site::{
     CloudSite, DeviceSite, EdgeSite, ExecutionSite, InvokeRequest, Invoked, SiteId, SiteOutcome,
     SiteRegistry, SiteRole,

@@ -1,27 +1,128 @@
-//! Parallel experiment runner: independent replications with
-//! deterministic per-replication seeds, executed across threads.
+//! Parallel experiment runner: deterministic fan-out of independent
+//! simulation runs — replications *and* whole parameter sweeps — across a
+//! thread pool.
 //!
 //! The simulation kernel is single-threaded by design (determinism); the
-//! parallelism here is across *replications*, which share nothing. Results
-//! come back in replication order regardless of thread scheduling, so a
-//! parallel run is bit-identical to a sequential one.
+//! parallelism here is across *grid points*, which share nothing. Two
+//! invariants make a parallel run bit-identical to a sequential one:
+//!
+//! 1. **Derived seeds, not shared streams.** Every point computes its RNG
+//!    root purely from its own identity (an explicit seed, typically
+//!    `base_seed + index`), never from a stream another point also
+//!    advances.
+//! 2. **Order-stable collection.** Workers claim points from a shared
+//!    counter (dynamic load balancing — grid points vary wildly in cost)
+//!    but write each result into its point's pre-assigned slot, so the
+//!    returned `Vec` is in grid order regardless of thread scheduling.
+//!
+//! Each worker owns one long-lived piece of per-thread state (for
+//! [`run_replications`], an [`Engine`] plus a
+//! [`RunScratch`]), so steady-state sweeping allocates
+//! almost nothing per point.
+//!
+//! Thread count resolution: explicit argument → `NTC_THREADS` →
+//! [`std::thread::available_parallelism`] (see [`default_threads`]).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use ntc_simcore::stats::Welford;
 use ntc_simcore::units::SimDuration;
 use ntc_workloads::StreamSpec;
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
-use crate::engine::Engine;
+use crate::engine::{Engine, RunScratch};
 use crate::environment::Environment;
 use crate::policy::OffloadPolicy;
 use crate::report::RunResult;
+
+/// The worker-thread count used when the caller does not pin one: the
+/// `NTC_THREADS` environment variable if set to a positive integer, else
+/// [`std::thread::available_parallelism`], else 1.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("NTC_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+}
+
+/// Maps every grid point through `f` on a pool of `threads` workers,
+/// returning results in point order. `init` builds one state value per
+/// worker (an engine, a scratch, a measurement rig …) that `f` reuses
+/// across all points that worker claims.
+///
+/// `f` receives `(worker_state, point, point_index)` and must derive any
+/// randomness from the point identity alone — the index and the point are
+/// the same whether the sweep runs on 1 thread or 64, so obeying that rule
+/// makes the sweep's output independent of `threads`.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero or any worker panics.
+pub fn run_sweep_with<P, R, S, I, F>(points: &[P], threads: usize, init: I, f: F) -> Vec<R>
+where
+    P: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &P, usize) -> R + Sync,
+{
+    assert!(threads > 0, "need at least one thread");
+    let threads = threads.min(points.len()).max(1);
+    if threads == 1 {
+        // Fast path: no pool, no locks — and trivially the reference
+        // ordering the parallel path must reproduce.
+        let mut state = init();
+        return points.iter().enumerate().map(|(i, p)| f(&mut state, p, i)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..points.len()).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut state = init();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= points.len() {
+                        break;
+                    }
+                    let r = f(&mut state, &points[i], i);
+                    slots.lock().expect("sweep slots poisoned")[i] = Some(r);
+                }
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("sweep slots poisoned")
+        .into_iter()
+        .map(|r| r.expect("all points completed"))
+        .collect()
+}
+
+/// [`run_sweep_with`] without per-worker state: runs `f` over every grid
+/// point on `threads` workers, results in point order.
+pub fn run_sweep<P, R, F>(points: &[P], threads: usize, f: F) -> Vec<R>
+where
+    P: Sync,
+    R: Send,
+    F: Fn(&P, usize) -> R + Sync,
+{
+    run_sweep_with(points, threads, || (), |(), p, i| f(p, i))
+}
 
 /// Runs `replications` independent copies of (policy, specs, horizon),
 /// seeding replication `i` with `base_seed + i`, in parallel across up to
 /// `threads` threads.
 ///
-/// Results are returned in replication order.
+/// Results are returned in replication order and are bit-identical for
+/// every `threads` value. Each worker reuses one engine and one
+/// [`RunScratch`], so replication `i` costs one
+/// simulation, not one simulation plus a heap of setup allocations.
 ///
 /// # Panics
 ///
@@ -36,32 +137,13 @@ pub fn run_replications(
     threads: usize,
 ) -> Vec<RunResult> {
     assert!(replications > 0, "need at least one replication");
-    assert!(threads > 0, "need at least one thread");
-    let mut results: Vec<Option<RunResult>> = (0..replications).map(|_| None).collect();
-    let next = Mutex::new(0u32);
-    let slots = Mutex::new(&mut results);
-
-    crossbeam::scope(|scope| {
-        for _ in 0..threads.min(replications as usize) {
-            scope.spawn(|_| loop {
-                let i = {
-                    let mut n = next.lock();
-                    if *n >= replications {
-                        break;
-                    }
-                    let i = *n;
-                    *n += 1;
-                    i
-                };
-                let engine = Engine::new(env.clone(), base_seed + u64::from(i));
-                let result = engine.run(policy, specs, horizon);
-                slots.lock()[i as usize] = Some(result);
-            });
-        }
-    })
-    .expect("replication worker panicked");
-
-    results.into_iter().map(|r| r.expect("all replications completed")).collect()
+    let seeds: Vec<u64> = (0..replications).map(|i| base_seed + u64::from(i)).collect();
+    run_sweep_with(
+        &seeds,
+        threads,
+        || (Engine::new(env.clone(), base_seed), RunScratch::new()),
+        |(engine, scratch), &seed, _| engine.run_seeded(seed, policy, specs, horizon, scratch),
+    )
 }
 
 /// Mean ± stddev of a metric across replications.
@@ -130,5 +212,54 @@ mod tests {
         let env = Environment::metro_reference();
         let (specs, horizon) = tiny();
         run_replications(&env, &OffloadPolicy::LocalOnly, &specs, horizon, 0, 0, 1);
+    }
+
+    #[test]
+    fn sweep_preserves_point_order() {
+        let points: Vec<u64> = (0..97).collect();
+        let out = run_sweep(&points, 8, |&p, i| {
+            assert_eq!(p, i as u64);
+            p * 3
+        });
+        assert_eq!(out, points.iter().map(|p| p * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sweep_with_reuses_worker_state() {
+        let points: Vec<u32> = (0..32).collect();
+        // Each worker counts how many points it handled in its state; the
+        // per-point result must not depend on that count.
+        let out = run_sweep_with(
+            &points,
+            4,
+            || 0usize,
+            |handled, &p, _| {
+                *handled += 1;
+                p + 1
+            },
+        );
+        assert_eq!(out, (1..=32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sweep_thread_count_does_not_change_results() {
+        let env = Environment::metro_reference();
+        let (specs, horizon) = tiny();
+        let points: Vec<u64> = vec![7, 8, 9, 10, 11];
+        let run = |threads| {
+            run_sweep_with(
+                &points,
+                threads,
+                || (Engine::new(env.clone(), 0), RunScratch::new()),
+                |(engine, scratch), &seed, _| {
+                    engine.run_seeded(seed, &OffloadPolicy::ntc(), &specs, horizon, scratch)
+                },
+            )
+        };
+        let one = run(1);
+        let many = run(4);
+        for (a, b) in one.iter().zip(&many) {
+            assert_eq!(a.jobs, b.jobs);
+        }
     }
 }

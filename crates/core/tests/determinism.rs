@@ -1,0 +1,90 @@
+//! Determinism regression tests: the engine's reproducibility contract.
+//!
+//! The contract has three faces, and each one guards a different
+//! optimisation in the kernel:
+//!
+//! * *run twice, same bytes* — the calendar event queue must preserve the
+//!   heap's exact (time, FIFO) pop order;
+//! * *fresh scratch vs reused scratch, same bytes* — [`RunScratch`] reuse
+//!   must refill buffers, never leak state between runs;
+//! * *1 thread vs N threads, same bytes* — the sweep runner's derived
+//!   seeds and order-stable collection must make thread count invisible.
+//!
+//! "Same bytes" is literal: results are compared through their serialized
+//! JSON, the same representation the fig/tab binaries commit to
+//! `results/`.
+
+use ntc_core::{run_replications, Engine, Environment, OffloadPolicy, RunResult, RunScratch};
+use ntc_simcore::units::SimDuration;
+use ntc_workloads::{Archetype, StreamSpec};
+
+fn specs() -> [StreamSpec; 2] {
+    [
+        StreamSpec::poisson(Archetype::PhotoPipeline, 0.03),
+        StreamSpec::poisson(Archetype::MlInference, 0.01),
+    ]
+}
+
+fn horizon() -> SimDuration {
+    SimDuration::from_mins(45)
+}
+
+/// Serializes exactly like the bench binaries do, so "byte-identical"
+/// here means byte-identical in `results/`.
+fn bytes(r: &RunResult) -> String {
+    serde_json::to_string(r).expect("RunResult serializes")
+}
+
+#[test]
+fn same_seed_same_bytes_across_runs() {
+    let engine = Engine::new(Environment::metro_reference(), 9);
+    for policy in [OffloadPolicy::ntc(), OffloadPolicy::CloudAll, OffloadPolicy::LocalOnly] {
+        let a = engine.run(&policy, &specs(), horizon());
+        let b = engine.run(&policy, &specs(), horizon());
+        assert_eq!(bytes(&a), bytes(&b), "two runs of {} diverged", policy.name());
+    }
+}
+
+#[test]
+fn reused_scratch_matches_fresh_run() {
+    let engine = Engine::new(Environment::metro_reference(), 9);
+    let policy = OffloadPolicy::ntc();
+    let fresh: Vec<String> = (0..4)
+        .map(|i| {
+            bytes(&engine.run_seeded(9 + i, &policy, &specs(), horizon(), &mut RunScratch::new()))
+        })
+        .collect();
+    // One scratch across all seeds — and dirty it with a different
+    // workload first, so the test fails if any buffer survives reset.
+    let mut scratch = RunScratch::new();
+    engine.run_seeded(
+        1234,
+        &OffloadPolicy::EdgeAll,
+        &[StreamSpec::poisson(Archetype::ReportRendering, 0.05)],
+        SimDuration::from_mins(20),
+        &mut scratch,
+    );
+    for (i, expected) in fresh.iter().enumerate() {
+        let got =
+            bytes(&engine.run_seeded(9 + i as u64, &policy, &specs(), horizon(), &mut scratch));
+        assert_eq!(&got, expected, "reused scratch diverged on seed {}", 9 + i as u64);
+    }
+}
+
+#[test]
+fn thread_count_is_invisible_in_replications() {
+    let env = Environment::metro_reference();
+    let policy = OffloadPolicy::ntc();
+    let one = run_replications(&env, &policy, &specs(), horizon(), 70, 6, 1);
+    for threads in [2, 3, 6, 8] {
+        let many = run_replications(&env, &policy, &specs(), horizon(), 70, 6, threads);
+        assert_eq!(one.len(), many.len());
+        for (i, (a, b)) in one.iter().zip(&many).enumerate() {
+            assert_eq!(
+                bytes(a),
+                bytes(b),
+                "replication {i} diverged between 1 and {threads} threads"
+            );
+        }
+    }
+}

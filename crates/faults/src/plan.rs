@@ -1,5 +1,7 @@
 //! A seeded, queryable realisation of a [`FaultConfig`].
 
+use std::sync::Arc;
+
 use ntc_simcore::rng::RngStream;
 use ntc_simcore::units::SimTime;
 
@@ -34,19 +36,43 @@ pub enum SiteOutage {
 /// same `(seed, key)` pair always produces the same answer.
 #[derive(Debug)]
 pub struct FaultPlan {
-    config: FaultConfig,
+    /// Shared, not owned: one engine hands the same `Arc` to every
+    /// replication instead of deep-cloning the availability traces and
+    /// site map per run.
+    config: Arc<FaultConfig>,
     rng: RngStream,
 }
 
 impl FaultPlan {
     /// Builds a plan for `config`, drawing from `rng`.
     pub fn new(config: FaultConfig, rng: RngStream) -> Self {
+        Self::shared(Arc::new(config), rng)
+    }
+
+    /// Builds a plan over an already-shared `config` without cloning it.
+    pub fn shared(config: Arc<FaultConfig>, rng: RngStream) -> Self {
         FaultPlan { config, rng }
     }
 
     /// The configuration this plan realises.
     pub fn config(&self) -> &FaultConfig {
         &self.config
+    }
+
+    /// Whether any invocation-fault rate is non-zero. A `false` lets
+    /// callers skip building per-attempt keys entirely —
+    /// [`invocation_fault`](Self::invocation_fault) would answer `None`
+    /// for every key anyway.
+    pub fn has_invocation_faults(&self) -> bool {
+        self.config.transient_rate > 0.0 || self.config.throttle_rate > 0.0
+    }
+
+    /// Whether transfers can drop. Mirrors
+    /// [`has_invocation_faults`](Self::has_invocation_faults) for the
+    /// transfer-key fast path: `false` means
+    /// [`transfer_penalty`](Self::transfer_penalty) is 1 for every key.
+    pub fn has_transfer_faults(&self) -> bool {
+        self.config.transfer_drop_rate > 0.0
     }
 
     /// Whether the invocation attempt identified by `key` is hit by an
@@ -132,6 +158,28 @@ mod tests {
 
     fn plan(config: FaultConfig, seed: u64) -> FaultPlan {
         FaultPlan::new(config, RngStream::root(seed).derive("faults"))
+    }
+
+    #[test]
+    fn fast_path_gates_track_config() {
+        assert!(!plan(FaultConfig::none(), 1).has_invocation_faults());
+        assert!(!plan(FaultConfig::none(), 1).has_transfer_faults());
+        assert!(plan(FaultConfig::transient(0.1), 1).has_invocation_faults());
+        let cfg = FaultConfig { transfer_drop_rate: 0.2, ..FaultConfig::none() };
+        assert!(plan(cfg, 1).has_transfer_faults());
+    }
+
+    #[test]
+    fn shared_config_answers_like_owned() {
+        let shared = FaultPlan::shared(
+            std::sync::Arc::new(FaultConfig::transient(0.3)),
+            RngStream::root(42).derive("faults"),
+        );
+        let owned = plan(FaultConfig::transient(0.3), 42);
+        for i in 0..100 {
+            let key = format!("k{i}");
+            assert_eq!(shared.invocation_fault(&key), owned.invocation_fault(&key));
+        }
     }
 
     #[test]

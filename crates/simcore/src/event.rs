@@ -5,6 +5,16 @@
 //! they were pushed. [`Simulator`] wraps a queue with a virtual clock and
 //! enforces causality (no scheduling in the past).
 //!
+//! Internally the queue is a calendar queue — a ring of buckets indexed
+//! by `time >> width_shift` — rather than a binary heap. The engine's
+//! schedule pattern is near-monotone (events are mostly pushed a short,
+//! bounded horizon ahead of the clock), which makes the calendar's O(1)
+//! amortised push/pop beat the heap's O(log n) sift with its cache-hostile
+//! pointer chasing. Ordering is identical to the old heap: pop returns the
+//! minimum `(time, seq)` entry, so same-time events still pop in push
+//! order. The heap survives as [`reference::HeapQueue`] for differential
+//! tests and benchmarks.
+//!
 //! # Examples
 //!
 //! ```
@@ -19,9 +29,7 @@
 //! assert_eq!(sim.now().as_secs_f64(), 2.0);
 //! ```
 
-use core::cmp::Ordering;
 use core::fmt;
-use std::collections::BinaryHeap;
 
 use crate::units::{SimDuration, SimTime};
 
@@ -49,30 +57,33 @@ struct Entry<E> {
     payload: E,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    // Reversed so the BinaryHeap (a max-heap) pops the earliest entry.
-    fn cmp(&self, other: &Self) -> Ordering {
-        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
-    }
-}
+/// Buckets the queue starts with; grows by doubling as the population does.
+const INITIAL_BUCKETS: usize = 16;
+/// Hard ceiling on the ring size (2^20 buckets ≈ 16 MiB of `Vec` headers).
+const MAX_BUCKETS: usize = 1 << 20;
+/// Starting bucket width of 2^17 µs ≈ 131 ms; rebuilds re-derive it from
+/// the observed event-time span.
+const INITIAL_WIDTH_SHIFT: u32 = 17;
 
 /// A time-ordered event queue with stable FIFO ordering among equal-time
 /// events.
 ///
 /// The queue itself has no clock; see [`Simulator`] for a clocked wrapper.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    /// Ring of buckets; an entry with day `d = time >> width_shift` lives
+    /// in `buckets[d & mask]`. Entries within a bucket are unordered —
+    /// pop scans the cursor day's bucket for the minimum `(time, seq)`.
+    buckets: Vec<Vec<Entry<E>>>,
+    /// `buckets.len() - 1`; the ring size is always a power of two.
+    mask: usize,
+    /// Bucket width is `1 << width_shift` microseconds, so the day of an
+    /// entry is a single shift — exact, no float rounding.
+    width_shift: u32,
+    /// The day the next pop starts scanning from. Only ever behind (or at)
+    /// the true minimum day: pushes below it pull it back, pops advance it
+    /// one verified-empty day at a time.
+    cursor_day: u64,
+    len: usize,
     next_seq: u64,
 }
 
@@ -85,48 +96,259 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+        EventQueue {
+            buckets: (0..INITIAL_BUCKETS).map(|_| Vec::new()).collect(),
+            mask: INITIAL_BUCKETS - 1,
+            width_shift: INITIAL_WIDTH_SHIFT,
+            cursor_day: 0,
+            len: 0,
+            next_seq: 0,
+        }
+    }
+
+    #[inline]
+    fn day_of(&self, time: SimTime) -> u64 {
+        time.as_micros() >> self.width_shift
     }
 
     /// Schedules `payload` to fire at `time`.
     pub fn push(&mut self, time: SimTime, payload: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time, seq, payload });
+        let day = self.day_of(time);
+        if self.len == 0 || day < self.cursor_day {
+            self.cursor_day = day;
+        }
+        let idx = (day as usize) & self.mask;
+        self.buckets[idx].push(Entry { time, seq, payload });
+        self.len += 1;
+        if self.len > self.buckets.len() * 2 && self.buckets.len() < MAX_BUCKETS {
+            self.rebuild(self.buckets.len() * 2);
+        }
+    }
+
+    /// Re-shapes the ring to `new_size` buckets and re-derives the bucket
+    /// width so the current population averages about one entry per day.
+    fn rebuild(&mut self, new_size: usize) {
+        debug_assert!(new_size.is_power_of_two());
+        let mut entries: Vec<Entry<E>> = Vec::with_capacity(self.len);
+        for b in &mut self.buckets {
+            entries.append(b);
+        }
+        let (mut lo, mut hi) = (u64::MAX, 0u64);
+        for e in &entries {
+            lo = lo.min(e.time.as_micros());
+            hi = hi.max(e.time.as_micros());
+        }
+        if !entries.is_empty() {
+            let span = hi - lo;
+            let target = (span / entries.len() as u64).max(1);
+            // Round the per-event spacing down to a power of two; clamp so
+            // a pathological span cannot push the shift out of range.
+            self.width_shift = (63 - target.leading_zeros()).min(40);
+        }
+        if self.buckets.len() < new_size {
+            self.buckets.resize_with(new_size, Vec::new);
+        } else {
+            self.buckets.truncate(new_size);
+        }
+        self.mask = new_size - 1;
+        self.cursor_day = if entries.is_empty() { 0 } else { lo >> self.width_shift };
+        for e in entries {
+            let idx = ((e.time.as_micros() >> self.width_shift) as usize) & self.mask;
+            self.buckets[idx].push(e);
+        }
+    }
+
+    /// Locates the minimum `(time, seq)` entry: returns `(bucket, slot,
+    /// day, lapped)` without mutating anything. Scans forward from the
+    /// cursor one day at a time; after a whole lap of verified-empty days
+    /// it jumps straight to the true minimum day, reporting `lapped: true`
+    /// so [`Self::pop`] knows the bucket width is too narrow for the
+    /// current population.
+    fn find_min(&self) -> Option<(usize, usize, u64, bool)> {
+        if self.len == 0 {
+            return None;
+        }
+        let mut day = self.cursor_day;
+        let mut laps = 0usize;
+        let mut lapped = false;
+        loop {
+            let idx = (day as usize) & self.mask;
+            let mut best: Option<(usize, SimTime, u64)> = None;
+            for (slot, e) in self.buckets[idx].iter().enumerate() {
+                if self.day_of(e.time) != day {
+                    continue;
+                }
+                let better = match best {
+                    None => true,
+                    Some((_, bt, bs)) => (e.time, e.seq) < (bt, bs),
+                };
+                if better {
+                    best = Some((slot, e.time, e.seq));
+                }
+            }
+            if let Some((slot, _, _)) = best {
+                return Some((idx, slot, day, lapped));
+            }
+            day += 1;
+            laps += 1;
+            if laps == self.buckets.len() {
+                // A full lap saw nothing: the next event is more than a
+                // ring-revolution ahead. Find its day directly.
+                day = self
+                    .buckets
+                    .iter()
+                    .flatten()
+                    .map(|e| self.day_of(e.time))
+                    .min()
+                    .expect("len > 0");
+                laps = 0;
+                lapped = true;
+            }
+        }
     }
 
     /// The instant of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        self.find_min().map(|(b, s, _, _)| self.buckets[b][s].time)
     }
 
     /// Removes and returns the earliest pending event.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| (e.time, e.payload))
+        let (b, s, day, lapped) = self.find_min()?;
+        if lapped {
+            // The scan needed the whole-queue fallback, which means days
+            // are far narrower than the actual inter-event spacing (e.g. a
+            // low-rate workload with multi-second gaps against the initial
+            // 131 ms width). Rebuild at the same size to re-derive the
+            // width from the live population, turning subsequent pops back
+            // into O(1) scans. Layout-only: pop order is re-derived from
+            // `(time, seq)` on every scan, so results are unchanged.
+            self.rebuild(self.buckets.len());
+            let (b, s, day, _) = self.find_min().expect("len > 0");
+            self.cursor_day = day;
+            let e = self.buckets[b].swap_remove(s);
+            self.len -= 1;
+            return Some((e.time, e.payload));
+        }
+        // Parking the cursor on the popped entry's day keeps the next scan
+        // O(1) for the monotone common case; swap_remove is safe because
+        // ordering is re-derived from (time, seq) on every scan.
+        self.cursor_day = day;
+        let e = self.buckets[b].swap_remove(s);
+        self.len -= 1;
+        Some((e.time, e.payload))
     }
 
     /// The number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 
-    /// Removes all pending events.
+    /// Removes all pending events, keeping the ring's capacity for reuse.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.len = 0;
+        self.cursor_day = 0;
+        self.next_seq = 0;
     }
 }
 
 impl<E> fmt::Debug for EventQueue<E> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("EventQueue")
-            .field("len", &self.heap.len())
+            .field("len", &self.len)
+            .field("buckets", &self.buckets.len())
             .field("next_time", &self.peek_time())
             .finish()
+    }
+}
+
+pub mod reference {
+    //! The pre-calendar binary-heap queue, kept as the ordering oracle for
+    //! differential tests (`prop_event_queue`) and benchmarks.
+
+    use core::cmp::Ordering;
+
+    use crate::units::SimTime;
+
+    struct HeapEntry<E> {
+        time: SimTime,
+        seq: u64,
+        payload: E,
+    }
+
+    impl<E> PartialEq for HeapEntry<E> {
+        fn eq(&self, other: &Self) -> bool {
+            self.time == other.time && self.seq == other.seq
+        }
+    }
+    impl<E> Eq for HeapEntry<E> {}
+    impl<E> PartialOrd for HeapEntry<E> {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl<E> Ord for HeapEntry<E> {
+        // Reversed so the BinaryHeap (a max-heap) pops the earliest entry.
+        fn cmp(&self, other: &Self) -> Ordering {
+            other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
+        }
+    }
+
+    /// A binary-heap event queue with the same API and ordering contract
+    /// as [`EventQueue`](super::EventQueue).
+    pub struct HeapQueue<E> {
+        heap: std::collections::BinaryHeap<HeapEntry<E>>,
+        next_seq: u64,
+    }
+
+    impl<E> Default for HeapQueue<E> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<E> HeapQueue<E> {
+        /// Creates an empty queue.
+        pub fn new() -> Self {
+            HeapQueue { heap: std::collections::BinaryHeap::new(), next_seq: 0 }
+        }
+
+        /// Schedules `payload` to fire at `time`.
+        pub fn push(&mut self, time: SimTime, payload: E) {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.heap.push(HeapEntry { time, seq, payload });
+        }
+
+        /// The instant of the earliest pending event, if any.
+        pub fn peek_time(&self) -> Option<SimTime> {
+            self.heap.peek().map(|e| e.time)
+        }
+
+        /// Removes and returns the earliest pending event.
+        pub fn pop(&mut self) -> Option<(SimTime, E)> {
+            self.heap.pop().map(|e| (e.time, e.payload))
+        }
+
+        /// The number of pending events.
+        pub fn len(&self) -> usize {
+            self.heap.len()
+        }
+
+        /// Whether no events are pending.
+        pub fn is_empty(&self) -> bool {
+            self.heap.is_empty()
+        }
     }
 }
 
@@ -162,6 +384,16 @@ impl<E> Simulator<E> {
     /// The number of events processed so far.
     pub fn events_processed(&self) -> u64 {
         self.processed
+    }
+
+    /// Rewinds the clock to [`SimTime::ZERO`] and drops all pending
+    /// events, keeping the queue's allocated capacity. A reset simulator
+    /// behaves exactly like a fresh one — this is the reuse hook that lets
+    /// a run scratch avoid re-growing the calendar every replication.
+    pub fn reset(&mut self) {
+        self.queue.clear();
+        self.now = SimTime::ZERO;
+        self.processed = 0;
     }
 
     /// Schedules `payload` at the absolute instant `at`.
@@ -250,6 +482,78 @@ mod tests {
     }
 
     #[test]
+    fn matches_heap_reference_on_interleaved_ops() {
+        // A quick deterministic differential check; the exhaustive random
+        // version lives in tests/prop_event_queue.rs.
+        let mut cal = EventQueue::new();
+        let mut heap = reference::HeapQueue::new();
+        let mut x = 0x243f6a8885a308d3u64; // xorshift
+        for round in 0..2000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let t = SimTime::from_micros(x % 50_000_000);
+            cal.push(t, round);
+            heap.push(t, round);
+            if x.is_multiple_of(3) {
+                assert_eq!(cal.pop(), heap.pop());
+            }
+            assert_eq!(cal.peek_time(), heap.peek_time());
+            assert_eq!(cal.len(), heap.len());
+        }
+        while let Some(expect) = heap.pop() {
+            assert_eq!(cal.pop(), Some(expect));
+        }
+        assert!(cal.is_empty());
+    }
+
+    #[test]
+    fn growth_keeps_ordering_under_wide_time_spans() {
+        // Enough entries to force several rebuilds, spanning microseconds
+        // to days so the width re-derivation is exercised.
+        let mut q = EventQueue::new();
+        let n = 5000u64;
+        for i in 0..n {
+            let t = (i * 2_654_435_761) % 86_400_000_000; // scattered over 24h
+            q.push(SimTime::from_micros(t), i);
+        }
+        let mut last = (SimTime::ZERO, 0u64);
+        let mut popped = 0;
+        while let Some((t, i)) = q.pop() {
+            assert!((t, i) >= last || popped == 0, "out of order at {popped}");
+            last = (t, i);
+            popped += 1;
+        }
+        assert_eq!(popped, n);
+    }
+
+    #[test]
+    fn far_future_gap_is_bridged() {
+        // One event a year ahead of everything else: the lap fallback must
+        // find it rather than spin through empty days.
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(1), "near");
+        q.push(SimTime::from_hours(24 * 365), "far");
+        assert_eq!(q.pop().unwrap().1, "near");
+        assert_eq!(q.pop().unwrap().1, "far");
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn clear_resets_for_reuse() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(SimTime::from_secs(i), i);
+        }
+        q.clear();
+        assert!(q.is_empty());
+        q.push(SimTime::from_secs(2), 0u64);
+        q.push(SimTime::from_secs(2), 1u64);
+        assert_eq!(q.pop(), Some((SimTime::from_secs(2), 0)));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(2), 1)));
+    }
+
+    #[test]
     fn simulator_advances_clock() {
         let mut sim = Simulator::new();
         sim.schedule_after(SimDuration::from_secs(10), ());
@@ -267,6 +571,20 @@ mod tests {
         let err = sim.schedule_at(SimTime::from_secs(5), 2u8).unwrap_err();
         assert_eq!(err.now, SimTime::from_secs(10));
         assert!(err.to_string().contains("before current time"));
+    }
+
+    #[test]
+    fn reset_behaves_like_fresh() {
+        let mut sim = Simulator::new();
+        sim.schedule_after(SimDuration::from_secs(5), 1u8);
+        sim.schedule_after(SimDuration::from_secs(9), 2u8);
+        sim.step();
+        sim.reset();
+        assert_eq!(sim.now(), SimTime::ZERO);
+        assert_eq!(sim.events_processed(), 0);
+        assert!(sim.is_idle());
+        sim.schedule_after(SimDuration::from_secs(1), 3u8);
+        assert_eq!(sim.step(), Some((SimTime::from_secs(1), 3u8)));
     }
 
     #[test]

@@ -1,0 +1,73 @@
+//! Differential property tests: the calendar [`EventQueue`] must agree
+//! with the binary-heap oracle ([`reference::HeapQueue`]) on every
+//! interleaving of pushes, pops and peeks — same pop order, including the
+//! FIFO tie-break among same-time events.
+
+use proptest::prelude::*;
+use proptest::TestCaseError;
+
+use ntc_simcore::event::{reference::HeapQueue, EventQueue};
+use ntc_simcore::units::SimTime;
+
+/// Interprets `(sel, t)` pairs as a workload — `sel % 5 < 3` pushes an
+/// event at `t`, anything else pops — and runs it against both queues,
+/// asserting identical observable behaviour after every step.
+fn check(ops: &[(u64, u64)]) -> Result<(), TestCaseError> {
+    let mut cal = EventQueue::new();
+    let mut heap = HeapQueue::new();
+    for (i, &(sel, t)) in ops.iter().enumerate() {
+        if sel % 5 < 3 {
+            cal.push(SimTime::from_micros(t), i);
+            heap.push(SimTime::from_micros(t), i);
+        } else {
+            prop_assert_eq!(cal.pop(), heap.pop(), "pop diverged at op {}", i);
+        }
+        prop_assert_eq!(cal.peek_time(), heap.peek_time(), "peek diverged at op {}", i);
+        prop_assert_eq!(cal.len(), heap.len());
+        prop_assert_eq!(cal.is_empty(), heap.is_empty());
+    }
+    // Drain both: the full residual order must match, not just prefixes.
+    loop {
+        let (a, b) = (cal.pop(), heap.pop());
+        prop_assert_eq!(a, b, "drain diverged");
+        if b.is_none() {
+            break;
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Narrow time range: heavy same-time collisions stress the FIFO
+    /// tie-break within a single calendar day.
+    #[test]
+    fn agrees_with_heap_under_dense_ties(
+        ops in prop::collection::vec((0u64..100, 0u64..50), 1..400),
+    ) {
+        check(&ops)?;
+    }
+
+    /// A day-scale range with enough pushes to force several ring
+    /// rebuilds and width re-derivations mid-workload.
+    #[test]
+    fn agrees_with_heap_across_rebuilds(
+        ops in prop::collection::vec((0u64..100, 0u64..86_400_000_000), 1..600),
+    ) {
+        check(&ops)?;
+    }
+
+    /// Mixed magnitudes: mostly near-term events with occasional
+    /// far-future outliers, the engine's actual schedule shape (dispatch
+    /// horizon plus end-of-run pings), exercising the lap-fallback jump.
+    #[test]
+    fn agrees_with_heap_with_far_outliers(
+        near in prop::collection::vec((0u64..100, 0u64..10_000_000), 1..300),
+        far in prop::collection::vec(1_000_000_000_000u64..2_000_000_000_000, 0..5),
+    ) {
+        let mut all = near;
+        for t in far {
+            all.push((0, t)); // sel 0 => push
+        }
+        check(&all)?;
+    }
+}

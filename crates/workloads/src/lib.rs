@@ -31,4 +31,4 @@ pub mod jobs;
 
 pub use archetypes::Archetype;
 pub use arrivals::ArrivalProcess;
-pub use jobs::{generate_jobs, Job, StreamSpec};
+pub use jobs::{generate_jobs, generate_jobs_into, Job, StreamSpec};
