@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_dispatch_baseline-15dd6bc9ac961e42.d: crates/bench/src/bin/bench_dispatch_baseline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_dispatch_baseline-15dd6bc9ac961e42.rmeta: crates/bench/src/bin/bench_dispatch_baseline.rs Cargo.toml
+
+crates/bench/src/bin/bench_dispatch_baseline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

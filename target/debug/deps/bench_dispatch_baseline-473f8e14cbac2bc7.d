@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_dispatch_baseline-473f8e14cbac2bc7.d: crates/bench/src/bin/bench_dispatch_baseline.rs
+
+/root/repo/target/debug/deps/bench_dispatch_baseline-473f8e14cbac2bc7: crates/bench/src/bin/bench_dispatch_baseline.rs
+
+crates/bench/src/bin/bench_dispatch_baseline.rs:

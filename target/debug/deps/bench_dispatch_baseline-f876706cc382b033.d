@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_dispatch_baseline-f876706cc382b033.d: crates/bench/src/bin/bench_dispatch_baseline.rs
+
+/root/repo/target/debug/deps/bench_dispatch_baseline-f876706cc382b033: crates/bench/src/bin/bench_dispatch_baseline.rs
+
+crates/bench/src/bin/bench_dispatch_baseline.rs:

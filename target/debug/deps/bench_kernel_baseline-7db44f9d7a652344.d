@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_kernel_baseline-7db44f9d7a652344.d: crates/bench/src/bin/bench_kernel_baseline.rs
+
+/root/repo/target/debug/deps/bench_kernel_baseline-7db44f9d7a652344: crates/bench/src/bin/bench_kernel_baseline.rs
+
+crates/bench/src/bin/bench_kernel_baseline.rs:

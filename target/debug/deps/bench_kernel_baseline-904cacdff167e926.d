@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_kernel_baseline-904cacdff167e926.d: crates/bench/src/bin/bench_kernel_baseline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_kernel_baseline-904cacdff167e926.rmeta: crates/bench/src/bin/bench_kernel_baseline.rs Cargo.toml
+
+crates/bench/src/bin/bench_kernel_baseline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

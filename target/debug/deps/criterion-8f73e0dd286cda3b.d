@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-8f73e0dd286cda3b.d: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-8f73e0dd286cda3b.rmeta: /tmp/stubs/criterion/src/lib.rs
+
+/tmp/stubs/criterion/src/lib.rs:

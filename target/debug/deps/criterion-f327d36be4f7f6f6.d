@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-f327d36be4f7f6f6.d: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-f327d36be4f7f6f6.rlib: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-f327d36be4f7f6f6.rmeta: /tmp/stubs/criterion/src/lib.rs
+
+/tmp/stubs/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-356bbb2a0af2791d.d: crates/core/tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-356bbb2a0af2791d: crates/core/tests/determinism.rs
+
+crates/core/tests/determinism.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-5bf9b061305420e5.d: crates/core/tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-5bf9b061305420e5.rmeta: crates/core/tests/determinism.rs Cargo.toml
+
+crates/core/tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-54fdf35c03581bf0.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-54fdf35c03581bf0: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-5680eeb9311a4236.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-5680eeb9311a4236: tests/end_to_end.rs
+
+tests/end_to_end.rs:

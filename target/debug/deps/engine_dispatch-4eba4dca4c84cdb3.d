@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_dispatch-4eba4dca4c84cdb3.d: crates/bench/benches/engine_dispatch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_dispatch-4eba4dca4c84cdb3.rmeta: crates/bench/benches/engine_dispatch.rs Cargo.toml
+
+crates/bench/benches/engine_dispatch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_scenarios-1dab61fc13526d81.d: crates/core/tests/engine_scenarios.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_scenarios-1dab61fc13526d81.rmeta: crates/core/tests/engine_scenarios.rs Cargo.toml
+
+crates/core/tests/engine_scenarios.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

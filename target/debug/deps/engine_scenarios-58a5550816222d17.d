@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_scenarios-58a5550816222d17.d: crates/core/tests/engine_scenarios.rs
+
+/root/repo/target/debug/deps/engine_scenarios-58a5550816222d17: crates/core/tests/engine_scenarios.rs
+
+crates/core/tests/engine_scenarios.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_scenarios-ad2a9c1349f77343.d: crates/core/tests/engine_scenarios.rs
+
+/root/repo/target/debug/deps/engine_scenarios-ad2a9c1349f77343: crates/core/tests/engine_scenarios.rs
+
+crates/core/tests/engine_scenarios.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_latency_crossover-234ff5b4701cc4e5.d: crates/bench/src/bin/fig1_latency_crossover.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_latency_crossover-234ff5b4701cc4e5.rmeta: crates/bench/src/bin/fig1_latency_crossover.rs Cargo.toml
+
+crates/bench/src/bin/fig1_latency_crossover.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

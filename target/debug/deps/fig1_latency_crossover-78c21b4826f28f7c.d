@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_latency_crossover-78c21b4826f28f7c.d: crates/bench/src/bin/fig1_latency_crossover.rs
+
+/root/repo/target/debug/deps/fig1_latency_crossover-78c21b4826f28f7c: crates/bench/src/bin/fig1_latency_crossover.rs
+
+crates/bench/src/bin/fig1_latency_crossover.rs:

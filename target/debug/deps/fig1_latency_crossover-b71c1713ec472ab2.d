@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_latency_crossover-b71c1713ec472ab2.d: crates/bench/src/bin/fig1_latency_crossover.rs
+
+/root/repo/target/debug/deps/fig1_latency_crossover-b71c1713ec472ab2: crates/bench/src/bin/fig1_latency_crossover.rs
+
+crates/bench/src/bin/fig1_latency_crossover.rs:

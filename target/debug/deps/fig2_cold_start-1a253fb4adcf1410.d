@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_cold_start-1a253fb4adcf1410.d: crates/bench/src/bin/fig2_cold_start.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_cold_start-1a253fb4adcf1410.rmeta: crates/bench/src/bin/fig2_cold_start.rs Cargo.toml
+
+crates/bench/src/bin/fig2_cold_start.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

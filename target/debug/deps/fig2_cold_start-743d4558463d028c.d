@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_cold_start-743d4558463d028c.d: crates/bench/src/bin/fig2_cold_start.rs
+
+/root/repo/target/debug/deps/fig2_cold_start-743d4558463d028c: crates/bench/src/bin/fig2_cold_start.rs
+
+crates/bench/src/bin/fig2_cold_start.rs:

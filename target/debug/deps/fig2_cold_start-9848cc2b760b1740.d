@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_cold_start-9848cc2b760b1740.d: crates/bench/src/bin/fig2_cold_start.rs
+
+/root/repo/target/debug/deps/fig2_cold_start-9848cc2b760b1740: crates/bench/src/bin/fig2_cold_start.rs
+
+crates/bench/src/bin/fig2_cold_start.rs:

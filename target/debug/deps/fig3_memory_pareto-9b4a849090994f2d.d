@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_memory_pareto-9b4a849090994f2d.d: crates/bench/src/bin/fig3_memory_pareto.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_memory_pareto-9b4a849090994f2d.rmeta: crates/bench/src/bin/fig3_memory_pareto.rs Cargo.toml
+
+crates/bench/src/bin/fig3_memory_pareto.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_memory_pareto-cee86780ca324425.d: crates/bench/src/bin/fig3_memory_pareto.rs
+
+/root/repo/target/debug/deps/fig3_memory_pareto-cee86780ca324425: crates/bench/src/bin/fig3_memory_pareto.rs
+
+crates/bench/src/bin/fig3_memory_pareto.rs:

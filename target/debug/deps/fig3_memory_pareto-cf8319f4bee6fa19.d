@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_memory_pareto-cf8319f4bee6fa19.d: crates/bench/src/bin/fig3_memory_pareto.rs
+
+/root/repo/target/debug/deps/fig3_memory_pareto-cf8319f4bee6fa19: crates/bench/src/bin/fig3_memory_pareto.rs
+
+crates/bench/src/bin/fig3_memory_pareto.rs:

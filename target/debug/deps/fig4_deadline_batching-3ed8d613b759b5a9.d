@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_deadline_batching-3ed8d613b759b5a9.d: crates/bench/src/bin/fig4_deadline_batching.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_deadline_batching-3ed8d613b759b5a9.rmeta: crates/bench/src/bin/fig4_deadline_batching.rs Cargo.toml
+
+crates/bench/src/bin/fig4_deadline_batching.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_deadline_batching-ba2c77ce5b4a8cbc.d: crates/bench/src/bin/fig4_deadline_batching.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_deadline_batching-ba2c77ce5b4a8cbc.rmeta: crates/bench/src/bin/fig4_deadline_batching.rs Cargo.toml
+
+crates/bench/src/bin/fig4_deadline_batching.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_deadline_batching-f4283e0b515df5c3.d: crates/bench/src/bin/fig4_deadline_batching.rs
+
+/root/repo/target/debug/deps/fig4_deadline_batching-f4283e0b515df5c3: crates/bench/src/bin/fig4_deadline_batching.rs
+
+crates/bench/src/bin/fig4_deadline_batching.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_deadline_batching-f9fe03c32843fdf0.d: crates/bench/src/bin/fig4_deadline_batching.rs
+
+/root/repo/target/debug/deps/fig4_deadline_batching-f9fe03c32843fdf0: crates/bench/src/bin/fig4_deadline_batching.rs
+
+crates/bench/src/bin/fig4_deadline_batching.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_scalability-2d50e6d1191449bf.d: crates/bench/src/bin/fig5_scalability.rs
+
+/root/repo/target/debug/deps/fig5_scalability-2d50e6d1191449bf: crates/bench/src/bin/fig5_scalability.rs
+
+crates/bench/src/bin/fig5_scalability.rs:

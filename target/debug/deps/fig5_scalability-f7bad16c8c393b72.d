@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_scalability-f7bad16c8c393b72.d: crates/bench/src/bin/fig5_scalability.rs
+
+/root/repo/target/debug/deps/fig5_scalability-f7bad16c8c393b72: crates/bench/src/bin/fig5_scalability.rs
+
+crates/bench/src/bin/fig5_scalability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_ablation-25ac374fdf50e98b.d: crates/bench/src/bin/fig6_ablation.rs
+
+/root/repo/target/debug/deps/fig6_ablation-25ac374fdf50e98b: crates/bench/src/bin/fig6_ablation.rs
+
+crates/bench/src/bin/fig6_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_ablation-4d9baaff847991b6.d: crates/bench/src/bin/fig6_ablation.rs
+
+/root/repo/target/debug/deps/fig6_ablation-4d9baaff847991b6: crates/bench/src/bin/fig6_ablation.rs
+
+crates/bench/src/bin/fig6_ablation.rs:

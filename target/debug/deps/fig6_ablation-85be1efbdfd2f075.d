@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_ablation-85be1efbdfd2f075.d: crates/bench/src/bin/fig6_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_ablation-85be1efbdfd2f075.rmeta: crates/bench/src/bin/fig6_ablation.rs Cargo.toml
+
+crates/bench/src/bin/fig6_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_offpeak_extension-2a754ad46534dedb.d: crates/bench/src/bin/fig7_offpeak_extension.rs
+
+/root/repo/target/debug/deps/fig7_offpeak_extension-2a754ad46534dedb: crates/bench/src/bin/fig7_offpeak_extension.rs
+
+crates/bench/src/bin/fig7_offpeak_extension.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_offpeak_extension-afe771cf0a1c854b.d: crates/bench/src/bin/fig7_offpeak_extension.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_offpeak_extension-afe771cf0a1c854b.rmeta: crates/bench/src/bin/fig7_offpeak_extension.rs Cargo.toml
+
+crates/bench/src/bin/fig7_offpeak_extension.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

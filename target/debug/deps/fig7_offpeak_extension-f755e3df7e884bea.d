@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_offpeak_extension-f755e3df7e884bea.d: crates/bench/src/bin/fig7_offpeak_extension.rs
+
+/root/repo/target/debug/deps/fig7_offpeak_extension-f755e3df7e884bea: crates/bench/src/bin/fig7_offpeak_extension.rs
+
+crates/bench/src/bin/fig7_offpeak_extension.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_connectivity_extension-745951da19a31626.d: crates/bench/src/bin/fig8_connectivity_extension.rs
+
+/root/repo/target/debug/deps/fig8_connectivity_extension-745951da19a31626: crates/bench/src/bin/fig8_connectivity_extension.rs
+
+crates/bench/src/bin/fig8_connectivity_extension.rs:

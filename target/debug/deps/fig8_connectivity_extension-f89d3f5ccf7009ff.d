@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_connectivity_extension-f89d3f5ccf7009ff.d: crates/bench/src/bin/fig8_connectivity_extension.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_connectivity_extension-f89d3f5ccf7009ff.rmeta: crates/bench/src/bin/fig8_connectivity_extension.rs Cargo.toml
+
+crates/bench/src/bin/fig8_connectivity_extension.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

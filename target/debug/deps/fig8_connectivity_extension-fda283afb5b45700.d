@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_connectivity_extension-fda283afb5b45700.d: crates/bench/src/bin/fig8_connectivity_extension.rs
+
+/root/repo/target/debug/deps/fig8_connectivity_extension-fda283afb5b45700: crates/bench/src/bin/fig8_connectivity_extension.rs
+
+crates/bench/src/bin/fig8_connectivity_extension.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_fault_tolerance-0837b6744b9e1588.d: crates/bench/src/bin/fig9_fault_tolerance.rs
+
+/root/repo/target/debug/deps/fig9_fault_tolerance-0837b6744b9e1588: crates/bench/src/bin/fig9_fault_tolerance.rs
+
+crates/bench/src/bin/fig9_fault_tolerance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_fault_tolerance-0960f1b6e9cd56bb.d: crates/bench/src/bin/fig9_fault_tolerance.rs
+
+/root/repo/target/debug/deps/fig9_fault_tolerance-0960f1b6e9cd56bb: crates/bench/src/bin/fig9_fault_tolerance.rs
+
+crates/bench/src/bin/fig9_fault_tolerance.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_fault_tolerance-1f663199afdaf325.d: crates/bench/src/bin/fig9_fault_tolerance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_fault_tolerance-1f663199afdaf325.rmeta: crates/bench/src/bin/fig9_fault_tolerance.rs Cargo.toml
+
+crates/bench/src/bin/fig9_fault_tolerance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

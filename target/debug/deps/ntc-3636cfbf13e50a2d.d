@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ntc-3636cfbf13e50a2d.d: src/main.rs
+
+/root/repo/target/debug/deps/ntc-3636cfbf13e50a2d: src/main.rs
+
+src/main.rs:

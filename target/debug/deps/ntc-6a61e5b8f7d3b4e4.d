@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ntc-6a61e5b8f7d3b4e4.d: src/main.rs
+
+/root/repo/target/debug/deps/ntc-6a61e5b8f7d3b4e4: src/main.rs
+
+src/main.rs:

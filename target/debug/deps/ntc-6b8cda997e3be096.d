@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ntc-6b8cda997e3be096.d: src/main.rs
+
+/root/repo/target/debug/deps/ntc-6b8cda997e3be096: src/main.rs
+
+src/main.rs:

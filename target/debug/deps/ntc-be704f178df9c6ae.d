@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ntc-be704f178df9c6ae.d: src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libntc-be704f178df9c6ae.rmeta: src/main.rs Cargo.toml
+
+src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ntc-e1b20d50474f73f9.d: src/main.rs
+
+/root/repo/target/debug/deps/ntc-e1b20d50474f73f9: src/main.rs
+
+src/main.rs:

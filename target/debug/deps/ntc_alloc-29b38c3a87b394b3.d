@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ntc_alloc-29b38c3a87b394b3.d: crates/alloc/src/lib.rs crates/alloc/src/batching.rs crates/alloc/src/capabilities.rs crates/alloc/src/keepwarm.rs crates/alloc/src/memory.rs crates/alloc/src/sizing.rs
+
+/root/repo/target/debug/deps/libntc_alloc-29b38c3a87b394b3.rmeta: crates/alloc/src/lib.rs crates/alloc/src/batching.rs crates/alloc/src/capabilities.rs crates/alloc/src/keepwarm.rs crates/alloc/src/memory.rs crates/alloc/src/sizing.rs
+
+crates/alloc/src/lib.rs:
+crates/alloc/src/batching.rs:
+crates/alloc/src/capabilities.rs:
+crates/alloc/src/keepwarm.rs:
+crates/alloc/src/memory.rs:
+crates/alloc/src/sizing.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ntc_alloc-7383a5fcc95bacee.d: crates/alloc/src/lib.rs crates/alloc/src/batching.rs crates/alloc/src/capabilities.rs crates/alloc/src/keepwarm.rs crates/alloc/src/memory.rs crates/alloc/src/sizing.rs
+
+/root/repo/target/debug/deps/libntc_alloc-7383a5fcc95bacee.rlib: crates/alloc/src/lib.rs crates/alloc/src/batching.rs crates/alloc/src/capabilities.rs crates/alloc/src/keepwarm.rs crates/alloc/src/memory.rs crates/alloc/src/sizing.rs
+
+/root/repo/target/debug/deps/libntc_alloc-7383a5fcc95bacee.rmeta: crates/alloc/src/lib.rs crates/alloc/src/batching.rs crates/alloc/src/capabilities.rs crates/alloc/src/keepwarm.rs crates/alloc/src/memory.rs crates/alloc/src/sizing.rs
+
+crates/alloc/src/lib.rs:
+crates/alloc/src/batching.rs:
+crates/alloc/src/capabilities.rs:
+crates/alloc/src/keepwarm.rs:
+crates/alloc/src/memory.rs:
+crates/alloc/src/sizing.rs:

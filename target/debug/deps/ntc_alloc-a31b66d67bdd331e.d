@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ntc_alloc-a31b66d67bdd331e.d: crates/alloc/src/lib.rs crates/alloc/src/batching.rs crates/alloc/src/capabilities.rs crates/alloc/src/keepwarm.rs crates/alloc/src/memory.rs crates/alloc/src/sizing.rs
+
+/root/repo/target/debug/deps/ntc_alloc-a31b66d67bdd331e: crates/alloc/src/lib.rs crates/alloc/src/batching.rs crates/alloc/src/capabilities.rs crates/alloc/src/keepwarm.rs crates/alloc/src/memory.rs crates/alloc/src/sizing.rs
+
+crates/alloc/src/lib.rs:
+crates/alloc/src/batching.rs:
+crates/alloc/src/capabilities.rs:
+crates/alloc/src/keepwarm.rs:
+crates/alloc/src/memory.rs:
+crates/alloc/src/sizing.rs:

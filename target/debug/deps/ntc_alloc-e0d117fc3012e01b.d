@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ntc_alloc-e0d117fc3012e01b.d: crates/alloc/src/lib.rs crates/alloc/src/batching.rs crates/alloc/src/capabilities.rs crates/alloc/src/keepwarm.rs crates/alloc/src/memory.rs crates/alloc/src/sizing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libntc_alloc-e0d117fc3012e01b.rmeta: crates/alloc/src/lib.rs crates/alloc/src/batching.rs crates/alloc/src/capabilities.rs crates/alloc/src/keepwarm.rs crates/alloc/src/memory.rs crates/alloc/src/sizing.rs Cargo.toml
+
+crates/alloc/src/lib.rs:
+crates/alloc/src/batching.rs:
+crates/alloc/src/capabilities.rs:
+crates/alloc/src/keepwarm.rs:
+crates/alloc/src/memory.rs:
+crates/alloc/src/sizing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

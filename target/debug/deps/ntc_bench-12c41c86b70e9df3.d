@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ntc_bench-12c41c86b70e9df3.d: crates/bench/src/lib.rs crates/bench/src/dispatch.rs crates/bench/src/kernel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libntc_bench-12c41c86b70e9df3.rmeta: crates/bench/src/lib.rs crates/bench/src/dispatch.rs crates/bench/src/kernel.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/dispatch.rs:
+crates/bench/src/kernel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ntc_bench-136f75d1d5806ac3.d: crates/bench/src/lib.rs crates/bench/src/dispatch.rs crates/bench/src/kernel.rs
+
+/root/repo/target/debug/deps/libntc_bench-136f75d1d5806ac3.rlib: crates/bench/src/lib.rs crates/bench/src/dispatch.rs crates/bench/src/kernel.rs
+
+/root/repo/target/debug/deps/libntc_bench-136f75d1d5806ac3.rmeta: crates/bench/src/lib.rs crates/bench/src/dispatch.rs crates/bench/src/kernel.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/dispatch.rs:
+crates/bench/src/kernel.rs:

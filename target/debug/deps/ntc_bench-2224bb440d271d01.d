@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ntc_bench-2224bb440d271d01.d: crates/bench/src/lib.rs crates/bench/src/dispatch.rs crates/bench/src/kernel.rs
+
+/root/repo/target/debug/deps/ntc_bench-2224bb440d271d01: crates/bench/src/lib.rs crates/bench/src/dispatch.rs crates/bench/src/kernel.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/dispatch.rs:
+crates/bench/src/kernel.rs:

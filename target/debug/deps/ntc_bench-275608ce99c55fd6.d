@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ntc_bench-275608ce99c55fd6.d: crates/bench/src/lib.rs crates/bench/src/dispatch.rs
+
+/root/repo/target/debug/deps/libntc_bench-275608ce99c55fd6.rlib: crates/bench/src/lib.rs crates/bench/src/dispatch.rs
+
+/root/repo/target/debug/deps/libntc_bench-275608ce99c55fd6.rmeta: crates/bench/src/lib.rs crates/bench/src/dispatch.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/dispatch.rs:

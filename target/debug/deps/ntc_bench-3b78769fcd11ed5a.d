@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ntc_bench-3b78769fcd11ed5a.d: crates/bench/src/lib.rs crates/bench/src/dispatch.rs crates/bench/src/kernel.rs
+
+/root/repo/target/debug/deps/libntc_bench-3b78769fcd11ed5a.rmeta: crates/bench/src/lib.rs crates/bench/src/dispatch.rs crates/bench/src/kernel.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/dispatch.rs:
+crates/bench/src/kernel.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/ntc_bench-6dbe17c18b335652.d: crates/bench/src/lib.rs crates/bench/src/dispatch.rs
+
+/root/repo/target/debug/deps/ntc_bench-6dbe17c18b335652: crates/bench/src/lib.rs crates/bench/src/dispatch.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/dispatch.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ntc_cicd-ae265f1ce288e43f.d: crates/cicd/src/lib.rs crates/cicd/src/artifact.rs crates/cicd/src/monitor.rs crates/cicd/src/pipeline.rs
+
+/root/repo/target/debug/deps/ntc_cicd-ae265f1ce288e43f: crates/cicd/src/lib.rs crates/cicd/src/artifact.rs crates/cicd/src/monitor.rs crates/cicd/src/pipeline.rs
+
+crates/cicd/src/lib.rs:
+crates/cicd/src/artifact.rs:
+crates/cicd/src/monitor.rs:
+crates/cicd/src/pipeline.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ntc_cicd-cfea461218951da9.d: crates/cicd/src/lib.rs crates/cicd/src/artifact.rs crates/cicd/src/monitor.rs crates/cicd/src/pipeline.rs
+
+/root/repo/target/debug/deps/libntc_cicd-cfea461218951da9.rmeta: crates/cicd/src/lib.rs crates/cicd/src/artifact.rs crates/cicd/src/monitor.rs crates/cicd/src/pipeline.rs
+
+crates/cicd/src/lib.rs:
+crates/cicd/src/artifact.rs:
+crates/cicd/src/monitor.rs:
+crates/cicd/src/pipeline.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ntc_cicd-df3fc6ea21bd9246.d: crates/cicd/src/lib.rs crates/cicd/src/artifact.rs crates/cicd/src/monitor.rs crates/cicd/src/pipeline.rs
+
+/root/repo/target/debug/deps/libntc_cicd-df3fc6ea21bd9246.rlib: crates/cicd/src/lib.rs crates/cicd/src/artifact.rs crates/cicd/src/monitor.rs crates/cicd/src/pipeline.rs
+
+/root/repo/target/debug/deps/libntc_cicd-df3fc6ea21bd9246.rmeta: crates/cicd/src/lib.rs crates/cicd/src/artifact.rs crates/cicd/src/monitor.rs crates/cicd/src/pipeline.rs
+
+crates/cicd/src/lib.rs:
+crates/cicd/src/artifact.rs:
+crates/cicd/src/monitor.rs:
+crates/cicd/src/pipeline.rs:

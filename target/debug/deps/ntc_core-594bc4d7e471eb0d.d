@@ -1,0 +1,25 @@
+/root/repo/target/debug/deps/ntc_core-594bc4d7e471eb0d.d: crates/core/src/lib.rs crates/core/src/deploy.rs crates/core/src/device.rs crates/core/src/engine.rs crates/core/src/engine/accounting.rs crates/core/src/engine/admission.rs crates/core/src/engine/execute.rs crates/core/src/engine/recovery.rs crates/core/src/engine/transfer.rs crates/core/src/environment.rs crates/core/src/policy.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/site/mod.rs crates/core/src/site/cloud.rs crates/core/src/site/device.rs crates/core/src/site/edge.rs Cargo.toml
+
+/root/repo/target/debug/deps/libntc_core-594bc4d7e471eb0d.rmeta: crates/core/src/lib.rs crates/core/src/deploy.rs crates/core/src/device.rs crates/core/src/engine.rs crates/core/src/engine/accounting.rs crates/core/src/engine/admission.rs crates/core/src/engine/execute.rs crates/core/src/engine/recovery.rs crates/core/src/engine/transfer.rs crates/core/src/environment.rs crates/core/src/policy.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/site/mod.rs crates/core/src/site/cloud.rs crates/core/src/site/device.rs crates/core/src/site/edge.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/deploy.rs:
+crates/core/src/device.rs:
+crates/core/src/engine.rs:
+crates/core/src/engine/accounting.rs:
+crates/core/src/engine/admission.rs:
+crates/core/src/engine/execute.rs:
+crates/core/src/engine/recovery.rs:
+crates/core/src/engine/transfer.rs:
+crates/core/src/environment.rs:
+crates/core/src/policy.rs:
+crates/core/src/report.rs:
+crates/core/src/runner.rs:
+crates/core/src/site/mod.rs:
+crates/core/src/site/cloud.rs:
+crates/core/src/site/device.rs:
+crates/core/src/site/edge.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/ntc_core-84aa124073fe2b6d.d: crates/core/src/lib.rs crates/core/src/deploy.rs crates/core/src/device.rs crates/core/src/engine.rs crates/core/src/engine/accounting.rs crates/core/src/engine/admission.rs crates/core/src/engine/execute.rs crates/core/src/engine/recovery.rs crates/core/src/engine/tests.rs crates/core/src/engine/transfer.rs crates/core/src/environment.rs crates/core/src/policy.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/site/mod.rs crates/core/src/site/cloud.rs crates/core/src/site/device.rs crates/core/src/site/edge.rs
+
+/root/repo/target/debug/deps/ntc_core-84aa124073fe2b6d: crates/core/src/lib.rs crates/core/src/deploy.rs crates/core/src/device.rs crates/core/src/engine.rs crates/core/src/engine/accounting.rs crates/core/src/engine/admission.rs crates/core/src/engine/execute.rs crates/core/src/engine/recovery.rs crates/core/src/engine/tests.rs crates/core/src/engine/transfer.rs crates/core/src/environment.rs crates/core/src/policy.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/site/mod.rs crates/core/src/site/cloud.rs crates/core/src/site/device.rs crates/core/src/site/edge.rs
+
+crates/core/src/lib.rs:
+crates/core/src/deploy.rs:
+crates/core/src/device.rs:
+crates/core/src/engine.rs:
+crates/core/src/engine/accounting.rs:
+crates/core/src/engine/admission.rs:
+crates/core/src/engine/execute.rs:
+crates/core/src/engine/recovery.rs:
+crates/core/src/engine/tests.rs:
+crates/core/src/engine/transfer.rs:
+crates/core/src/environment.rs:
+crates/core/src/policy.rs:
+crates/core/src/report.rs:
+crates/core/src/runner.rs:
+crates/core/src/site/mod.rs:
+crates/core/src/site/cloud.rs:
+crates/core/src/site/device.rs:
+crates/core/src/site/edge.rs:

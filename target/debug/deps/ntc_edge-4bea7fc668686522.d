@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ntc_edge-4bea7fc668686522.d: crates/edge/src/lib.rs crates/edge/src/fleet.rs Cargo.toml
+
+/root/repo/target/debug/deps/libntc_edge-4bea7fc668686522.rmeta: crates/edge/src/lib.rs crates/edge/src/fleet.rs Cargo.toml
+
+crates/edge/src/lib.rs:
+crates/edge/src/fleet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

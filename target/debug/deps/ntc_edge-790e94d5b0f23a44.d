@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ntc_edge-790e94d5b0f23a44.d: crates/edge/src/lib.rs crates/edge/src/fleet.rs
+
+/root/repo/target/debug/deps/libntc_edge-790e94d5b0f23a44.rlib: crates/edge/src/lib.rs crates/edge/src/fleet.rs
+
+/root/repo/target/debug/deps/libntc_edge-790e94d5b0f23a44.rmeta: crates/edge/src/lib.rs crates/edge/src/fleet.rs
+
+crates/edge/src/lib.rs:
+crates/edge/src/fleet.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/ntc_edge-ce37906fdbaa0559.d: crates/edge/src/lib.rs crates/edge/src/fleet.rs
+
+/root/repo/target/debug/deps/ntc_edge-ce37906fdbaa0559: crates/edge/src/lib.rs crates/edge/src/fleet.rs
+
+crates/edge/src/lib.rs:
+crates/edge/src/fleet.rs:

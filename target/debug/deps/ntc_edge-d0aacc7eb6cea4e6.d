@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/ntc_edge-d0aacc7eb6cea4e6.d: crates/edge/src/lib.rs crates/edge/src/fleet.rs
+
+/root/repo/target/debug/deps/libntc_edge-d0aacc7eb6cea4e6.rmeta: crates/edge/src/lib.rs crates/edge/src/fleet.rs
+
+crates/edge/src/lib.rs:
+crates/edge/src/fleet.rs:

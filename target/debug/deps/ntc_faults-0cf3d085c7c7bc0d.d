@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ntc_faults-0cf3d085c7c7bc0d.d: crates/faults/src/lib.rs crates/faults/src/classify.rs crates/faults/src/config.rs crates/faults/src/plan.rs crates/faults/src/retry.rs
+
+/root/repo/target/debug/deps/libntc_faults-0cf3d085c7c7bc0d.rlib: crates/faults/src/lib.rs crates/faults/src/classify.rs crates/faults/src/config.rs crates/faults/src/plan.rs crates/faults/src/retry.rs
+
+/root/repo/target/debug/deps/libntc_faults-0cf3d085c7c7bc0d.rmeta: crates/faults/src/lib.rs crates/faults/src/classify.rs crates/faults/src/config.rs crates/faults/src/plan.rs crates/faults/src/retry.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/classify.rs:
+crates/faults/src/config.rs:
+crates/faults/src/plan.rs:
+crates/faults/src/retry.rs:

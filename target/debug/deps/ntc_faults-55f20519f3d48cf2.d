@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ntc_faults-55f20519f3d48cf2.d: crates/faults/src/lib.rs crates/faults/src/classify.rs crates/faults/src/config.rs crates/faults/src/plan.rs crates/faults/src/retry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libntc_faults-55f20519f3d48cf2.rmeta: crates/faults/src/lib.rs crates/faults/src/classify.rs crates/faults/src/config.rs crates/faults/src/plan.rs crates/faults/src/retry.rs Cargo.toml
+
+crates/faults/src/lib.rs:
+crates/faults/src/classify.rs:
+crates/faults/src/config.rs:
+crates/faults/src/plan.rs:
+crates/faults/src/retry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ntc_faults-57568d67a7b536c0.d: crates/faults/src/lib.rs crates/faults/src/classify.rs crates/faults/src/config.rs crates/faults/src/plan.rs crates/faults/src/retry.rs
+
+/root/repo/target/debug/deps/ntc_faults-57568d67a7b536c0: crates/faults/src/lib.rs crates/faults/src/classify.rs crates/faults/src/config.rs crates/faults/src/plan.rs crates/faults/src/retry.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/classify.rs:
+crates/faults/src/config.rs:
+crates/faults/src/plan.rs:
+crates/faults/src/retry.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ntc_faults-fe8ddc59036c78b1.d: crates/faults/src/lib.rs crates/faults/src/classify.rs crates/faults/src/config.rs crates/faults/src/plan.rs crates/faults/src/retry.rs
+
+/root/repo/target/debug/deps/libntc_faults-fe8ddc59036c78b1.rmeta: crates/faults/src/lib.rs crates/faults/src/classify.rs crates/faults/src/config.rs crates/faults/src/plan.rs crates/faults/src/retry.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/classify.rs:
+crates/faults/src/config.rs:
+crates/faults/src/plan.rs:
+crates/faults/src/retry.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ntc_net-792af3a5c23ebcd4.d: crates/net/src/lib.rs crates/net/src/connectivity.rs crates/net/src/link.rs crates/net/src/path.rs crates/net/src/trace.rs
+
+/root/repo/target/debug/deps/libntc_net-792af3a5c23ebcd4.rmeta: crates/net/src/lib.rs crates/net/src/connectivity.rs crates/net/src/link.rs crates/net/src/path.rs crates/net/src/trace.rs
+
+crates/net/src/lib.rs:
+crates/net/src/connectivity.rs:
+crates/net/src/link.rs:
+crates/net/src/path.rs:
+crates/net/src/trace.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ntc_net-cc0eb8572c8540b7.d: crates/net/src/lib.rs crates/net/src/connectivity.rs crates/net/src/link.rs crates/net/src/path.rs crates/net/src/trace.rs
+
+/root/repo/target/debug/deps/libntc_net-cc0eb8572c8540b7.rlib: crates/net/src/lib.rs crates/net/src/connectivity.rs crates/net/src/link.rs crates/net/src/path.rs crates/net/src/trace.rs
+
+/root/repo/target/debug/deps/libntc_net-cc0eb8572c8540b7.rmeta: crates/net/src/lib.rs crates/net/src/connectivity.rs crates/net/src/link.rs crates/net/src/path.rs crates/net/src/trace.rs
+
+crates/net/src/lib.rs:
+crates/net/src/connectivity.rs:
+crates/net/src/link.rs:
+crates/net/src/path.rs:
+crates/net/src/trace.rs:

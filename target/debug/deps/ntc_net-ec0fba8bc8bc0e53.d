@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ntc_net-ec0fba8bc8bc0e53.d: crates/net/src/lib.rs crates/net/src/connectivity.rs crates/net/src/link.rs crates/net/src/path.rs crates/net/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libntc_net-ec0fba8bc8bc0e53.rmeta: crates/net/src/lib.rs crates/net/src/connectivity.rs crates/net/src/link.rs crates/net/src/path.rs crates/net/src/trace.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/connectivity.rs:
+crates/net/src/link.rs:
+crates/net/src/path.rs:
+crates/net/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ntc_offload-18c5c4c3b0ab2623.d: src/lib.rs
+
+/root/repo/target/debug/deps/libntc_offload-18c5c4c3b0ab2623.rmeta: src/lib.rs
+
+src/lib.rs:

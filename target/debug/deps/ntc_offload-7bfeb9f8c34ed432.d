@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ntc_offload-7bfeb9f8c34ed432.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libntc_offload-7bfeb9f8c34ed432.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

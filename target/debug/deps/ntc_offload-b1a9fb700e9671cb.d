@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ntc_offload-b1a9fb700e9671cb.d: src/lib.rs
+
+/root/repo/target/debug/deps/ntc_offload-b1a9fb700e9671cb: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ntc_offload-d2f1074f578a1755.d: src/lib.rs
+
+/root/repo/target/debug/deps/ntc_offload-d2f1074f578a1755: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ntc_offload-db493caea994b0d5.d: src/lib.rs
+
+/root/repo/target/debug/deps/libntc_offload-db493caea994b0d5.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libntc_offload-db493caea994b0d5.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ntc_offload-ea9b805b39280e6a.d: src/lib.rs
+
+/root/repo/target/debug/deps/libntc_offload-ea9b805b39280e6a.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libntc_offload-ea9b805b39280e6a.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ntc_partition-1d01deafff17ef34.d: crates/partition/src/lib.rs crates/partition/src/algorithms.rs crates/partition/src/context.rs crates/partition/src/plan.rs
+
+/root/repo/target/debug/deps/ntc_partition-1d01deafff17ef34: crates/partition/src/lib.rs crates/partition/src/algorithms.rs crates/partition/src/context.rs crates/partition/src/plan.rs
+
+crates/partition/src/lib.rs:
+crates/partition/src/algorithms.rs:
+crates/partition/src/context.rs:
+crates/partition/src/plan.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ntc_partition-1f725a88c26697d4.d: crates/partition/src/lib.rs crates/partition/src/algorithms.rs crates/partition/src/context.rs crates/partition/src/plan.rs
+
+/root/repo/target/debug/deps/libntc_partition-1f725a88c26697d4.rlib: crates/partition/src/lib.rs crates/partition/src/algorithms.rs crates/partition/src/context.rs crates/partition/src/plan.rs
+
+/root/repo/target/debug/deps/libntc_partition-1f725a88c26697d4.rmeta: crates/partition/src/lib.rs crates/partition/src/algorithms.rs crates/partition/src/context.rs crates/partition/src/plan.rs
+
+crates/partition/src/lib.rs:
+crates/partition/src/algorithms.rs:
+crates/partition/src/context.rs:
+crates/partition/src/plan.rs:

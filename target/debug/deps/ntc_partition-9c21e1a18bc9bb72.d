@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ntc_partition-9c21e1a18bc9bb72.d: crates/partition/src/lib.rs crates/partition/src/algorithms.rs crates/partition/src/context.rs crates/partition/src/plan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libntc_partition-9c21e1a18bc9bb72.rmeta: crates/partition/src/lib.rs crates/partition/src/algorithms.rs crates/partition/src/context.rs crates/partition/src/plan.rs Cargo.toml
+
+crates/partition/src/lib.rs:
+crates/partition/src/algorithms.rs:
+crates/partition/src/context.rs:
+crates/partition/src/plan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ntc_partition-d36dea0cf73a52d2.d: crates/partition/src/lib.rs crates/partition/src/algorithms.rs crates/partition/src/context.rs crates/partition/src/plan.rs
+
+/root/repo/target/debug/deps/libntc_partition-d36dea0cf73a52d2.rmeta: crates/partition/src/lib.rs crates/partition/src/algorithms.rs crates/partition/src/context.rs crates/partition/src/plan.rs
+
+crates/partition/src/lib.rs:
+crates/partition/src/algorithms.rs:
+crates/partition/src/context.rs:
+crates/partition/src/plan.rs:

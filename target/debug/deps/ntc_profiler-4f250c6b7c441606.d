@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ntc_profiler-4f250c6b7c441606.d: crates/profiler/src/lib.rs crates/profiler/src/accuracy.rs crates/profiler/src/drift.rs crates/profiler/src/estimator.rs crates/profiler/src/profile.rs
+
+/root/repo/target/debug/deps/libntc_profiler-4f250c6b7c441606.rlib: crates/profiler/src/lib.rs crates/profiler/src/accuracy.rs crates/profiler/src/drift.rs crates/profiler/src/estimator.rs crates/profiler/src/profile.rs
+
+/root/repo/target/debug/deps/libntc_profiler-4f250c6b7c441606.rmeta: crates/profiler/src/lib.rs crates/profiler/src/accuracy.rs crates/profiler/src/drift.rs crates/profiler/src/estimator.rs crates/profiler/src/profile.rs
+
+crates/profiler/src/lib.rs:
+crates/profiler/src/accuracy.rs:
+crates/profiler/src/drift.rs:
+crates/profiler/src/estimator.rs:
+crates/profiler/src/profile.rs:

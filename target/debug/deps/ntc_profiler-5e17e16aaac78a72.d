@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ntc_profiler-5e17e16aaac78a72.d: crates/profiler/src/lib.rs crates/profiler/src/accuracy.rs crates/profiler/src/drift.rs crates/profiler/src/estimator.rs crates/profiler/src/profile.rs
+
+/root/repo/target/debug/deps/libntc_profiler-5e17e16aaac78a72.rmeta: crates/profiler/src/lib.rs crates/profiler/src/accuracy.rs crates/profiler/src/drift.rs crates/profiler/src/estimator.rs crates/profiler/src/profile.rs
+
+crates/profiler/src/lib.rs:
+crates/profiler/src/accuracy.rs:
+crates/profiler/src/drift.rs:
+crates/profiler/src/estimator.rs:
+crates/profiler/src/profile.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ntc_profiler-fbf14c24ccedd61b.d: crates/profiler/src/lib.rs crates/profiler/src/accuracy.rs crates/profiler/src/drift.rs crates/profiler/src/estimator.rs crates/profiler/src/profile.rs Cargo.toml
+
+/root/repo/target/debug/deps/libntc_profiler-fbf14c24ccedd61b.rmeta: crates/profiler/src/lib.rs crates/profiler/src/accuracy.rs crates/profiler/src/drift.rs crates/profiler/src/estimator.rs crates/profiler/src/profile.rs Cargo.toml
+
+crates/profiler/src/lib.rs:
+crates/profiler/src/accuracy.rs:
+crates/profiler/src/drift.rs:
+crates/profiler/src/estimator.rs:
+crates/profiler/src/profile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

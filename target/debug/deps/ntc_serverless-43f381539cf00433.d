@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ntc_serverless-43f381539cf00433.d: crates/serverless/src/lib.rs crates/serverless/src/billing.rs crates/serverless/src/coldstart.rs crates/serverless/src/function.rs crates/serverless/src/platform.rs
+
+/root/repo/target/debug/deps/ntc_serverless-43f381539cf00433: crates/serverless/src/lib.rs crates/serverless/src/billing.rs crates/serverless/src/coldstart.rs crates/serverless/src/function.rs crates/serverless/src/platform.rs
+
+crates/serverless/src/lib.rs:
+crates/serverless/src/billing.rs:
+crates/serverless/src/coldstart.rs:
+crates/serverless/src/function.rs:
+crates/serverless/src/platform.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ntc_serverless-f1e60871a9e21e8b.d: crates/serverless/src/lib.rs crates/serverless/src/billing.rs crates/serverless/src/coldstart.rs crates/serverless/src/function.rs crates/serverless/src/platform.rs
+
+/root/repo/target/debug/deps/libntc_serverless-f1e60871a9e21e8b.rlib: crates/serverless/src/lib.rs crates/serverless/src/billing.rs crates/serverless/src/coldstart.rs crates/serverless/src/function.rs crates/serverless/src/platform.rs
+
+/root/repo/target/debug/deps/libntc_serverless-f1e60871a9e21e8b.rmeta: crates/serverless/src/lib.rs crates/serverless/src/billing.rs crates/serverless/src/coldstart.rs crates/serverless/src/function.rs crates/serverless/src/platform.rs
+
+crates/serverless/src/lib.rs:
+crates/serverless/src/billing.rs:
+crates/serverless/src/coldstart.rs:
+crates/serverless/src/function.rs:
+crates/serverless/src/platform.rs:

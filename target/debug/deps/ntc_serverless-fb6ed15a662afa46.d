@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ntc_serverless-fb6ed15a662afa46.d: crates/serverless/src/lib.rs crates/serverless/src/billing.rs crates/serverless/src/coldstart.rs crates/serverless/src/function.rs crates/serverless/src/platform.rs Cargo.toml
+
+/root/repo/target/debug/deps/libntc_serverless-fb6ed15a662afa46.rmeta: crates/serverless/src/lib.rs crates/serverless/src/billing.rs crates/serverless/src/coldstart.rs crates/serverless/src/function.rs crates/serverless/src/platform.rs Cargo.toml
+
+crates/serverless/src/lib.rs:
+crates/serverless/src/billing.rs:
+crates/serverless/src/coldstart.rs:
+crates/serverless/src/function.rs:
+crates/serverless/src/platform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ntc_simcore-85262d7d0a740272.d: crates/simcore/src/lib.rs crates/simcore/src/event.rs crates/simcore/src/metrics.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/timeseries.rs crates/simcore/src/units.rs Cargo.toml
+
+/root/repo/target/debug/deps/libntc_simcore-85262d7d0a740272.rmeta: crates/simcore/src/lib.rs crates/simcore/src/event.rs crates/simcore/src/metrics.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/timeseries.rs crates/simcore/src/units.rs Cargo.toml
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/event.rs:
+crates/simcore/src/metrics.rs:
+crates/simcore/src/rng.rs:
+crates/simcore/src/stats.rs:
+crates/simcore/src/timeseries.rs:
+crates/simcore/src/units.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

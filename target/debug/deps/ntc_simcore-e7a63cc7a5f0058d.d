@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ntc_simcore-e7a63cc7a5f0058d.d: crates/simcore/src/lib.rs crates/simcore/src/event.rs crates/simcore/src/metrics.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/timeseries.rs crates/simcore/src/units.rs
+
+/root/repo/target/debug/deps/ntc_simcore-e7a63cc7a5f0058d: crates/simcore/src/lib.rs crates/simcore/src/event.rs crates/simcore/src/metrics.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/timeseries.rs crates/simcore/src/units.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/event.rs:
+crates/simcore/src/metrics.rs:
+crates/simcore/src/rng.rs:
+crates/simcore/src/stats.rs:
+crates/simcore/src/timeseries.rs:
+crates/simcore/src/units.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ntc_taskgraph-5291434507be2586.d: crates/taskgraph/src/lib.rs crates/taskgraph/src/component.rs crates/taskgraph/src/flow.rs crates/taskgraph/src/generate.rs crates/taskgraph/src/graph.rs
+
+/root/repo/target/debug/deps/ntc_taskgraph-5291434507be2586: crates/taskgraph/src/lib.rs crates/taskgraph/src/component.rs crates/taskgraph/src/flow.rs crates/taskgraph/src/generate.rs crates/taskgraph/src/graph.rs
+
+crates/taskgraph/src/lib.rs:
+crates/taskgraph/src/component.rs:
+crates/taskgraph/src/flow.rs:
+crates/taskgraph/src/generate.rs:
+crates/taskgraph/src/graph.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ntc_taskgraph-979d3c7a0b8358d3.d: crates/taskgraph/src/lib.rs crates/taskgraph/src/component.rs crates/taskgraph/src/flow.rs crates/taskgraph/src/generate.rs crates/taskgraph/src/graph.rs Cargo.toml
+
+/root/repo/target/debug/deps/libntc_taskgraph-979d3c7a0b8358d3.rmeta: crates/taskgraph/src/lib.rs crates/taskgraph/src/component.rs crates/taskgraph/src/flow.rs crates/taskgraph/src/generate.rs crates/taskgraph/src/graph.rs Cargo.toml
+
+crates/taskgraph/src/lib.rs:
+crates/taskgraph/src/component.rs:
+crates/taskgraph/src/flow.rs:
+crates/taskgraph/src/generate.rs:
+crates/taskgraph/src/graph.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ntc_taskgraph-b5f4cdcfc23675c7.d: crates/taskgraph/src/lib.rs crates/taskgraph/src/component.rs crates/taskgraph/src/flow.rs crates/taskgraph/src/generate.rs crates/taskgraph/src/graph.rs
+
+/root/repo/target/debug/deps/libntc_taskgraph-b5f4cdcfc23675c7.rlib: crates/taskgraph/src/lib.rs crates/taskgraph/src/component.rs crates/taskgraph/src/flow.rs crates/taskgraph/src/generate.rs crates/taskgraph/src/graph.rs
+
+/root/repo/target/debug/deps/libntc_taskgraph-b5f4cdcfc23675c7.rmeta: crates/taskgraph/src/lib.rs crates/taskgraph/src/component.rs crates/taskgraph/src/flow.rs crates/taskgraph/src/generate.rs crates/taskgraph/src/graph.rs
+
+crates/taskgraph/src/lib.rs:
+crates/taskgraph/src/component.rs:
+crates/taskgraph/src/flow.rs:
+crates/taskgraph/src/generate.rs:
+crates/taskgraph/src/graph.rs:

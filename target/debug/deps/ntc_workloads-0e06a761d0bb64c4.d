@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ntc_workloads-0e06a761d0bb64c4.d: crates/workloads/src/lib.rs crates/workloads/src/archetypes.rs crates/workloads/src/arrivals.rs crates/workloads/src/jobs.rs
+
+/root/repo/target/debug/deps/libntc_workloads-0e06a761d0bb64c4.rmeta: crates/workloads/src/lib.rs crates/workloads/src/archetypes.rs crates/workloads/src/arrivals.rs crates/workloads/src/jobs.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/archetypes.rs:
+crates/workloads/src/arrivals.rs:
+crates/workloads/src/jobs.rs:

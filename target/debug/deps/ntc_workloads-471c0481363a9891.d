@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ntc_workloads-471c0481363a9891.d: crates/workloads/src/lib.rs crates/workloads/src/archetypes.rs crates/workloads/src/arrivals.rs crates/workloads/src/jobs.rs
+
+/root/repo/target/debug/deps/libntc_workloads-471c0481363a9891.rlib: crates/workloads/src/lib.rs crates/workloads/src/archetypes.rs crates/workloads/src/arrivals.rs crates/workloads/src/jobs.rs
+
+/root/repo/target/debug/deps/libntc_workloads-471c0481363a9891.rmeta: crates/workloads/src/lib.rs crates/workloads/src/archetypes.rs crates/workloads/src/arrivals.rs crates/workloads/src/jobs.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/archetypes.rs:
+crates/workloads/src/arrivals.rs:
+crates/workloads/src/jobs.rs:

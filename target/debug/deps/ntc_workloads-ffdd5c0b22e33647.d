@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ntc_workloads-ffdd5c0b22e33647.d: crates/workloads/src/lib.rs crates/workloads/src/archetypes.rs crates/workloads/src/arrivals.rs crates/workloads/src/jobs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libntc_workloads-ffdd5c0b22e33647.rmeta: crates/workloads/src/lib.rs crates/workloads/src/archetypes.rs crates/workloads/src/arrivals.rs crates/workloads/src/jobs.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/archetypes.rs:
+crates/workloads/src/arrivals.rs:
+crates/workloads/src/jobs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

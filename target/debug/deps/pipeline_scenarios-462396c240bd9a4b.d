@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_scenarios-462396c240bd9a4b.d: crates/cicd/tests/pipeline_scenarios.rs
+
+/root/repo/target/debug/deps/pipeline_scenarios-462396c240bd9a4b: crates/cicd/tests/pipeline_scenarios.rs
+
+crates/cicd/tests/pipeline_scenarios.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_scenarios-c2b9f17556147f29.d: crates/cicd/tests/pipeline_scenarios.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_scenarios-c2b9f17556147f29.rmeta: crates/cicd/tests/pipeline_scenarios.rs Cargo.toml
+
+crates/cicd/tests/pipeline_scenarios.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

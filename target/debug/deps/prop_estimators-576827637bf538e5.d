@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_estimators-576827637bf538e5.d: crates/profiler/tests/prop_estimators.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_estimators-576827637bf538e5.rmeta: crates/profiler/tests/prop_estimators.rs Cargo.toml
+
+crates/profiler/tests/prop_estimators.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_estimators-84374ec6c180aa4c.d: crates/profiler/tests/prop_estimators.rs
+
+/root/repo/target/debug/deps/prop_estimators-84374ec6c180aa4c: crates/profiler/tests/prop_estimators.rs
+
+crates/profiler/tests/prop_estimators.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_event_queue-30bf2eb489c14fd1.d: crates/simcore/tests/prop_event_queue.rs
+
+/root/repo/target/debug/deps/prop_event_queue-30bf2eb489c14fd1: crates/simcore/tests/prop_event_queue.rs
+
+crates/simcore/tests/prop_event_queue.rs:

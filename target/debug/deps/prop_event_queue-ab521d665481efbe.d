@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_event_queue-ab521d665481efbe.d: crates/simcore/tests/prop_event_queue.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_event_queue-ab521d665481efbe.rmeta: crates/simcore/tests/prop_event_queue.rs Cargo.toml
+
+crates/simcore/tests/prop_event_queue.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_fault_recovery-6770211f38232655.d: crates/core/tests/prop_fault_recovery.rs
+
+/root/repo/target/debug/deps/prop_fault_recovery-6770211f38232655: crates/core/tests/prop_fault_recovery.rs
+
+crates/core/tests/prop_fault_recovery.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_fault_recovery-68d6d2a8d1427473.d: crates/core/tests/prop_fault_recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_fault_recovery-68d6d2a8d1427473.rmeta: crates/core/tests/prop_fault_recovery.rs Cargo.toml
+
+crates/core/tests/prop_fault_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_fault_recovery-a4e02dd1536c1f94.d: crates/core/tests/prop_fault_recovery.rs
+
+/root/repo/target/debug/deps/prop_fault_recovery-a4e02dd1536c1f94: crates/core/tests/prop_fault_recovery.rs
+
+crates/core/tests/prop_fault_recovery.rs:

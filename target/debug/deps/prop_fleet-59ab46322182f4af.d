@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_fleet-59ab46322182f4af.d: crates/edge/tests/prop_fleet.rs
+
+/root/repo/target/debug/deps/prop_fleet-59ab46322182f4af: crates/edge/tests/prop_fleet.rs
+
+crates/edge/tests/prop_fleet.rs:

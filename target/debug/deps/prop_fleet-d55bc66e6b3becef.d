@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_fleet-d55bc66e6b3becef.d: crates/edge/tests/prop_fleet.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_fleet-d55bc66e6b3becef.rmeta: crates/edge/tests/prop_fleet.rs Cargo.toml
+
+crates/edge/tests/prop_fleet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

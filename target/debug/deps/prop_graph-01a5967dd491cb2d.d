@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_graph-01a5967dd491cb2d.d: crates/taskgraph/tests/prop_graph.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_graph-01a5967dd491cb2d.rmeta: crates/taskgraph/tests/prop_graph.rs Cargo.toml
+
+crates/taskgraph/tests/prop_graph.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

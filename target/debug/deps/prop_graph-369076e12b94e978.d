@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_graph-369076e12b94e978.d: crates/taskgraph/tests/prop_graph.rs
+
+/root/repo/target/debug/deps/prop_graph-369076e12b94e978: crates/taskgraph/tests/prop_graph.rs
+
+crates/taskgraph/tests/prop_graph.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_invariants-293c713e60445ce0.d: tests/prop_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_invariants-293c713e60445ce0.rmeta: tests/prop_invariants.rs Cargo.toml
+
+tests/prop_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

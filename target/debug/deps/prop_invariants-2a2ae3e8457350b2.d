@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_invariants-2a2ae3e8457350b2.d: tests/prop_invariants.rs
+
+/root/repo/target/debug/deps/prop_invariants-2a2ae3e8457350b2: tests/prop_invariants.rs
+
+tests/prop_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_invariants-a0eae776eded7fd3.d: tests/prop_invariants.rs
+
+/root/repo/target/debug/deps/prop_invariants-a0eae776eded7fd3: tests/prop_invariants.rs
+
+tests/prop_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_platform-2c232f9351423deb.d: crates/serverless/tests/prop_platform.rs
+
+/root/repo/target/debug/deps/prop_platform-2c232f9351423deb: crates/serverless/tests/prop_platform.rs
+
+crates/serverless/tests/prop_platform.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_platform-9d11bf52e4396216.d: crates/serverless/tests/prop_platform.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_platform-9d11bf52e4396216.rmeta: crates/serverless/tests/prop_platform.rs Cargo.toml
+
+crates/serverless/tests/prop_platform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_simcore-93f904c047dab861.d: crates/simcore/tests/prop_simcore.rs
+
+/root/repo/target/debug/deps/prop_simcore-93f904c047dab861: crates/simcore/tests/prop_simcore.rs
+
+crates/simcore/tests/prop_simcore.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_simcore-d991ff175ddf9fcb.d: crates/simcore/tests/prop_simcore.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_simcore-d991ff175ddf9fcb.rmeta: crates/simcore/tests/prop_simcore.rs Cargo.toml
+
+crates/simcore/tests/prop_simcore.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

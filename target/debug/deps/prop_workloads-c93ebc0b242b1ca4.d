@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_workloads-c93ebc0b242b1ca4.d: crates/workloads/tests/prop_workloads.rs
+
+/root/repo/target/debug/deps/prop_workloads-c93ebc0b242b1ca4: crates/workloads/tests/prop_workloads.rs
+
+crates/workloads/tests/prop_workloads.rs:

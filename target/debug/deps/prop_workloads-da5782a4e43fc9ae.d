@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_workloads-da5782a4e43fc9ae.d: crates/workloads/tests/prop_workloads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_workloads-da5782a4e43fc9ae.rmeta: crates/workloads/tests/prop_workloads.rs Cargo.toml
+
+crates/workloads/tests/prop_workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-0cc9792d0099216c.d: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-0cc9792d0099216c.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

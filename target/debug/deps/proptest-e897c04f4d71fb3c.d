@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-e897c04f4d71fb3c.d: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-e897c04f4d71fb3c.rlib: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-e897c04f4d71fb3c.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-4d7f4739b3047daf.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-4d7f4739b3047daf.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-c51353fbd3edc796.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-c51353fbd3edc796.rlib: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-c51353fbd3edc796.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

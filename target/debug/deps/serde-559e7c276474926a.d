@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-559e7c276474926a.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-559e7c276474926a.rlib: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-559e7c276474926a.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

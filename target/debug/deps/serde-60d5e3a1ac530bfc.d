@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-60d5e3a1ac530bfc.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-60d5e3a1ac530bfc.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

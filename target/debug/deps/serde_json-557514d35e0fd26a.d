@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-557514d35e0fd26a.d: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-557514d35e0fd26a.rmeta: /tmp/stubs/serde_json/src/lib.rs
+
+/tmp/stubs/serde_json/src/lib.rs:

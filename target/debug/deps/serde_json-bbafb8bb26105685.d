@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-bbafb8bb26105685.d: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-bbafb8bb26105685.rlib: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-bbafb8bb26105685.rmeta: /tmp/stubs/serde_json/src/lib.rs
+
+/tmp/stubs/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/site_conformance-0971a85910259f8b.d: crates/core/tests/site_conformance.rs
+
+/root/repo/target/debug/deps/site_conformance-0971a85910259f8b: crates/core/tests/site_conformance.rs
+
+crates/core/tests/site_conformance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/site_conformance-26242f92f25c6c12.d: crates/core/tests/site_conformance.rs
+
+/root/repo/target/debug/deps/site_conformance-26242f92f25c6c12: crates/core/tests/site_conformance.rs
+
+crates/core/tests/site_conformance.rs:

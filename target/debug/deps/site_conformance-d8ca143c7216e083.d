@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/site_conformance-d8ca143c7216e083.d: crates/core/tests/site_conformance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsite_conformance-d8ca143c7216e083.rmeta: crates/core/tests/site_conformance.rs Cargo.toml
+
+crates/core/tests/site_conformance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

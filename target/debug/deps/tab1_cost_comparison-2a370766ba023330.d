@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab1_cost_comparison-2a370766ba023330.d: crates/bench/src/bin/tab1_cost_comparison.rs
+
+/root/repo/target/debug/deps/tab1_cost_comparison-2a370766ba023330: crates/bench/src/bin/tab1_cost_comparison.rs
+
+crates/bench/src/bin/tab1_cost_comparison.rs:

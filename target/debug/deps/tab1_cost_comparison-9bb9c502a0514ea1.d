@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab1_cost_comparison-9bb9c502a0514ea1.d: crates/bench/src/bin/tab1_cost_comparison.rs
+
+/root/repo/target/debug/deps/tab1_cost_comparison-9bb9c502a0514ea1: crates/bench/src/bin/tab1_cost_comparison.rs
+
+crates/bench/src/bin/tab1_cost_comparison.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab1_cost_comparison-c28f70d9b9c96588.d: crates/bench/src/bin/tab1_cost_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab1_cost_comparison-c28f70d9b9c96588.rmeta: crates/bench/src/bin/tab1_cost_comparison.rs Cargo.toml
+
+crates/bench/src/bin/tab1_cost_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab2_partition_quality-71030d1ee7901e1c.d: crates/bench/src/bin/tab2_partition_quality.rs
+
+/root/repo/target/debug/deps/tab2_partition_quality-71030d1ee7901e1c: crates/bench/src/bin/tab2_partition_quality.rs
+
+crates/bench/src/bin/tab2_partition_quality.rs:

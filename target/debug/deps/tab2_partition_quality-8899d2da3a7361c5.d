@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab2_partition_quality-8899d2da3a7361c5.d: crates/bench/src/bin/tab2_partition_quality.rs
+
+/root/repo/target/debug/deps/tab2_partition_quality-8899d2da3a7361c5: crates/bench/src/bin/tab2_partition_quality.rs
+
+crates/bench/src/bin/tab2_partition_quality.rs:

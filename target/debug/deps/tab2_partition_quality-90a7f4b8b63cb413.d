@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab2_partition_quality-90a7f4b8b63cb413.d: crates/bench/src/bin/tab2_partition_quality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab2_partition_quality-90a7f4b8b63cb413.rmeta: crates/bench/src/bin/tab2_partition_quality.rs Cargo.toml
+
+crates/bench/src/bin/tab2_partition_quality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

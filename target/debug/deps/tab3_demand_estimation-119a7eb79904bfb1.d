@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab3_demand_estimation-119a7eb79904bfb1.d: crates/bench/src/bin/tab3_demand_estimation.rs
+
+/root/repo/target/debug/deps/tab3_demand_estimation-119a7eb79904bfb1: crates/bench/src/bin/tab3_demand_estimation.rs
+
+crates/bench/src/bin/tab3_demand_estimation.rs:

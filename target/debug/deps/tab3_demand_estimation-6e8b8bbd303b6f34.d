@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab3_demand_estimation-6e8b8bbd303b6f34.d: crates/bench/src/bin/tab3_demand_estimation.rs
+
+/root/repo/target/debug/deps/tab3_demand_estimation-6e8b8bbd303b6f34: crates/bench/src/bin/tab3_demand_estimation.rs
+
+crates/bench/src/bin/tab3_demand_estimation.rs:

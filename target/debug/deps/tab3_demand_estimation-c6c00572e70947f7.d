@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab3_demand_estimation-c6c00572e70947f7.d: crates/bench/src/bin/tab3_demand_estimation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab3_demand_estimation-c6c00572e70947f7.rmeta: crates/bench/src/bin/tab3_demand_estimation.rs Cargo.toml
+
+crates/bench/src/bin/tab3_demand_estimation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab4_cicd_overhead-417746dd803ddcbe.d: crates/bench/src/bin/tab4_cicd_overhead.rs
+
+/root/repo/target/debug/deps/tab4_cicd_overhead-417746dd803ddcbe: crates/bench/src/bin/tab4_cicd_overhead.rs
+
+crates/bench/src/bin/tab4_cicd_overhead.rs:

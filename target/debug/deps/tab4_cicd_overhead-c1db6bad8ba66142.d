@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab4_cicd_overhead-c1db6bad8ba66142.d: crates/bench/src/bin/tab4_cicd_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab4_cicd_overhead-c1db6bad8ba66142.rmeta: crates/bench/src/bin/tab4_cicd_overhead.rs Cargo.toml
+
+crates/bench/src/bin/tab4_cicd_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

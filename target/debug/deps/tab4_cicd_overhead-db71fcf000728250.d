@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab4_cicd_overhead-db71fcf000728250.d: crates/bench/src/bin/tab4_cicd_overhead.rs
+
+/root/repo/target/debug/deps/tab4_cicd_overhead-db71fcf000728250: crates/bench/src/bin/tab4_cicd_overhead.rs
+
+crates/bench/src/bin/tab4_cicd_overhead.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab5_e2e_policies-4aad7ca28eb033f9.d: crates/bench/src/bin/tab5_e2e_policies.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab5_e2e_policies-4aad7ca28eb033f9.rmeta: crates/bench/src/bin/tab5_e2e_policies.rs Cargo.toml
+
+crates/bench/src/bin/tab5_e2e_policies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

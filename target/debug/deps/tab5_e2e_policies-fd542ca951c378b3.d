@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab5_e2e_policies-fd542ca951c378b3.d: crates/bench/src/bin/tab5_e2e_policies.rs
+
+/root/repo/target/debug/deps/tab5_e2e_policies-fd542ca951c378b3: crates/bench/src/bin/tab5_e2e_policies.rs
+
+crates/bench/src/bin/tab5_e2e_policies.rs:

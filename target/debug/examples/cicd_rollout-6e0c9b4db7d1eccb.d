@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cicd_rollout-6e0c9b4db7d1eccb.d: examples/cicd_rollout.rs
+
+/root/repo/target/debug/examples/cicd_rollout-6e0c9b4db7d1eccb: examples/cicd_rollout.rs
+
+examples/cicd_rollout.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cicd_rollout-d7402d88b2f2690d.d: examples/cicd_rollout.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcicd_rollout-d7402d88b2f2690d.rmeta: examples/cicd_rollout.rs Cargo.toml
+
+examples/cicd_rollout.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cicd_rollout-ff34611c3c6f5415.d: examples/cicd_rollout.rs
+
+/root/repo/target/debug/examples/cicd_rollout-ff34611c3c6f5415: examples/cicd_rollout.rs
+
+examples/cicd_rollout.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/commuter_day-96515bb7a318af2d.d: examples/commuter_day.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcommuter_day-96515bb7a318af2d.rmeta: examples/commuter_day.rs Cargo.toml
+
+examples/commuter_day.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

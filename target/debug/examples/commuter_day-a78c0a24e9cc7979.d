@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/commuter_day-a78c0a24e9cc7979.d: examples/commuter_day.rs
+
+/root/repo/target/debug/examples/commuter_day-a78c0a24e9cc7979: examples/commuter_day.rs
+
+examples/commuter_day.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/commuter_day-b0006a6026855dc3.d: examples/commuter_day.rs
+
+/root/repo/target/debug/examples/commuter_day-b0006a6026855dc3: examples/commuter_day.rs
+
+examples/commuter_day.rs:

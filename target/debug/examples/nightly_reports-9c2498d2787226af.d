@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/nightly_reports-9c2498d2787226af.d: examples/nightly_reports.rs
+
+/root/repo/target/debug/examples/nightly_reports-9c2498d2787226af: examples/nightly_reports.rs
+
+examples/nightly_reports.rs:

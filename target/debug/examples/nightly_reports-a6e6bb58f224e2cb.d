@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/nightly_reports-a6e6bb58f224e2cb.d: examples/nightly_reports.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnightly_reports-a6e6bb58f224e2cb.rmeta: examples/nightly_reports.rs Cargo.toml
+
+examples/nightly_reports.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

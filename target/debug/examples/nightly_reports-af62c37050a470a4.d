@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/nightly_reports-af62c37050a470a4.d: examples/nightly_reports.rs
+
+/root/repo/target/debug/examples/nightly_reports-af62c37050a470a4: examples/nightly_reports.rs
+
+examples/nightly_reports.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/photo_pipeline-657517f9dd4210f3.d: examples/photo_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libphoto_pipeline-657517f9dd4210f3.rmeta: examples/photo_pipeline.rs Cargo.toml
+
+examples/photo_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/photo_pipeline-c36f48c00bacc204.d: examples/photo_pipeline.rs
+
+/root/repo/target/debug/examples/photo_pipeline-c36f48c00bacc204: examples/photo_pipeline.rs
+
+examples/photo_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/photo_pipeline-de1fc944db91cbc9.d: examples/photo_pipeline.rs
+
+/root/repo/target/debug/examples/photo_pipeline-de1fc944db91cbc9: examples/photo_pipeline.rs
+
+examples/photo_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-0925b3884c829254.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-0925b3884c829254: examples/quickstart.rs
+
+examples/quickstart.rs:

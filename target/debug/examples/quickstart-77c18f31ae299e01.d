@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-77c18f31ae299e01.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-77c18f31ae299e01: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["ntc_core",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/convert/trait.From.html\" title=\"trait core::convert::From\">From</a>&lt;<a class=\"enum\" href=\"ntc_core/policy/enum.Backend.html\" title=\"enum ntc_core::policy::Backend\">Backend</a>&gt; for <a class=\"struct\" href=\"ntc_core/site/struct.SiteId.html\" title=\"struct ntc_core::site::SiteId\">SiteId</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[398]}

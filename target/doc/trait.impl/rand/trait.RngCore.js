@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["ntc_simcore",[["impl RngCore for <a class=\"struct\" href=\"ntc_simcore/rng/struct.RngStream.html\" title=\"struct ntc_simcore::rng::RngStream\">RngStream</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[166]}

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_dispatch_baseline-3924e744ff70906c.d: crates/bench/src/bin/bench_dispatch_baseline.rs
+
+/root/repo/target/release/deps/bench_dispatch_baseline-3924e744ff70906c: crates/bench/src/bin/bench_dispatch_baseline.rs
+
+crates/bench/src/bin/bench_dispatch_baseline.rs:

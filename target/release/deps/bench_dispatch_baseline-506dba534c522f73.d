@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_dispatch_baseline-506dba534c522f73.d: crates/bench/src/bin/bench_dispatch_baseline.rs
+
+/root/repo/target/release/deps/bench_dispatch_baseline-506dba534c522f73: crates/bench/src/bin/bench_dispatch_baseline.rs
+
+crates/bench/src/bin/bench_dispatch_baseline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_dispatch_baseline-5c80b09447757a98.d: crates/bench/src/bin/bench_dispatch_baseline.rs
+
+/root/repo/target/release/deps/bench_dispatch_baseline-5c80b09447757a98: crates/bench/src/bin/bench_dispatch_baseline.rs
+
+crates/bench/src/bin/bench_dispatch_baseline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_kernel_baseline-8bd78ff82e716f66.d: crates/bench/src/bin/bench_kernel_baseline.rs
+
+/root/repo/target/release/deps/bench_kernel_baseline-8bd78ff82e716f66: crates/bench/src/bin/bench_kernel_baseline.rs
+
+crates/bench/src/bin/bench_kernel_baseline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_kernel_baseline-ee16455b32f59bc1.d: crates/bench/src/bin/bench_kernel_baseline.rs
+
+/root/repo/target/release/deps/bench_kernel_baseline-ee16455b32f59bc1: crates/bench/src/bin/bench_kernel_baseline.rs
+
+crates/bench/src/bin/bench_kernel_baseline.rs:

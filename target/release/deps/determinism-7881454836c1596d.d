@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-7881454836c1596d.d: crates/core/tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-7881454836c1596d: crates/core/tests/determinism.rs
+
+crates/core/tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engine_dispatch-b369ab215917c39f.d: crates/bench/benches/engine_dispatch.rs
+
+/root/repo/target/release/deps/engine_dispatch-b369ab215917c39f: crates/bench/benches/engine_dispatch.rs
+
+crates/bench/benches/engine_dispatch.rs:

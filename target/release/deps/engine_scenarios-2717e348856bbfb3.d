@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engine_scenarios-2717e348856bbfb3.d: crates/core/tests/engine_scenarios.rs
+
+/root/repo/target/release/deps/engine_scenarios-2717e348856bbfb3: crates/core/tests/engine_scenarios.rs
+
+crates/core/tests/engine_scenarios.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_latency_crossover-757961da2a6c105d.d: crates/bench/src/bin/fig1_latency_crossover.rs
+
+/root/repo/target/release/deps/fig1_latency_crossover-757961da2a6c105d: crates/bench/src/bin/fig1_latency_crossover.rs
+
+crates/bench/src/bin/fig1_latency_crossover.rs:

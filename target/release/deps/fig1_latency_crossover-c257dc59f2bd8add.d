@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_latency_crossover-c257dc59f2bd8add.d: crates/bench/src/bin/fig1_latency_crossover.rs
+
+/root/repo/target/release/deps/fig1_latency_crossover-c257dc59f2bd8add: crates/bench/src/bin/fig1_latency_crossover.rs
+
+crates/bench/src/bin/fig1_latency_crossover.rs:

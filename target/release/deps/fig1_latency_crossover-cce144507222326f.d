@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_latency_crossover-cce144507222326f.d: crates/bench/src/bin/fig1_latency_crossover.rs
+
+/root/repo/target/release/deps/fig1_latency_crossover-cce144507222326f: crates/bench/src/bin/fig1_latency_crossover.rs
+
+crates/bench/src/bin/fig1_latency_crossover.rs:

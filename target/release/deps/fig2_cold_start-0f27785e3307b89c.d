@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_cold_start-0f27785e3307b89c.d: crates/bench/src/bin/fig2_cold_start.rs
+
+/root/repo/target/release/deps/fig2_cold_start-0f27785e3307b89c: crates/bench/src/bin/fig2_cold_start.rs
+
+crates/bench/src/bin/fig2_cold_start.rs:

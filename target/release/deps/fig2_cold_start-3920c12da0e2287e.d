@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_cold_start-3920c12da0e2287e.d: crates/bench/src/bin/fig2_cold_start.rs
+
+/root/repo/target/release/deps/fig2_cold_start-3920c12da0e2287e: crates/bench/src/bin/fig2_cold_start.rs
+
+crates/bench/src/bin/fig2_cold_start.rs:

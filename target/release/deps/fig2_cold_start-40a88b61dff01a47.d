@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_cold_start-40a88b61dff01a47.d: crates/bench/src/bin/fig2_cold_start.rs
+
+/root/repo/target/release/deps/fig2_cold_start-40a88b61dff01a47: crates/bench/src/bin/fig2_cold_start.rs
+
+crates/bench/src/bin/fig2_cold_start.rs:

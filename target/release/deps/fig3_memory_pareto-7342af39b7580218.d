@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_memory_pareto-7342af39b7580218.d: crates/bench/src/bin/fig3_memory_pareto.rs
+
+/root/repo/target/release/deps/fig3_memory_pareto-7342af39b7580218: crates/bench/src/bin/fig3_memory_pareto.rs
+
+crates/bench/src/bin/fig3_memory_pareto.rs:

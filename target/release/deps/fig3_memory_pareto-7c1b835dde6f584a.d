@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_memory_pareto-7c1b835dde6f584a.d: crates/bench/src/bin/fig3_memory_pareto.rs
+
+/root/repo/target/release/deps/fig3_memory_pareto-7c1b835dde6f584a: crates/bench/src/bin/fig3_memory_pareto.rs
+
+crates/bench/src/bin/fig3_memory_pareto.rs:

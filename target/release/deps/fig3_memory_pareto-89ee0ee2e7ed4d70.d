@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_memory_pareto-89ee0ee2e7ed4d70.d: crates/bench/src/bin/fig3_memory_pareto.rs
+
+/root/repo/target/release/deps/fig3_memory_pareto-89ee0ee2e7ed4d70: crates/bench/src/bin/fig3_memory_pareto.rs
+
+crates/bench/src/bin/fig3_memory_pareto.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_deadline_batching-0ab8a2b4e1736f72.d: crates/bench/src/bin/fig4_deadline_batching.rs
+
+/root/repo/target/release/deps/fig4_deadline_batching-0ab8a2b4e1736f72: crates/bench/src/bin/fig4_deadline_batching.rs
+
+crates/bench/src/bin/fig4_deadline_batching.rs:

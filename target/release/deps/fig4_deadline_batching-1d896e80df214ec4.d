@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_deadline_batching-1d896e80df214ec4.d: crates/bench/src/bin/fig4_deadline_batching.rs
+
+/root/repo/target/release/deps/fig4_deadline_batching-1d896e80df214ec4: crates/bench/src/bin/fig4_deadline_batching.rs
+
+crates/bench/src/bin/fig4_deadline_batching.rs:

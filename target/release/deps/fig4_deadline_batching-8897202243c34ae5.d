@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_deadline_batching-8897202243c34ae5.d: crates/bench/src/bin/fig4_deadline_batching.rs
+
+/root/repo/target/release/deps/fig4_deadline_batching-8897202243c34ae5: crates/bench/src/bin/fig4_deadline_batching.rs
+
+crates/bench/src/bin/fig4_deadline_batching.rs:

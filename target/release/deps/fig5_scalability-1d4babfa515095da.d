@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_scalability-1d4babfa515095da.d: crates/bench/src/bin/fig5_scalability.rs
+
+/root/repo/target/release/deps/fig5_scalability-1d4babfa515095da: crates/bench/src/bin/fig5_scalability.rs
+
+crates/bench/src/bin/fig5_scalability.rs:

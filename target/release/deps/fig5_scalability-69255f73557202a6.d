@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_scalability-69255f73557202a6.d: crates/bench/src/bin/fig5_scalability.rs
+
+/root/repo/target/release/deps/fig5_scalability-69255f73557202a6: crates/bench/src/bin/fig5_scalability.rs
+
+crates/bench/src/bin/fig5_scalability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_scalability-ec2e1fe40b6bc8c8.d: crates/bench/src/bin/fig5_scalability.rs
+
+/root/repo/target/release/deps/fig5_scalability-ec2e1fe40b6bc8c8: crates/bench/src/bin/fig5_scalability.rs
+
+crates/bench/src/bin/fig5_scalability.rs:

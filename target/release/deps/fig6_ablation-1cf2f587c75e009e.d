@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_ablation-1cf2f587c75e009e.d: crates/bench/src/bin/fig6_ablation.rs
+
+/root/repo/target/release/deps/fig6_ablation-1cf2f587c75e009e: crates/bench/src/bin/fig6_ablation.rs
+
+crates/bench/src/bin/fig6_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_ablation-4ad0a8c2fef11150.d: crates/bench/src/bin/fig6_ablation.rs
+
+/root/repo/target/release/deps/fig6_ablation-4ad0a8c2fef11150: crates/bench/src/bin/fig6_ablation.rs
+
+crates/bench/src/bin/fig6_ablation.rs:

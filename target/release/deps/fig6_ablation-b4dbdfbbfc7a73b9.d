@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_ablation-b4dbdfbbfc7a73b9.d: crates/bench/src/bin/fig6_ablation.rs
+
+/root/repo/target/release/deps/fig6_ablation-b4dbdfbbfc7a73b9: crates/bench/src/bin/fig6_ablation.rs
+
+crates/bench/src/bin/fig6_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_offpeak_extension-1a9499dbdaf4b2b4.d: crates/bench/src/bin/fig7_offpeak_extension.rs
+
+/root/repo/target/release/deps/fig7_offpeak_extension-1a9499dbdaf4b2b4: crates/bench/src/bin/fig7_offpeak_extension.rs
+
+crates/bench/src/bin/fig7_offpeak_extension.rs:

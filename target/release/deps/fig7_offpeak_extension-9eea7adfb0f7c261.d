@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_offpeak_extension-9eea7adfb0f7c261.d: crates/bench/src/bin/fig7_offpeak_extension.rs
+
+/root/repo/target/release/deps/fig7_offpeak_extension-9eea7adfb0f7c261: crates/bench/src/bin/fig7_offpeak_extension.rs
+
+crates/bench/src/bin/fig7_offpeak_extension.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_offpeak_extension-a3a729f88d8e81ed.d: crates/bench/src/bin/fig7_offpeak_extension.rs
+
+/root/repo/target/release/deps/fig7_offpeak_extension-a3a729f88d8e81ed: crates/bench/src/bin/fig7_offpeak_extension.rs
+
+crates/bench/src/bin/fig7_offpeak_extension.rs:

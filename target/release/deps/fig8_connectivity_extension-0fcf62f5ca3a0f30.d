@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_connectivity_extension-0fcf62f5ca3a0f30.d: crates/bench/src/bin/fig8_connectivity_extension.rs
+
+/root/repo/target/release/deps/fig8_connectivity_extension-0fcf62f5ca3a0f30: crates/bench/src/bin/fig8_connectivity_extension.rs
+
+crates/bench/src/bin/fig8_connectivity_extension.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_connectivity_extension-7d74caa753cfa727.d: crates/bench/src/bin/fig8_connectivity_extension.rs
+
+/root/repo/target/release/deps/fig8_connectivity_extension-7d74caa753cfa727: crates/bench/src/bin/fig8_connectivity_extension.rs
+
+crates/bench/src/bin/fig8_connectivity_extension.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_connectivity_extension-a0579a44773145d6.d: crates/bench/src/bin/fig8_connectivity_extension.rs
+
+/root/repo/target/release/deps/fig8_connectivity_extension-a0579a44773145d6: crates/bench/src/bin/fig8_connectivity_extension.rs
+
+crates/bench/src/bin/fig8_connectivity_extension.rs:

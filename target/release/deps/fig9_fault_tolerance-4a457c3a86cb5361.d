@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_fault_tolerance-4a457c3a86cb5361.d: crates/bench/src/bin/fig9_fault_tolerance.rs
+
+/root/repo/target/release/deps/fig9_fault_tolerance-4a457c3a86cb5361: crates/bench/src/bin/fig9_fault_tolerance.rs
+
+crates/bench/src/bin/fig9_fault_tolerance.rs:

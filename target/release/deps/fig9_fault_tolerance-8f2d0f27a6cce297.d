@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_fault_tolerance-8f2d0f27a6cce297.d: crates/bench/src/bin/fig9_fault_tolerance.rs
+
+/root/repo/target/release/deps/fig9_fault_tolerance-8f2d0f27a6cce297: crates/bench/src/bin/fig9_fault_tolerance.rs
+
+crates/bench/src/bin/fig9_fault_tolerance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_fault_tolerance-a169dc7e23b9291a.d: crates/bench/src/bin/fig9_fault_tolerance.rs
+
+/root/repo/target/release/deps/fig9_fault_tolerance-a169dc7e23b9291a: crates/bench/src/bin/fig9_fault_tolerance.rs
+
+crates/bench/src/bin/fig9_fault_tolerance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kernel-64c7c25963344db5.d: crates/bench/benches/kernel.rs
+
+/root/repo/target/release/deps/kernel-64c7c25963344db5: crates/bench/benches/kernel.rs
+
+crates/bench/benches/kernel.rs:

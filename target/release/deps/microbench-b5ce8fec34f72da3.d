@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/microbench-b5ce8fec34f72da3.d: crates/bench/benches/microbench.rs
+
+/root/repo/target/release/deps/microbench-b5ce8fec34f72da3: crates/bench/benches/microbench.rs
+
+crates/bench/benches/microbench.rs:

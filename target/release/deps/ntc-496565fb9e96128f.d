@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ntc-496565fb9e96128f.d: src/main.rs
+
+/root/repo/target/release/deps/ntc-496565fb9e96128f: src/main.rs
+
+src/main.rs:

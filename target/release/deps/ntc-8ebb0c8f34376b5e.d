@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ntc-8ebb0c8f34376b5e.d: src/main.rs
+
+/root/repo/target/release/deps/ntc-8ebb0c8f34376b5e: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ntc-a284b9ed5394743a.d: src/main.rs
+
+/root/repo/target/release/deps/ntc-a284b9ed5394743a: src/main.rs
+
+src/main.rs:

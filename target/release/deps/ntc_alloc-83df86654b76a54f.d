@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ntc_alloc-83df86654b76a54f.d: crates/alloc/src/lib.rs crates/alloc/src/batching.rs crates/alloc/src/capabilities.rs crates/alloc/src/keepwarm.rs crates/alloc/src/memory.rs crates/alloc/src/sizing.rs
+
+/root/repo/target/release/deps/ntc_alloc-83df86654b76a54f: crates/alloc/src/lib.rs crates/alloc/src/batching.rs crates/alloc/src/capabilities.rs crates/alloc/src/keepwarm.rs crates/alloc/src/memory.rs crates/alloc/src/sizing.rs
+
+crates/alloc/src/lib.rs:
+crates/alloc/src/batching.rs:
+crates/alloc/src/capabilities.rs:
+crates/alloc/src/keepwarm.rs:
+crates/alloc/src/memory.rs:
+crates/alloc/src/sizing.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ntc_bench-196e8537a93f45fe.d: crates/bench/src/lib.rs crates/bench/src/dispatch.rs crates/bench/src/kernel.rs
+
+/root/repo/target/release/deps/ntc_bench-196e8537a93f45fe: crates/bench/src/lib.rs crates/bench/src/dispatch.rs crates/bench/src/kernel.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/dispatch.rs:
+crates/bench/src/kernel.rs:

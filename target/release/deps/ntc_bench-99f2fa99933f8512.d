@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ntc_bench-99f2fa99933f8512.d: crates/bench/src/lib.rs crates/bench/src/dispatch.rs crates/bench/src/kernel.rs
+
+/root/repo/target/release/deps/libntc_bench-99f2fa99933f8512.rlib: crates/bench/src/lib.rs crates/bench/src/dispatch.rs crates/bench/src/kernel.rs
+
+/root/repo/target/release/deps/libntc_bench-99f2fa99933f8512.rmeta: crates/bench/src/lib.rs crates/bench/src/dispatch.rs crates/bench/src/kernel.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/dispatch.rs:
+crates/bench/src/kernel.rs:

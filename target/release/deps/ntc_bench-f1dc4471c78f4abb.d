@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/ntc_bench-f1dc4471c78f4abb.d: crates/bench/src/lib.rs crates/bench/src/dispatch.rs
+
+/root/repo/target/release/deps/libntc_bench-f1dc4471c78f4abb.rlib: crates/bench/src/lib.rs crates/bench/src/dispatch.rs
+
+/root/repo/target/release/deps/libntc_bench-f1dc4471c78f4abb.rmeta: crates/bench/src/lib.rs crates/bench/src/dispatch.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/dispatch.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ntc_cicd-2d29512a87fc1bbe.d: crates/cicd/src/lib.rs crates/cicd/src/artifact.rs crates/cicd/src/monitor.rs crates/cicd/src/pipeline.rs
+
+/root/repo/target/release/deps/libntc_cicd-2d29512a87fc1bbe.rlib: crates/cicd/src/lib.rs crates/cicd/src/artifact.rs crates/cicd/src/monitor.rs crates/cicd/src/pipeline.rs
+
+/root/repo/target/release/deps/libntc_cicd-2d29512a87fc1bbe.rmeta: crates/cicd/src/lib.rs crates/cicd/src/artifact.rs crates/cicd/src/monitor.rs crates/cicd/src/pipeline.rs
+
+crates/cicd/src/lib.rs:
+crates/cicd/src/artifact.rs:
+crates/cicd/src/monitor.rs:
+crates/cicd/src/pipeline.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/ntc_cicd-3e3f3e17bb5be02c.d: crates/cicd/src/lib.rs crates/cicd/src/artifact.rs crates/cicd/src/monitor.rs crates/cicd/src/pipeline.rs
+
+/root/repo/target/release/deps/ntc_cicd-3e3f3e17bb5be02c: crates/cicd/src/lib.rs crates/cicd/src/artifact.rs crates/cicd/src/monitor.rs crates/cicd/src/pipeline.rs
+
+crates/cicd/src/lib.rs:
+crates/cicd/src/artifact.rs:
+crates/cicd/src/monitor.rs:
+crates/cicd/src/pipeline.rs:

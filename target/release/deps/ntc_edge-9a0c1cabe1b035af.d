@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/ntc_edge-9a0c1cabe1b035af.d: crates/edge/src/lib.rs crates/edge/src/fleet.rs
+
+/root/repo/target/release/deps/ntc_edge-9a0c1cabe1b035af: crates/edge/src/lib.rs crates/edge/src/fleet.rs
+
+crates/edge/src/lib.rs:
+crates/edge/src/fleet.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/ntc_edge-b06638b34254723f.d: crates/edge/src/lib.rs crates/edge/src/fleet.rs
+
+/root/repo/target/release/deps/libntc_edge-b06638b34254723f.rlib: crates/edge/src/lib.rs crates/edge/src/fleet.rs
+
+/root/repo/target/release/deps/libntc_edge-b06638b34254723f.rmeta: crates/edge/src/lib.rs crates/edge/src/fleet.rs
+
+crates/edge/src/lib.rs:
+crates/edge/src/fleet.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ntc_faults-0306a4f6e657b78a.d: crates/faults/src/lib.rs crates/faults/src/classify.rs crates/faults/src/config.rs crates/faults/src/plan.rs crates/faults/src/retry.rs
+
+/root/repo/target/release/deps/ntc_faults-0306a4f6e657b78a: crates/faults/src/lib.rs crates/faults/src/classify.rs crates/faults/src/config.rs crates/faults/src/plan.rs crates/faults/src/retry.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/classify.rs:
+crates/faults/src/config.rs:
+crates/faults/src/plan.rs:
+crates/faults/src/retry.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ntc_faults-8838c3705f9e681c.d: crates/faults/src/lib.rs crates/faults/src/classify.rs crates/faults/src/config.rs crates/faults/src/plan.rs crates/faults/src/retry.rs
+
+/root/repo/target/release/deps/libntc_faults-8838c3705f9e681c.rlib: crates/faults/src/lib.rs crates/faults/src/classify.rs crates/faults/src/config.rs crates/faults/src/plan.rs crates/faults/src/retry.rs
+
+/root/repo/target/release/deps/libntc_faults-8838c3705f9e681c.rmeta: crates/faults/src/lib.rs crates/faults/src/classify.rs crates/faults/src/config.rs crates/faults/src/plan.rs crates/faults/src/retry.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/classify.rs:
+crates/faults/src/config.rs:
+crates/faults/src/plan.rs:
+crates/faults/src/retry.rs:

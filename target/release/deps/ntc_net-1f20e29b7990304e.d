@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ntc_net-1f20e29b7990304e.d: crates/net/src/lib.rs crates/net/src/connectivity.rs crates/net/src/link.rs crates/net/src/path.rs crates/net/src/trace.rs
+
+/root/repo/target/release/deps/libntc_net-1f20e29b7990304e.rlib: crates/net/src/lib.rs crates/net/src/connectivity.rs crates/net/src/link.rs crates/net/src/path.rs crates/net/src/trace.rs
+
+/root/repo/target/release/deps/libntc_net-1f20e29b7990304e.rmeta: crates/net/src/lib.rs crates/net/src/connectivity.rs crates/net/src/link.rs crates/net/src/path.rs crates/net/src/trace.rs
+
+crates/net/src/lib.rs:
+crates/net/src/connectivity.rs:
+crates/net/src/link.rs:
+crates/net/src/path.rs:
+crates/net/src/trace.rs:

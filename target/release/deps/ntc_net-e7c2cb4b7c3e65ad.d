@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ntc_net-e7c2cb4b7c3e65ad.d: crates/net/src/lib.rs crates/net/src/connectivity.rs crates/net/src/link.rs crates/net/src/path.rs crates/net/src/trace.rs
+
+/root/repo/target/release/deps/ntc_net-e7c2cb4b7c3e65ad: crates/net/src/lib.rs crates/net/src/connectivity.rs crates/net/src/link.rs crates/net/src/path.rs crates/net/src/trace.rs
+
+crates/net/src/lib.rs:
+crates/net/src/connectivity.rs:
+crates/net/src/link.rs:
+crates/net/src/path.rs:
+crates/net/src/trace.rs:

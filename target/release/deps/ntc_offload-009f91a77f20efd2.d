@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ntc_offload-009f91a77f20efd2.d: src/lib.rs
+
+/root/repo/target/release/deps/libntc_offload-009f91a77f20efd2.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libntc_offload-009f91a77f20efd2.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ntc_offload-1144dd314b048443.d: src/lib.rs
+
+/root/repo/target/release/deps/ntc_offload-1144dd314b048443: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ntc_offload-60b443f4355bf2c7.d: src/lib.rs
+
+/root/repo/target/release/deps/libntc_offload-60b443f4355bf2c7.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libntc_offload-60b443f4355bf2c7.rmeta: src/lib.rs
+
+src/lib.rs:

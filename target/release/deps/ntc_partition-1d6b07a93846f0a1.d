@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ntc_partition-1d6b07a93846f0a1.d: crates/partition/src/lib.rs crates/partition/src/algorithms.rs crates/partition/src/context.rs crates/partition/src/plan.rs
+
+/root/repo/target/release/deps/libntc_partition-1d6b07a93846f0a1.rlib: crates/partition/src/lib.rs crates/partition/src/algorithms.rs crates/partition/src/context.rs crates/partition/src/plan.rs
+
+/root/repo/target/release/deps/libntc_partition-1d6b07a93846f0a1.rmeta: crates/partition/src/lib.rs crates/partition/src/algorithms.rs crates/partition/src/context.rs crates/partition/src/plan.rs
+
+crates/partition/src/lib.rs:
+crates/partition/src/algorithms.rs:
+crates/partition/src/context.rs:
+crates/partition/src/plan.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/ntc_partition-f5ae9d711c5bc24b.d: crates/partition/src/lib.rs crates/partition/src/algorithms.rs crates/partition/src/context.rs crates/partition/src/plan.rs
+
+/root/repo/target/release/deps/ntc_partition-f5ae9d711c5bc24b: crates/partition/src/lib.rs crates/partition/src/algorithms.rs crates/partition/src/context.rs crates/partition/src/plan.rs
+
+crates/partition/src/lib.rs:
+crates/partition/src/algorithms.rs:
+crates/partition/src/context.rs:
+crates/partition/src/plan.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ntc_profiler-55a52f8b4bcf5fa7.d: crates/profiler/src/lib.rs crates/profiler/src/accuracy.rs crates/profiler/src/drift.rs crates/profiler/src/estimator.rs crates/profiler/src/profile.rs
+
+/root/repo/target/release/deps/libntc_profiler-55a52f8b4bcf5fa7.rlib: crates/profiler/src/lib.rs crates/profiler/src/accuracy.rs crates/profiler/src/drift.rs crates/profiler/src/estimator.rs crates/profiler/src/profile.rs
+
+/root/repo/target/release/deps/libntc_profiler-55a52f8b4bcf5fa7.rmeta: crates/profiler/src/lib.rs crates/profiler/src/accuracy.rs crates/profiler/src/drift.rs crates/profiler/src/estimator.rs crates/profiler/src/profile.rs
+
+crates/profiler/src/lib.rs:
+crates/profiler/src/accuracy.rs:
+crates/profiler/src/drift.rs:
+crates/profiler/src/estimator.rs:
+crates/profiler/src/profile.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ntc_profiler-fc1325eb1fdc25d0.d: crates/profiler/src/lib.rs crates/profiler/src/accuracy.rs crates/profiler/src/drift.rs crates/profiler/src/estimator.rs crates/profiler/src/profile.rs
+
+/root/repo/target/release/deps/ntc_profiler-fc1325eb1fdc25d0: crates/profiler/src/lib.rs crates/profiler/src/accuracy.rs crates/profiler/src/drift.rs crates/profiler/src/estimator.rs crates/profiler/src/profile.rs
+
+crates/profiler/src/lib.rs:
+crates/profiler/src/accuracy.rs:
+crates/profiler/src/drift.rs:
+crates/profiler/src/estimator.rs:
+crates/profiler/src/profile.rs:

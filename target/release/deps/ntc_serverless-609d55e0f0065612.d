@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ntc_serverless-609d55e0f0065612.d: crates/serverless/src/lib.rs crates/serverless/src/billing.rs crates/serverless/src/coldstart.rs crates/serverless/src/function.rs crates/serverless/src/platform.rs
+
+/root/repo/target/release/deps/libntc_serverless-609d55e0f0065612.rlib: crates/serverless/src/lib.rs crates/serverless/src/billing.rs crates/serverless/src/coldstart.rs crates/serverless/src/function.rs crates/serverless/src/platform.rs
+
+/root/repo/target/release/deps/libntc_serverless-609d55e0f0065612.rmeta: crates/serverless/src/lib.rs crates/serverless/src/billing.rs crates/serverless/src/coldstart.rs crates/serverless/src/function.rs crates/serverless/src/platform.rs
+
+crates/serverless/src/lib.rs:
+crates/serverless/src/billing.rs:
+crates/serverless/src/coldstart.rs:
+crates/serverless/src/function.rs:
+crates/serverless/src/platform.rs:

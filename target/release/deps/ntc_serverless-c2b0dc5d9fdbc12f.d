@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ntc_serverless-c2b0dc5d9fdbc12f.d: crates/serverless/src/lib.rs crates/serverless/src/billing.rs crates/serverless/src/coldstart.rs crates/serverless/src/function.rs crates/serverless/src/platform.rs
+
+/root/repo/target/release/deps/ntc_serverless-c2b0dc5d9fdbc12f: crates/serverless/src/lib.rs crates/serverless/src/billing.rs crates/serverless/src/coldstart.rs crates/serverless/src/function.rs crates/serverless/src/platform.rs
+
+crates/serverless/src/lib.rs:
+crates/serverless/src/billing.rs:
+crates/serverless/src/coldstart.rs:
+crates/serverless/src/function.rs:
+crates/serverless/src/platform.rs:

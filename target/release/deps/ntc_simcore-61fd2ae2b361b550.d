@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ntc_simcore-61fd2ae2b361b550.d: crates/simcore/src/lib.rs crates/simcore/src/event.rs crates/simcore/src/metrics.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/timeseries.rs crates/simcore/src/units.rs
+
+/root/repo/target/release/deps/ntc_simcore-61fd2ae2b361b550: crates/simcore/src/lib.rs crates/simcore/src/event.rs crates/simcore/src/metrics.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/timeseries.rs crates/simcore/src/units.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/event.rs:
+crates/simcore/src/metrics.rs:
+crates/simcore/src/rng.rs:
+crates/simcore/src/stats.rs:
+crates/simcore/src/timeseries.rs:
+crates/simcore/src/units.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ntc_simcore-fa2d1963738613b1.d: crates/simcore/src/lib.rs crates/simcore/src/event.rs crates/simcore/src/metrics.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/timeseries.rs crates/simcore/src/units.rs
+
+/root/repo/target/release/deps/libntc_simcore-fa2d1963738613b1.rlib: crates/simcore/src/lib.rs crates/simcore/src/event.rs crates/simcore/src/metrics.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/timeseries.rs crates/simcore/src/units.rs
+
+/root/repo/target/release/deps/libntc_simcore-fa2d1963738613b1.rmeta: crates/simcore/src/lib.rs crates/simcore/src/event.rs crates/simcore/src/metrics.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/timeseries.rs crates/simcore/src/units.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/event.rs:
+crates/simcore/src/metrics.rs:
+crates/simcore/src/rng.rs:
+crates/simcore/src/stats.rs:
+crates/simcore/src/timeseries.rs:
+crates/simcore/src/units.rs:

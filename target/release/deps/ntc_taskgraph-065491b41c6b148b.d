@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ntc_taskgraph-065491b41c6b148b.d: crates/taskgraph/src/lib.rs crates/taskgraph/src/component.rs crates/taskgraph/src/flow.rs crates/taskgraph/src/generate.rs crates/taskgraph/src/graph.rs
+
+/root/repo/target/release/deps/libntc_taskgraph-065491b41c6b148b.rlib: crates/taskgraph/src/lib.rs crates/taskgraph/src/component.rs crates/taskgraph/src/flow.rs crates/taskgraph/src/generate.rs crates/taskgraph/src/graph.rs
+
+/root/repo/target/release/deps/libntc_taskgraph-065491b41c6b148b.rmeta: crates/taskgraph/src/lib.rs crates/taskgraph/src/component.rs crates/taskgraph/src/flow.rs crates/taskgraph/src/generate.rs crates/taskgraph/src/graph.rs
+
+crates/taskgraph/src/lib.rs:
+crates/taskgraph/src/component.rs:
+crates/taskgraph/src/flow.rs:
+crates/taskgraph/src/generate.rs:
+crates/taskgraph/src/graph.rs:

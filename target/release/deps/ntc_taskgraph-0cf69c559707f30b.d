@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ntc_taskgraph-0cf69c559707f30b.d: crates/taskgraph/src/lib.rs crates/taskgraph/src/component.rs crates/taskgraph/src/flow.rs crates/taskgraph/src/generate.rs crates/taskgraph/src/graph.rs
+
+/root/repo/target/release/deps/ntc_taskgraph-0cf69c559707f30b: crates/taskgraph/src/lib.rs crates/taskgraph/src/component.rs crates/taskgraph/src/flow.rs crates/taskgraph/src/generate.rs crates/taskgraph/src/graph.rs
+
+crates/taskgraph/src/lib.rs:
+crates/taskgraph/src/component.rs:
+crates/taskgraph/src/flow.rs:
+crates/taskgraph/src/generate.rs:
+crates/taskgraph/src/graph.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/ntc_workloads-19f5773af7fea841.d: crates/workloads/src/lib.rs crates/workloads/src/archetypes.rs crates/workloads/src/arrivals.rs crates/workloads/src/jobs.rs
+
+/root/repo/target/release/deps/ntc_workloads-19f5773af7fea841: crates/workloads/src/lib.rs crates/workloads/src/archetypes.rs crates/workloads/src/arrivals.rs crates/workloads/src/jobs.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/archetypes.rs:
+crates/workloads/src/arrivals.rs:
+crates/workloads/src/jobs.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ntc_workloads-1f3d067e99286d37.d: crates/workloads/src/lib.rs crates/workloads/src/archetypes.rs crates/workloads/src/arrivals.rs crates/workloads/src/jobs.rs
+
+/root/repo/target/release/deps/libntc_workloads-1f3d067e99286d37.rlib: crates/workloads/src/lib.rs crates/workloads/src/archetypes.rs crates/workloads/src/arrivals.rs crates/workloads/src/jobs.rs
+
+/root/repo/target/release/deps/libntc_workloads-1f3d067e99286d37.rmeta: crates/workloads/src/lib.rs crates/workloads/src/archetypes.rs crates/workloads/src/arrivals.rs crates/workloads/src/jobs.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/archetypes.rs:
+crates/workloads/src/arrivals.rs:
+crates/workloads/src/jobs.rs:

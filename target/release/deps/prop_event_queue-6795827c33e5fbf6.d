@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_event_queue-6795827c33e5fbf6.d: crates/simcore/tests/prop_event_queue.rs
+
+/root/repo/target/release/deps/prop_event_queue-6795827c33e5fbf6: crates/simcore/tests/prop_event_queue.rs
+
+crates/simcore/tests/prop_event_queue.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_fault_recovery-1f30d6252ca6fb5b.d: crates/core/tests/prop_fault_recovery.rs
+
+/root/repo/target/release/deps/prop_fault_recovery-1f30d6252ca6fb5b: crates/core/tests/prop_fault_recovery.rs
+
+crates/core/tests/prop_fault_recovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_simcore-df0409607c5b4bf8.d: crates/simcore/tests/prop_simcore.rs
+
+/root/repo/target/release/deps/prop_simcore-df0409607c5b4bf8: crates/simcore/tests/prop_simcore.rs
+
+crates/simcore/tests/prop_simcore.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-069095c4b57b64f3.d: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-069095c4b57b64f3.rlib: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-069095c4b57b64f3.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

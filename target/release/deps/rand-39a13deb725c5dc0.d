@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-39a13deb725c5dc0.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-39a13deb725c5dc0.rlib: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-39a13deb725c5dc0.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-93b4635fa656b211.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-93b4635fa656b211.rlib: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-93b4635fa656b211.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

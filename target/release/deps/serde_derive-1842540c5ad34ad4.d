@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-1842540c5ad34ad4.d: /tmp/stubs/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-1842540c5ad34ad4.so: /tmp/stubs/serde_derive/src/lib.rs
+
+/tmp/stubs/serde_derive/src/lib.rs:

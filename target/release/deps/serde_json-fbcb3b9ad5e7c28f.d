@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-fbcb3b9ad5e7c28f.d: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-fbcb3b9ad5e7c28f.rlib: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-fbcb3b9ad5e7c28f.rmeta: /tmp/stubs/serde_json/src/lib.rs
+
+/tmp/stubs/serde_json/src/lib.rs:

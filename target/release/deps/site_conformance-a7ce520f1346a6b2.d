@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/site_conformance-a7ce520f1346a6b2.d: crates/core/tests/site_conformance.rs
+
+/root/repo/target/release/deps/site_conformance-a7ce520f1346a6b2: crates/core/tests/site_conformance.rs
+
+crates/core/tests/site_conformance.rs:

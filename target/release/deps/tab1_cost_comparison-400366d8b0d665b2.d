@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab1_cost_comparison-400366d8b0d665b2.d: crates/bench/src/bin/tab1_cost_comparison.rs
+
+/root/repo/target/release/deps/tab1_cost_comparison-400366d8b0d665b2: crates/bench/src/bin/tab1_cost_comparison.rs
+
+crates/bench/src/bin/tab1_cost_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab1_cost_comparison-4033d66eddf0970f.d: crates/bench/src/bin/tab1_cost_comparison.rs
+
+/root/repo/target/release/deps/tab1_cost_comparison-4033d66eddf0970f: crates/bench/src/bin/tab1_cost_comparison.rs
+
+crates/bench/src/bin/tab1_cost_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab1_cost_comparison-e7459518261e0bfe.d: crates/bench/src/bin/tab1_cost_comparison.rs
+
+/root/repo/target/release/deps/tab1_cost_comparison-e7459518261e0bfe: crates/bench/src/bin/tab1_cost_comparison.rs
+
+crates/bench/src/bin/tab1_cost_comparison.rs:

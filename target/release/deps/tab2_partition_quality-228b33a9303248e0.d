@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab2_partition_quality-228b33a9303248e0.d: crates/bench/src/bin/tab2_partition_quality.rs
+
+/root/repo/target/release/deps/tab2_partition_quality-228b33a9303248e0: crates/bench/src/bin/tab2_partition_quality.rs
+
+crates/bench/src/bin/tab2_partition_quality.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab2_partition_quality-8e1d6302ed23d371.d: crates/bench/src/bin/tab2_partition_quality.rs
+
+/root/repo/target/release/deps/tab2_partition_quality-8e1d6302ed23d371: crates/bench/src/bin/tab2_partition_quality.rs
+
+crates/bench/src/bin/tab2_partition_quality.rs:

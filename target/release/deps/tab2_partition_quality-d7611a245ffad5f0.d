@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab2_partition_quality-d7611a245ffad5f0.d: crates/bench/src/bin/tab2_partition_quality.rs
+
+/root/repo/target/release/deps/tab2_partition_quality-d7611a245ffad5f0: crates/bench/src/bin/tab2_partition_quality.rs
+
+crates/bench/src/bin/tab2_partition_quality.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab3_demand_estimation-2e35965bc8f34a4b.d: crates/bench/src/bin/tab3_demand_estimation.rs
+
+/root/repo/target/release/deps/tab3_demand_estimation-2e35965bc8f34a4b: crates/bench/src/bin/tab3_demand_estimation.rs
+
+crates/bench/src/bin/tab3_demand_estimation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab3_demand_estimation-41f473aed10ffd8b.d: crates/bench/src/bin/tab3_demand_estimation.rs
+
+/root/repo/target/release/deps/tab3_demand_estimation-41f473aed10ffd8b: crates/bench/src/bin/tab3_demand_estimation.rs
+
+crates/bench/src/bin/tab3_demand_estimation.rs:

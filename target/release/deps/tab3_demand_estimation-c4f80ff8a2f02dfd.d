@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab3_demand_estimation-c4f80ff8a2f02dfd.d: crates/bench/src/bin/tab3_demand_estimation.rs
+
+/root/repo/target/release/deps/tab3_demand_estimation-c4f80ff8a2f02dfd: crates/bench/src/bin/tab3_demand_estimation.rs
+
+crates/bench/src/bin/tab3_demand_estimation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab4_cicd_overhead-a37da234852095cd.d: crates/bench/src/bin/tab4_cicd_overhead.rs
+
+/root/repo/target/release/deps/tab4_cicd_overhead-a37da234852095cd: crates/bench/src/bin/tab4_cicd_overhead.rs
+
+crates/bench/src/bin/tab4_cicd_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab4_cicd_overhead-bab0618245b8873e.d: crates/bench/src/bin/tab4_cicd_overhead.rs
+
+/root/repo/target/release/deps/tab4_cicd_overhead-bab0618245b8873e: crates/bench/src/bin/tab4_cicd_overhead.rs
+
+crates/bench/src/bin/tab4_cicd_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab4_cicd_overhead-ff557af989aaef3e.d: crates/bench/src/bin/tab4_cicd_overhead.rs
+
+/root/repo/target/release/deps/tab4_cicd_overhead-ff557af989aaef3e: crates/bench/src/bin/tab4_cicd_overhead.rs
+
+crates/bench/src/bin/tab4_cicd_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab5_e2e_policies-366097f924f1bfdd.d: crates/bench/src/bin/tab5_e2e_policies.rs
+
+/root/repo/target/release/deps/tab5_e2e_policies-366097f924f1bfdd: crates/bench/src/bin/tab5_e2e_policies.rs
+
+crates/bench/src/bin/tab5_e2e_policies.rs:

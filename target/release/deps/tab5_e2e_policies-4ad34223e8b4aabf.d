@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab5_e2e_policies-4ad34223e8b4aabf.d: crates/bench/src/bin/tab5_e2e_policies.rs
+
+/root/repo/target/release/deps/tab5_e2e_policies-4ad34223e8b4aabf: crates/bench/src/bin/tab5_e2e_policies.rs
+
+crates/bench/src/bin/tab5_e2e_policies.rs:

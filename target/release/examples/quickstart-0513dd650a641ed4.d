@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-0513dd650a641ed4.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-0513dd650a641ed4: examples/quickstart.rs
+
+examples/quickstart.rs:
