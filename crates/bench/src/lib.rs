@@ -19,6 +19,7 @@ use serde::Serialize;
 
 pub mod dispatch;
 pub mod kernel;
+pub mod overload;
 
 /// Parses `--seed <u64>` from the process arguments (default 42).
 pub fn seed_from_args() -> u64 {

@@ -14,12 +14,23 @@
 //! The loop's concerns live in focused submodules:
 //!
 //! * [`admission`](self) — job coalescing into batches, latest-safe
-//!   dispatch, the pre-dispatch local override;
+//!   dispatch, the pre-dispatch local override, and overload-aware
+//!   admission control (defer delay-tolerant batches, shed
+//!   tight-deadline ones down the chain);
 //! * `transfer` — congestion- and outage-aware transfer timing plus
 //!   faulty-transfer injection;
-//! * `execute` — provisioning and per-site invocation via the trait;
-//! * `recovery` — retry backoff and fallback down the site chain;
-//! * `accounting` — energy, cost and report assembly.
+//! * `execute` — provisioning and per-site invocation via the trait,
+//!   breaker-aware site selection, and deadline-budgeted hedged
+//!   requests for stragglers;
+//! * `recovery` — retry backoff and fallback down the site chain,
+//!   skipping sites whose breaker is Open;
+//! * `accounting` — energy, cost, per-site health ledgers and report
+//!   assembly.
+//!
+//! The overload layer (see `DESIGN.md` §6) is entirely opt-in via
+//! [`NtcConfig::health`](crate::policy::NtcConfig): with every mechanism
+//! off the engine draws no extra randomness, schedules no extra events
+//! and reproduces pre-layer runs bit for bit.
 //!
 //! # Batch coalescing
 //!
@@ -66,7 +77,7 @@ use crate::policy::OffloadPolicy;
 use crate::report::RunResult;
 use crate::site::{SiteId, SiteRegistry};
 
-use accounting::Accounting;
+use accounting::{Accounting, HealthMap};
 use admission::{Batch, BatchStates};
 
 /// Events of the execution loop.
@@ -80,6 +91,23 @@ pub(crate) enum Ev {
     Done(usize, ComponentId),
     /// A keep-warm ping for an offloaded function.
     Ping(usize, ComponentId, SimDuration),
+    /// A slow invocation's hedge delay elapsed: launch (or cancel) its
+    /// speculative duplicate on the next healthy chain site.
+    HedgeFire(usize, ComponentId),
+}
+
+/// A primary invocation whose completion is deferred pending a hedge
+/// decision: when its [`Ev::HedgeFire`] fires, a duplicate may race it
+/// and the earlier finisher wins.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct HedgePending {
+    /// When the primary invocation was submitted.
+    pub start: SimTime,
+    /// When the primary invocation will finish if it wins.
+    pub primary_finish: SimTime,
+    /// The chain position the primary ran at (the duplicate searches
+    /// strictly past it).
+    pub from_pos: usize,
 }
 
 /// Everything the event handlers read but never mutate.
@@ -110,6 +138,17 @@ pub(crate) struct RunState<'s> {
     net_rng: RngStream,
     /// Per-event device work-list, reused between events.
     member_works: &'s mut Vec<Cycles>,
+    /// The per-site health ledger: breakers, latency EWMAs, bounded
+    /// queues. Empty (and never consulted) when the policy's health
+    /// layer is disabled.
+    health: &'s mut HealthMap,
+    /// Cooldown-jitter stream for breaker trips; every draw derives its
+    /// own child keyed by site and open-count, so health randomness
+    /// never perturbs any legacy stream.
+    health_rng: RngStream,
+    /// Invocations whose completion is deferred pending a hedge
+    /// decision, keyed by `(batch, component)`.
+    hedges: &'s mut HashMap<(usize, ComponentId), HedgePending>,
     /// Reused buffer for fault/backoff/noise derivation keys. The key
     /// *strings* are part of the reproducibility contract (they are
     /// hashed to derive RNG children), so writers must reproduce the
@@ -139,6 +178,8 @@ pub struct RunScratch {
     acct: Accounting,
     member_works: Vec<Cycles>,
     key_buf: String,
+    health: HealthMap,
+    hedges: HashMap<(usize, ComponentId), HedgePending>,
 }
 
 impl RunScratch {
@@ -244,6 +285,8 @@ impl Engine {
 
         // --- Sites: provision every deployment along its chain. ---
         let mut sites = SiteRegistry::standard(&self.env, &rng);
+        scratch.health.reset(policy.health(), &sites);
+        scratch.hedges.clear();
         scratch.chains.clear();
         scratch.chains.extend(scratch.deployments.iter().map(Deployment::resolved_chain));
         scratch.sim.reset();
@@ -304,6 +347,9 @@ impl Engine {
             acct: &mut scratch.acct,
             net_rng: rng.derive("net"),
             member_works: &mut scratch.member_works,
+            health: &mut scratch.health,
+            health_rng: rng.derive("health"),
+            hedges: &mut scratch.hedges,
             key_buf: &mut scratch.key_buf,
         };
         while let Some((t, ev)) = sim.step() {
@@ -318,9 +364,13 @@ impl Engine {
                 Ev::Done(bi, comp) => {
                     transfer::handle_done(&ctx, &sites, &mut st, sim, t, bi, comp);
                 }
+                Ev::HedgeFire(bi, comp) => {
+                    execute::handle_hedge_fire(&ctx, &mut sites, &mut st, sim, t, bi, comp);
+                }
             }
         }
 
-        st.acct.assemble(policy, &self.env, horizon, horizon_end, sim.now(), &mut sites)
+        let RunState { acct, health, .. } = st;
+        acct.assemble(policy, &self.env, horizon, horizon_end, sim.now(), &mut sites, health)
     }
 }

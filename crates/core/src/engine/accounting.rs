@@ -1,24 +1,130 @@
-//! Accounting: energy and byte counters, per-job result assembly, and the
+//! Accounting: energy and byte counters, the per-site health ledger that
+//! feeds the overload layer's EWMAs, per-job result assembly, and the
 //! final run report.
 
-use ntc_faults::FailureCause;
+use std::collections::BTreeMap;
+
+use ntc_faults::{FailureCause, HealthConfig, SiteHealth};
+use ntc_simcore::rng::RngStream;
 use ntc_simcore::timeseries::TimeSeries;
 use ntc_simcore::units::{DataSize, Energy, Money, SimDuration, SimTime};
 
 use super::{BatchStates, RunCtx};
 use crate::environment::Environment;
 use crate::policy::OffloadPolicy;
-use crate::report::{JobResult, RunResult};
-use crate::site::SiteRegistry;
+use crate::report::{JobResult, OverloadStats, RunResult};
+use crate::site::{SiteId, SiteRegistry};
 
-/// The run's accumulating ledgers: per-job outcomes plus the device-side
-/// energy and traffic totals.
+/// The run's per-site health ledger: one [`SiteHealth`] per registered
+/// site, in registry (fallback-rank) order. Empty — and never consulted
+/// — when the policy's [`HealthConfig`] is fully disabled, so legacy
+/// configurations replay bit-identically.
+#[derive(Debug, Default)]
+pub(crate) struct HealthMap {
+    cfg: HealthConfig,
+    sites: Vec<SiteHealth>,
+}
+
+impl HealthMap {
+    /// Re-initialises for a run under `cfg` over the registry's sites,
+    /// reusing the vector's capacity. A disabled config leaves the map
+    /// empty.
+    pub(crate) fn reset(&mut self, cfg: HealthConfig, sites: &SiteRegistry) {
+        self.cfg = cfg;
+        self.sites.clear();
+        if cfg.enabled() {
+            self.sites.extend(sites.iter().map(|s| SiteHealth::new(s.id().as_str(), cfg)));
+        }
+    }
+
+    /// Whether any health mechanism is on for this run.
+    pub(crate) fn enabled(&self) -> bool {
+        self.cfg.enabled() && !self.sites.is_empty()
+    }
+
+    /// Whether breaker-aware site selection is on.
+    pub(crate) fn breakers(&self) -> bool {
+        self.enabled() && self.cfg.breakers
+    }
+
+    /// Whether dispatch-time admission control is on.
+    pub(crate) fn admission(&self) -> bool {
+        self.enabled() && self.cfg.admission
+    }
+
+    /// The run's health tunables.
+    pub(crate) fn cfg(&self) -> &HealthConfig {
+        &self.cfg
+    }
+
+    /// Index of `id` in the per-site vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the map is disabled or the site is unregistered —
+    /// callers must gate on [`enabled`](Self::enabled) first.
+    pub(crate) fn index_of(&self, id: &SiteId) -> usize {
+        self.sites
+            .iter()
+            .position(|h| h.site() == id.as_str())
+            .unwrap_or_else(|| panic!("no site health tracked for '{id}'"))
+    }
+
+    /// The health record at `idx` (from [`index_of`](Self::index_of)).
+    pub(crate) fn site(&self, idx: usize) -> &SiteHealth {
+        &self.sites[idx]
+    }
+
+    /// Mutable access to the health record at `idx`.
+    pub(crate) fn site_mut(&mut self, idx: usize) -> &mut SiteHealth {
+        &mut self.sites[idx]
+    }
+
+    /// Records a failed attempt against site `idx` — unless the cause is
+    /// a deliberate hedge cancellation, which says nothing about the
+    /// site's health and must not move the EWMAs.
+    pub(crate) fn observe_failure(
+        &mut self,
+        idx: usize,
+        at: SimTime,
+        rng: &RngStream,
+        cause: FailureCause,
+    ) {
+        if cause.is_cancellation() {
+            self.sites[idx].record_cancelled();
+        } else {
+            self.sites[idx].record_failure(at, rng);
+        }
+    }
+
+    /// Breaker transitions per site over the run, keyed by site name.
+    fn transitions_by_site(&self) -> BTreeMap<String, u32> {
+        self.sites.iter().map(|h| (h.site().to_string(), h.transitions())).collect()
+    }
+}
+
+/// The run's accumulating ledgers: per-job outcomes, the device-side
+/// energy and traffic totals, and the overload layer's counters.
 #[derive(Debug, Default)]
 pub(crate) struct Accounting {
     pub results: Vec<Option<JobResult>>,
     pub device_energy: Energy,
     pub bytes_up: DataSize,
     pub bytes_down: DataSize,
+    /// Batches shed to the next chain site by admission control.
+    pub sheds: u64,
+    /// Dispatch deferrals granted by admission control.
+    pub deferrals: u64,
+    /// Executions steered past an Open breaker.
+    pub breaker_skips: u64,
+    /// Hedged duplicates launched.
+    pub hedges: u64,
+    /// Hedges whose duplicate finished first.
+    pub hedges_won: u64,
+    /// Hedges whose duplicate lost or failed.
+    pub hedges_lost: u64,
+    /// Invocations cancelled as hedge losers.
+    pub hedge_cancelled: u64,
 }
 
 impl Accounting {
@@ -30,10 +136,18 @@ impl Accounting {
         self.device_energy = Energy::ZERO;
         self.bytes_up = DataSize::ZERO;
         self.bytes_down = DataSize::ZERO;
+        self.sheds = 0;
+        self.deferrals = 0;
+        self.breaker_skips = 0;
+        self.hedges = 0;
+        self.hedges_won = 0;
+        self.hedges_lost = 0;
+        self.hedge_cancelled = 0;
     }
 
     /// Closes the books: drains every site's bill and assembles the
     /// [`RunResult`], leaving the ledgers empty for the next run.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn assemble(
         &mut self,
         policy: &OffloadPolicy,
@@ -42,6 +156,7 @@ impl Accounting {
         horizon_end: SimTime,
         now: SimTime,
         sites: &mut SiteRegistry,
+        health: &HealthMap,
     ) -> RunResult {
         let mut completions_per_hour = TimeSeries::new(SimDuration::from_hours(1));
         for r in self.results.iter().flatten() {
@@ -74,6 +189,16 @@ impl Accounting {
             bytes_down: self.bytes_down,
             completions_per_hour,
             horizon,
+            overload: health.enabled().then(|| OverloadStats {
+                sheds: self.sheds,
+                deferrals: self.deferrals,
+                breaker_skips: self.breaker_skips,
+                hedges: self.hedges,
+                hedges_won: self.hedges_won,
+                hedges_lost: self.hedges_lost,
+                hedge_cancelled: self.hedge_cancelled,
+                breaker_transitions: health.transitions_by_site(),
+            }),
         }
     }
 }

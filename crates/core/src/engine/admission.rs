@@ -1,5 +1,8 @@
 //! Admission: coalescing jobs into batches, latest-safe dispatch timing,
-//! the pre-dispatch local override, and per-batch state initialisation.
+//! the pre-dispatch local override, per-batch state initialisation, and
+//! the overload-aware admission controller (bounded per-site queues:
+//! defer delay-tolerant batches, shed tight-deadline ones down the
+//! chain).
 //!
 //! Everything here fills caller-owned buffers (see
 //! [`RunScratch`](crate::engine::RunScratch)): a reused scratch re-walks
@@ -13,8 +16,16 @@ use ntc_simcore::units::{DataSize, SimDuration, SimTime};
 use ntc_taskgraph::ComponentId;
 use ntc_workloads::{Archetype, Job};
 
+use super::accounting::HealthMap;
+use super::RunCtx;
 use crate::deploy::Deployment;
 use crate::environment::Environment;
+use crate::site::SiteRegistry;
+
+/// A per-component sentinel in [`BatchStates::inflight_site`]: no
+/// invocation of this component is currently counted against any site's
+/// bounded queue.
+pub(crate) const NO_SITE: u8 = u8::MAX;
 
 /// One execution unit: one or more coalesced jobs of the same deployment
 /// released together.
@@ -61,6 +72,13 @@ pub(crate) struct BatchStates {
     pub chain_pos: Vec<usize>,
     /// Per batch: site fallback switches performed.
     pub fallbacks: Vec<u32>,
+    /// Per batch: dispatch deferrals granted by admission control.
+    pub deferrals: Vec<u32>,
+    /// Per component: index (into the health map) of the site whose
+    /// bounded queue this component's in-flight invocation occupies;
+    /// [`NO_SITE`] when none. Only maintained when the health layer is
+    /// enabled.
+    pub inflight_site: Vec<u8>,
 }
 
 impl BatchStates {
@@ -91,6 +109,8 @@ impl BatchStates {
         self.finished.clear();
         self.chain_pos.clear();
         self.fallbacks.clear();
+        self.deferrals.clear();
+        self.inflight_site.clear();
 
         let mut total = 0;
         self.off.push(0);
@@ -110,10 +130,77 @@ impl BatchStates {
             self.finished.push(false);
             self.chain_pos.push(0);
             self.fallbacks.push(0);
+            self.deferrals.push(0);
+            self.inflight_site.resize(total + n, NO_SITE);
             total += n;
             self.off.push(total);
         }
     }
+}
+
+/// The admission controller's answer for one batch at dispatch time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Verdict {
+    /// Dispatch now, at the current chain position.
+    Admit,
+    /// The target site is overloaded but the batch has slack: hold it
+    /// and re-dispatch at the given instant. NTC work is delay-tolerant
+    /// — deferring is the graceful response to overload.
+    Defer(SimTime),
+    /// The target site is overloaded and the batch cannot afford to
+    /// wait: shed it to the given chain position and dispatch there.
+    Shed(usize),
+}
+
+/// Decides whether a batch may dispatch to its current chain site, must
+/// wait out the overload, or must shed down the chain. Consulted only
+/// when [`HealthConfig::admission`](ntc_faults::HealthConfig) is on; the
+/// decision is a pure function of the health ledger and the batch's
+/// deadline slack, so replays are bit-identical.
+pub(crate) fn admission_verdict(
+    ctx: &RunCtx<'_>,
+    sites: &SiteRegistry,
+    health: &HealthMap,
+    states: &BatchStates,
+    t: SimTime,
+    bi: usize,
+) -> Verdict {
+    let b = &ctx.batches[bi];
+    let d = &ctx.deployments[b.di];
+    if !health.admission() || ctx.local_override[bi] || d.plan.offloaded().count() == 0 {
+        return Verdict::Admit;
+    }
+    let chain = &ctx.chains[b.di];
+    let pos = states.chain_pos[bi];
+    let site = sites.get(&chain[pos]);
+    if !site.is_remote() {
+        // The device is the terminal site: it scales per member and is
+        // never overloaded.
+        return Verdict::Admit;
+    }
+    let h = health.site(health.index_of(site.id()));
+    let wait = h.queue_delay(site.concurrency_hint());
+    let margin = ctx.env.completion_margin;
+    let min_deadline =
+        b.members.iter().map(|&ji| ctx.jobs[ji].deadline()).min().expect("batch is non-empty");
+    if !h.saturated() && t + wait + d.est_completion + margin <= min_deadline {
+        return Verdict::Admit;
+    }
+    // Overloaded. Delay-tolerant batches wait the overload out…
+    let cfg = health.cfg();
+    let retry_at = t + cfg.defer_step;
+    if states.deferrals[bi] < cfg.max_deferrals
+        && retry_at + d.est_completion + margin <= min_deadline
+    {
+        return Verdict::Defer(retry_at);
+    }
+    // …and tight-deadline batches shed to the next chain site (every
+    // later chain site mirrors the deployment, and the device serves
+    // anything), rather than queueing into a miss.
+    if pos + 1 < chain.len() {
+        return Verdict::Shed(pos + 1);
+    }
+    Verdict::Admit
 }
 
 /// Coalesces jobs into batches by (deployment, dispatch instant), capped

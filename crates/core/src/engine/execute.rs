@@ -1,17 +1,19 @@
 //! Execution: provisioning deployments onto their site chains, keep-warm
-//! pings, and per-component invocation through the
-//! [`ExecutionSite`](crate::site::ExecutionSite) trait.
+//! pings, per-component invocation through the
+//! [`ExecutionSite`](crate::site::ExecutionSite) trait, breaker-aware
+//! site selection, and deadline-budgeted hedged requests.
 
 use std::fmt::Write as _;
 
-use ntc_faults::{classify_injected, classify_outage};
+use ntc_faults::{classify_injected, classify_outage, Admission};
 use ntc_partition::Side;
 use ntc_simcore::event::Simulator;
 use ntc_simcore::units::{Cycles, SimDuration, SimTime};
 use ntc_taskgraph::ComponentId;
 use ntc_workloads::Job;
 
-use super::{recovery, Ev, RunCtx, RunState};
+use super::admission::NO_SITE;
+use super::{recovery, Ev, HedgePending, RunCtx, RunState};
 use crate::deploy::Deployment;
 use crate::site::{InvokeRequest, SiteId, SiteOutcome, SiteRegistry, SiteRole};
 
@@ -75,7 +77,23 @@ pub(crate) fn handle_exec(
     let b = &ctx.batches[bi];
     let d = &ctx.deployments[b.di];
     let chain = &ctx.chains[b.di];
-    let pos = st.states.chain_pos[bi];
+    let mut pos = st.states.chain_pos[bi];
+    // Breaker-aware selection: rather than burning an attempt (and the
+    // failure-detect latency) on a site whose breaker is Open, start at
+    // the first chain site that admits the request. Fail-open: when
+    // every breaker refuses, keep the original site — the health layer
+    // may steer, never strand. Device-side components never consult the
+    // breakers: no remote invocation happens, so an admitted probe slot
+    // could never resolve.
+    if st.health.breakers() && !ctx.local_override[bi] && d.plan.side(comp) == Side::Cloud {
+        if let Some(next) = breaker_site(ctx, sites, st, t, bi, comp, pos) {
+            if next != pos {
+                st.states.chain_pos[bi] = next;
+                st.acct.breaker_skips += 1;
+                pos = next;
+            }
+        }
+    }
     let degraded = ctx.local_override[bi] || !sites.get(&chain[pos]).is_remote();
     let side = if degraded { Side::Device } else { d.plan.side(comp) };
     let cix = st.states.ix(bi, comp);
@@ -142,14 +160,221 @@ pub(crate) fn handle_exec(
             match outcome {
                 Ok(inv) => {
                     st.acct.device_energy += inv.device_energy;
+                    if st.health.enabled() {
+                        let idx = st.health.index_of(site_id);
+                        st.health.site_mut(idx).enter();
+                        st.states.inflight_site[cix] = idx as u8;
+                        let latency = inv.finish.saturating_duration_since(t);
+                        // A straggler past the site's p99-derived hedge
+                        // delay defers its completion: at `t + delay` a
+                        // duplicate may race it on the next healthy
+                        // site, and the earlier finisher wins.
+                        if let Some(delay) = st.health.site(idx).hedge_delay() {
+                            if latency > delay && hedge_candidate_exists(ctx, sites, bi, comp, pos)
+                            {
+                                st.hedges.insert(
+                                    (bi, comp),
+                                    HedgePending {
+                                        start: t,
+                                        primary_finish: inv.finish,
+                                        from_pos: pos,
+                                    },
+                                );
+                                sim.schedule_at(t + delay, Ev::HedgeFire(bi, comp))
+                                    .expect("future");
+                                return;
+                            }
+                        }
+                        st.health.site_mut(idx).record_success(latency);
+                    }
                     sim.schedule_at(inv.finish, Ev::Done(bi, comp)).expect("future");
                 }
                 Err((class, cause)) => {
+                    if st.health.enabled() {
+                        let idx = st.health.index_of(site_id);
+                        st.health.observe_failure(idx, t, &st.health_rng, cause);
+                    }
                     recovery::recover(ctx, sites, st, sim, t, bi, comp, class, cause);
                 }
             }
         }
     }
+}
+
+/// The first chain position at or past `pos` whose site's breaker admits
+/// a request at `t` (and which can serve the component), or `None` when
+/// every breaker refuses. The scan stops at the first admitting site so
+/// at most one HalfOpen probe slot is handed out per call.
+fn breaker_site(
+    ctx: &RunCtx<'_>,
+    sites: &SiteRegistry,
+    st: &mut RunState<'_>,
+    t: SimTime,
+    bi: usize,
+    comp: ComponentId,
+    pos: usize,
+) -> Option<usize> {
+    let di = ctx.batches[bi].di;
+    let chain = &ctx.chains[di];
+    (pos..chain.len()).find(|&i| {
+        let site = sites.get(&chain[i]);
+        if i > pos && !site.can_serve(di, comp) {
+            return false;
+        }
+        let idx = st.health.index_of(site.id());
+        st.health.site_mut(idx).check(t) != Admission::Unavailable
+    })
+}
+
+/// Whether any chain site strictly past `pos` could host a hedged
+/// duplicate of this component (remote and provisioned). Breaker
+/// admission is checked later, when the hedge actually fires.
+fn hedge_candidate_exists(
+    ctx: &RunCtx<'_>,
+    sites: &SiteRegistry,
+    bi: usize,
+    comp: ComponentId,
+    pos: usize,
+) -> bool {
+    let di = ctx.batches[bi].di;
+    let chain = &ctx.chains[di];
+    (pos + 1..chain.len()).any(|i| {
+        let site = sites.get(&chain[i]);
+        site.is_remote() && site.can_serve(di, comp)
+    })
+}
+
+/// A straggling invocation's hedge delay elapsed: launch a speculative
+/// duplicate on the next healthy chain site and let the earlier finisher
+/// win. The loser is cancelled — its site keeps the billing (the work
+/// was submitted) but its health ledger records a deliberate
+/// cancellation, never a failure.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn handle_hedge_fire(
+    ctx: &RunCtx<'_>,
+    sites: &mut SiteRegistry,
+    st: &mut RunState<'_>,
+    sim: &mut Simulator<Ev>,
+    t: SimTime,
+    bi: usize,
+    comp: ComponentId,
+) {
+    let Some(pending) = st.hedges.remove(&(bi, comp)) else { return };
+    let cix = st.states.ix(bi, comp);
+    let primary_idx = usize::from(st.states.inflight_site[cix]);
+    if st.states.failed[bi] {
+        // Another component already failed the whole batch; release the
+        // primary's queue slot and let its invocation evaporate.
+        st.health.site_mut(primary_idx).leave();
+        st.states.inflight_site[cix] = NO_SITE;
+        return;
+    }
+    let b = &ctx.batches[bi];
+    let d = &ctx.deployments[b.di];
+    let chain = &ctx.chains[b.di];
+    // The duplicate goes to the first breaker-admitting remote site
+    // strictly past the primary's position.
+    let target = (pending.from_pos + 1..chain.len()).find_map(|i| {
+        let site = sites.get(&chain[i]);
+        if !site.is_remote() || !site.can_serve(b.di, comp) {
+            return None;
+        }
+        let idx = st.health.index_of(site.id());
+        (st.health.site_mut(idx).check(t) != Admission::Unavailable).then_some((i, idx))
+    });
+    let Some((target_pos, target_idx)) = target else {
+        // Nobody healthy to race against: the primary wins by default.
+        resolve_primary_win(st, sim, bi, comp, primary_idx, &pending);
+        return;
+    };
+
+    st.acct.hedges += 1;
+    // The duplicate re-observes the same work (noise is keyed per
+    // (batch, component)); its injected-fault key carries a `-hedge`
+    // marker so it draws from its own stream without perturbing the
+    // per-attempt keys of the retry path.
+    let noise = noise_factor(ctx, st.key_buf, bi, comp);
+    let annotated =
+        d.graph.component(comp).batch_demand_cycles(b.members.len() as u64, b.sum_input);
+    let work = Cycles::new((annotated.get() as f64 * noise).round() as u64);
+    let site_id = &chain[target_pos];
+    let fault = if ctx.faults.has_invocation_faults() {
+        let first = ctx.jobs[b.members[0]].id;
+        st.key_buf.clear();
+        write!(st.key_buf, "{first}-{comp}-{site_id}-hedge").expect("string write");
+        ctx.faults.invocation_fault(st.key_buf.as_str())
+    } else {
+        None
+    };
+    let outcome: SiteOutcome = if let Some(fault) = fault {
+        Err(classify_injected(fault))
+    } else {
+        let site = sites.get_mut(site_id);
+        match classify_outage(site.id().as_str(), site.outage(ctx.faults, t)) {
+            Some(err) => Err(err),
+            None => site.invoke(&InvokeRequest {
+                at: t,
+                di: b.di,
+                comp,
+                work,
+                member_works: &[],
+                device: &ctx.env.device,
+            }),
+        }
+    };
+    match outcome {
+        Ok(hinv) if hinv.finish < pending.primary_finish => {
+            // The duplicate wins: cancel the primary (a deliberate
+            // cancellation — not a failure, not an observation) and
+            // complete from the duplicate's site.
+            st.acct.hedges_won += 1;
+            st.acct.hedge_cancelled += 1;
+            st.acct.device_energy += hinv.device_energy;
+            st.health.site_mut(target_idx).record_success(hinv.finish.saturating_duration_since(t));
+            st.health.site_mut(primary_idx).record_cancelled();
+            st.health.site_mut(primary_idx).leave();
+            st.health.site_mut(target_idx).enter();
+            st.states.inflight_site[cix] = target_idx as u8;
+            // Route downstream flows over the winning site. `max`:
+            // another component may have already fallen back further.
+            st.states.chain_pos[bi] = st.states.chain_pos[bi].max(target_pos);
+            sim.schedule_at(hinv.finish, Ev::Done(bi, comp)).expect("future");
+        }
+        Ok(_) => {
+            // The duplicate loses the race before it even finishes:
+            // cancel it (its site keeps the billing) and let the
+            // primary complete.
+            st.acct.hedges_lost += 1;
+            st.acct.hedge_cancelled += 1;
+            st.health.site_mut(target_idx).record_cancelled();
+            resolve_primary_win(st, sim, bi, comp, primary_idx, &pending);
+        }
+        Err((_class, cause)) => {
+            // The duplicate failed outright: that *is* an observation
+            // against its site, but the primary is still in flight —
+            // no retry budget is spent and the batch loses nothing.
+            st.acct.hedges_lost += 1;
+            st.health.observe_failure(target_idx, t, &st.health_rng, cause);
+            resolve_primary_win(st, sim, bi, comp, primary_idx, &pending);
+        }
+    }
+}
+
+/// Completes a hedged invocation from its deferred primary: records the
+/// primary's success (measured from its original submission) and
+/// schedules the completion it was holding back.
+fn resolve_primary_win(
+    st: &mut RunState<'_>,
+    sim: &mut Simulator<Ev>,
+    bi: usize,
+    comp: ComponentId,
+    primary_idx: usize,
+    pending: &HedgePending,
+) {
+    st.health
+        .site_mut(primary_idx)
+        .record_success(pending.primary_finish.saturating_duration_since(pending.start));
+    sim.schedule_at(pending.primary_finish, Ev::Done(bi, comp)).expect("future");
 }
 
 /// Execution-to-execution noise, sampled once per (batch, component) so

@@ -1,10 +1,11 @@
 //! Recovery: acting on classified attempt failures — deterministic waits,
 //! retry with decorrelated-jitter backoff, and fallback down the
-//! deployment's site-preference chain.
+//! deployment's site-preference chain (preferring sites whose breaker
+//! admits when the health layer is on).
 
 use std::fmt::Write as _;
 
-use ntc_faults::{ErrorClass, FailureCause};
+use ntc_faults::{Admission, ErrorClass, FailureCause};
 use ntc_simcore::event::Simulator;
 use ntc_simcore::units::SimTime;
 use ntc_taskgraph::ComponentId;
@@ -26,6 +27,12 @@ pub(crate) fn recover(
     class: ErrorClass,
     cause: FailureCause,
 ) {
+    if cause.is_cancellation() {
+        // Hedge-loser cancellations are deliberate, not failures: they
+        // consume no retry budget and trigger no fallback. (Defensive —
+        // the hedge path resolves losers without ever calling here.)
+        return;
+    }
     let detect = ctx.env.faults.error_detect_latency;
     match class {
         ErrorClass::WaitUntil(r) => {
@@ -66,7 +73,13 @@ pub(crate) fn recover(
 }
 
 /// Advances the batch to the next site in its preference chain that can
-/// serve this component, or fails it when the chain is exhausted.
+/// serve this component, or fails it when the chain is exhausted. With
+/// breakers on, sites whose breaker refuses admission are skipped —
+/// falling back onto a site that is known-bad burns the attempt the
+/// walk was trying to save — but the walk fails open: when every
+/// candidate's breaker refuses, the plain chain walk decides, so the
+/// health layer can never fail a batch the legacy path would have
+/// saved.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn fall_back_or_fail(
     ctx: &RunCtx<'_>,
@@ -82,7 +95,18 @@ pub(crate) fn fall_back_or_fail(
     let di = ctx.batches[bi].di;
     let chain = &ctx.chains[di];
     let pos = st.states.chain_pos[bi];
-    let next = (pos + 1..chain.len()).find(|&i| sites.get(&chain[i]).can_serve(di, comp));
+    let serves = |i: &usize| sites.get(&chain[*i]).can_serve(di, comp);
+    let next = if st.health.breakers() {
+        (pos + 1..chain.len())
+            .filter(&serves)
+            .find(|&i| {
+                let idx = st.health.index_of(sites.get(&chain[i]).id());
+                st.health.site_mut(idx).check(t) != Admission::Unavailable
+            })
+            .or_else(|| (pos + 1..chain.len()).find(&serves))
+    } else {
+        (pos + 1..chain.len()).find(&serves)
+    };
     match next {
         Some(i) => {
             st.states.chain_pos[bi] = i;

@@ -12,6 +12,7 @@ use ntc_simcore::event::Simulator;
 use ntc_simcore::units::{SimDuration, SimTime};
 use ntc_taskgraph::ComponentId;
 
+use super::admission::{self, Verdict, NO_SITE};
 use super::{accounting, Ev, RunCtx, RunState};
 use crate::site::{SiteId, SiteRegistry};
 
@@ -51,8 +52,10 @@ fn faulty_transfer(
     }
 }
 
-/// Releases a batch: schedules every entry component, timing the upload
-/// of offloaded entries over the primary site's UE path.
+/// Releases a batch: consults the admission controller (which may defer
+/// the release or shed the batch down its chain), then schedules every
+/// entry component, timing the upload of offloaded entries over the
+/// target site's UE path.
 pub(crate) fn handle_dispatch(
     ctx: &RunCtx<'_>,
     sites: &SiteRegistry,
@@ -61,10 +64,27 @@ pub(crate) fn handle_dispatch(
     t: SimTime,
     bi: usize,
 ) {
-    let RunState { acct, net_rng, key_buf, .. } = st;
+    if st.health.admission() {
+        match admission::admission_verdict(ctx, sites, st.health, st.states, t, bi) {
+            Verdict::Admit => {}
+            Verdict::Defer(at) => {
+                st.states.deferrals[bi] += 1;
+                st.acct.deferrals += 1;
+                sim.schedule_at(at, Ev::Dispatch(bi)).expect("future");
+                return;
+            }
+            Verdict::Shed(next) => {
+                st.states.chain_pos[bi] = next;
+                st.acct.sheds += 1;
+            }
+        }
+    }
+    let RunState { states, acct, net_rng, key_buf, .. } = st;
     let b = &ctx.batches[bi];
     let d = &ctx.deployments[b.di];
-    let primary = sites.get(&ctx.chains[b.di][0]);
+    // The upload targets the batch's *current* chain site: identical to
+    // the primary unless admission control shed the batch above.
+    let primary = sites.get(offload_site(&ctx.chains[b.di], states.chain_pos[bi]));
     for c in d.graph.entries() {
         let side = if ctx.local_override[bi] { Side::Device } else { d.plan.side(c) };
         let ready = match side {
@@ -102,7 +122,14 @@ pub(crate) fn handle_done(
     bi: usize,
     comp: ComponentId,
 ) {
-    let RunState { states, acct, net_rng, key_buf, .. } = st;
+    let RunState { states, acct, net_rng, key_buf, health, .. } = st;
+    // Release the bounded-queue slot this component's invocation held
+    // (before the failed-batch early-out, so slots never leak).
+    let cix = states.ix(bi, comp);
+    if states.inflight_site[cix] != NO_SITE {
+        health.site_mut(usize::from(states.inflight_site[cix])).leave();
+        states.inflight_site[cix] = NO_SITE;
+    }
     if states.failed[bi] {
         return;
     }

@@ -59,9 +59,9 @@ pub use deploy::{deploy, Deployment};
 pub use device::DeviceModel;
 pub use engine::{Engine, RunScratch};
 pub use environment::Environment;
-pub use ntc_faults::{FailureCause, FaultConfig, RetryBudget, RetryPolicy};
+pub use ntc_faults::{FailureCause, FaultConfig, HealthConfig, RetryBudget, RetryPolicy};
 pub use policy::{Backend, NtcConfig, OffloadPolicy};
-pub use report::{JobResult, RunResult};
+pub use report::{JobResult, OverloadStats, RunResult};
 pub use runner::{
     across, default_threads, run_replications, run_sweep, run_sweep_with, MetricSummary,
 };

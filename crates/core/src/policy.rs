@@ -3,7 +3,7 @@
 
 use core::fmt;
 
-use ntc_faults::RetryPolicy;
+use ntc_faults::{HealthConfig, RetryPolicy};
 use ntc_profiler::EstimatorKind;
 use serde::{Deserialize, Serialize};
 
@@ -63,6 +63,13 @@ pub struct NtcConfig {
     /// paper's cloud-first stance; `Backend::Edge` demonstrates the full
     /// edge → cloud → device fallback chain.
     pub primary_backend: Backend,
+    /// The overload-aware health layer: per-site circuit breakers,
+    /// queue-delay admission control (defer or shed) and hedged
+    /// requests. Defaults to fully disabled, which is behaviourally —
+    /// and serialisation-wise — identical to builds that predate the
+    /// layer.
+    #[serde(default)]
+    pub health: HealthConfig,
 }
 
 impl Default for NtcConfig {
@@ -79,6 +86,7 @@ impl Default for NtcConfig {
             retry: RetryPolicy::ntc_default(),
             fallback: true,
             primary_backend: Backend::Cloud,
+            health: HealthConfig::disabled(),
         }
     }
 }
@@ -132,6 +140,15 @@ impl OffloadPolicy {
         }
     }
 
+    /// The overload-aware health configuration this policy runs under.
+    /// Baselines model conventional deployments with no health layer.
+    pub fn health(&self) -> HealthConfig {
+        match self {
+            OffloadPolicy::Ntc(cfg) => cfg.health,
+            _ => HealthConfig::disabled(),
+        }
+    }
+
     /// A short stable name for result tables.
     pub fn name(&self) -> String {
         match self {
@@ -167,6 +184,15 @@ impl OffloadPolicy {
                     }
                     if cfg.primary_backend == Backend::Edge {
                         adds.push("edge");
+                    }
+                    if cfg.health.breakers {
+                        adds.push("breakers");
+                    }
+                    if cfg.health.admission {
+                        adds.push("admission");
+                    }
+                    if cfg.health.hedge {
+                        adds.push("hedge");
                     }
                     if !offs.is_empty() {
                         format!("ntc[-{}]", offs.join(",-"))
@@ -205,6 +231,33 @@ mod tests {
         let edge_first =
             OffloadPolicy::Ntc(NtcConfig { primary_backend: Backend::Edge, ..Default::default() });
         assert_eq!(edge_first.name(), "ntc[+edge]");
+        let overload = OffloadPolicy::Ntc(NtcConfig {
+            health: HealthConfig::overload_default(),
+            ..Default::default()
+        });
+        assert_eq!(overload.name(), "ntc[+breakers,+admission,+hedge]");
+        let hedged = OffloadPolicy::Ntc(NtcConfig {
+            health: HealthConfig { hedge: true, ..HealthConfig::disabled() },
+            ..Default::default()
+        });
+        assert_eq!(hedged.name(), "ntc[+hedge]");
+    }
+
+    #[test]
+    fn health_defaults_off_and_only_ntc_carries_it() {
+        assert!(!OffloadPolicy::ntc().health().enabled());
+        assert!(!OffloadPolicy::CloudAll.health().enabled());
+        let on = OffloadPolicy::Ntc(NtcConfig {
+            health: HealthConfig::overload_default(),
+            ..Default::default()
+        });
+        assert!(on.health().breakers && on.health().admission && on.health().hedge);
+        // Serde default: configs that predate the field still load.
+        let legacy: NtcConfig = serde_json::from_str(
+            &serde_json::to_string(&NtcConfig::default()).unwrap().replace("\"health\"", "\"_h\""),
+        )
+        .unwrap_or(NtcConfig::default());
+        assert_eq!(legacy.health, HealthConfig::disabled());
     }
 
     #[test]

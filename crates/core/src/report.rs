@@ -76,6 +76,12 @@ pub struct RunResult {
     pub completions_per_hour: TimeSeries,
     /// The simulated horizon.
     pub horizon: SimDuration,
+    /// Overload-layer counters, present only when the run's policy
+    /// enabled any part of the health layer (breakers, admission
+    /// control or hedging); `None` reproduces the legacy report
+    /// byte for byte.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub overload: Option<OverloadStats>,
 }
 
 impl RunResult {
@@ -96,6 +102,17 @@ impl RunResult {
         } else {
             self.deadline_misses() as f64 / self.jobs.len() as f64
         }
+    }
+
+    /// Goodput: jobs that met their deadline, per simulated hour. The
+    /// overload experiments rank policies by this — raw completions
+    /// overcount work that arrived too late to matter.
+    pub fn goodput_per_hour(&self) -> f64 {
+        let hours = self.horizon.as_secs_f64() / 3600.0;
+        if hours <= 0.0 {
+            return 0.0;
+        }
+        self.jobs.iter().filter(|j| j.met_deadline()).count() as f64 / hours
     }
 
     /// Number of jobs lost to platform failures.
@@ -186,6 +203,30 @@ impl RunResult {
     }
 }
 
+/// Counters of the overload-aware dispatch layer over one run: how often
+/// work was deferred, shed down the chain, steered around an Open
+/// breaker, or hedged onto a second site.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct OverloadStats {
+    /// Batches shed to the next chain site by admission control.
+    pub sheds: u64,
+    /// Dispatch deferrals granted to delay-tolerant batches.
+    pub deferrals: u64,
+    /// Executions steered past an Open breaker at dispatch.
+    pub breaker_skips: u64,
+    /// Hedged (duplicated) invocations launched.
+    pub hedges: u64,
+    /// Hedges whose duplicate finished first.
+    pub hedges_won: u64,
+    /// Hedges whose duplicate lost (or failed outright).
+    pub hedges_lost: u64,
+    /// Invocations cancelled as hedge losers (never counted as failures
+    /// and never charged against retry budget).
+    pub hedge_cancelled: u64,
+    /// Breaker state transitions per site, keyed by site name.
+    pub breaker_transitions: BTreeMap<String, u32>,
+}
+
 /// One archetype's slice of a [`RunResult`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ArchetypeBreakdown {
@@ -235,6 +276,7 @@ mod tests {
             bytes_down: DataSize::from_mib(2),
             completions_per_hour: TimeSeries::new(SimDuration::from_hours(1)),
             horizon: SimDuration::from_hours(1),
+            overload: None,
         }
     }
 
@@ -308,6 +350,26 @@ mod tests {
         let causes = r.failure_causes();
         assert_eq!(causes.get("timeout"), Some(&1));
         assert_eq!(causes.len(), 1);
+    }
+
+    #[test]
+    fn goodput_counts_only_deadline_met_jobs() {
+        let r = run(vec![
+            job(0, 0, 10, 20, false), // met
+            job(1, 0, 30, 20, false), // missed
+            job(2, 0, 10, 20, true),  // failed
+        ]);
+        assert_eq!(r.goodput_per_hour(), 1.0, "one met job over a one-hour horizon");
+        assert_eq!(run(vec![]).goodput_per_hour(), 0.0);
+    }
+
+    #[test]
+    fn overload_stats_absent_by_default() {
+        let r = run(vec![job(0, 0, 10, 20, false)]);
+        assert!(r.overload.is_none());
+        let stats = OverloadStats { hedges: 3, hedges_won: 2, ..Default::default() };
+        assert_eq!(stats.hedges_won, 2);
+        assert!(stats.breaker_transitions.is_empty());
     }
 
     #[test]

@@ -143,4 +143,8 @@ impl ExecutionSite for CloudSite {
     fn capabilities(&self) -> SiteCapabilities {
         SiteCapabilities::metered_faas(SimDuration::from_mins(15))
     }
+
+    fn concurrency_hint(&self) -> u32 {
+        self.platform.config().region_concurrency.max(1)
+    }
 }

@@ -111,4 +111,10 @@ impl ExecutionSite for DeviceSite {
     fn capabilities(&self) -> SiteCapabilities {
         SiteCapabilities::local()
     }
+
+    fn concurrency_hint(&self) -> u32 {
+        // Every member executes on its own hardware: width scales with
+        // the batch, so the site never queues.
+        u32::MAX
+    }
 }

@@ -132,4 +132,9 @@ impl ExecutionSite for EdgeSite {
     fn capabilities(&self) -> SiteCapabilities {
         SiteCapabilities::flat_rate()
     }
+
+    fn concurrency_hint(&self) -> u32 {
+        let c = self.fleet.config();
+        c.servers.saturating_mul(c.slots_per_server).max(1)
+    }
 }

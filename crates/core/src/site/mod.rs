@@ -214,6 +214,14 @@ pub trait ExecutionSite {
 
     /// What allocation may assume about this site.
     fn capabilities(&self) -> SiteCapabilities;
+
+    /// How many invocations the site can execute concurrently — the
+    /// width the health layer divides queue occupancy by when it
+    /// estimates queueing delay (see
+    /// [`SiteHealth::queue_delay`](ntc_faults::SiteHealth::queue_delay)).
+    /// Must be at least 1. Sites that scale per member (the device)
+    /// report `u32::MAX`: they never queue.
+    fn concurrency_hint(&self) -> u32;
 }
 
 /// The set of execution sites one engine run dispatches to.

@@ -200,6 +200,33 @@ fn invocations_are_deterministic_under_a_fixed_seed() {
 }
 
 #[test]
+fn health_reporting_obligations_hold_for_every_site() {
+    let fx = fixture(7);
+    for site in fx.registry.iter() {
+        let hint = site.concurrency_hint();
+        assert!(hint >= 1, "{}: concurrency hint must be at least 1", site.id());
+        assert_eq!(
+            hint,
+            site.concurrency_hint(),
+            "{}: the hint is a static width, not a load signal",
+            site.id()
+        );
+        if !site.is_remote() {
+            // The device scales per member: it never queues, which it
+            // reports as unbounded width.
+            assert_eq!(hint, u32::MAX, "{}", site.id());
+        }
+    }
+    // The fixed edge fleet is the one genuinely bounded site: its width
+    // is exactly its slot count, the divisor the admission controller
+    // turns queue occupancy into waiting time with.
+    let edge = fx.registry.get(&SiteId::edge());
+    let slots = fx.env.edge.servers * fx.env.edge.slots_per_server;
+    assert_eq!(edge.concurrency_hint(), slots, "edge width is its slot count");
+    assert!(edge.concurrency_hint() < u32::MAX, "a fixed fleet is bounded");
+}
+
+#[test]
 fn shares_and_paths_stay_physical() {
     let fx = fixture(7);
     for site in fx.registry.iter() {

@@ -34,6 +34,10 @@ pub enum FailureCause {
     /// The simulation submitted invocations out of time order (a bug in
     /// the caller, never worth retrying).
     Ordering,
+    /// A hedged duplicate was deliberately cancelled because its twin
+    /// finished first. Not a fault: cancellations consume no retry
+    /// budget and never feed a site's failure-rate EWMA.
+    HedgeCancelled,
 }
 
 impl FailureCause {
@@ -48,7 +52,15 @@ impl FailureCause {
             FailureCause::Capacity => "capacity",
             FailureCause::Deployment => "deployment",
             FailureCause::Ordering => "ordering",
+            FailureCause::HedgeCancelled => "hedge-cancelled",
         }
+    }
+
+    /// Whether this cause describes a deliberate cancellation rather
+    /// than a genuine failure. Cancellations must not burn retry budget
+    /// or move failure-rate EWMAs.
+    pub fn is_cancellation(self) -> bool {
+        matches!(self, FailureCause::HedgeCancelled)
     }
 }
 
@@ -235,6 +247,14 @@ mod tests {
         assert_eq!(FailureCause::Transient.to_string(), "transient");
         assert_eq!(FailureCause::EdgeOutage.name(), "edge-outage");
         assert_eq!(FailureCause::SiteOutage.name(), "site-outage");
+        assert_eq!(FailureCause::HedgeCancelled.name(), "hedge-cancelled");
+    }
+
+    #[test]
+    fn only_hedge_cancellation_is_a_cancellation() {
+        assert!(FailureCause::HedgeCancelled.is_cancellation());
+        assert!(!FailureCause::Timeout.is_cancellation());
+        assert!(!FailureCause::Transient.is_cancellation());
     }
 
     #[test]

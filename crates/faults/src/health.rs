@@ -1,0 +1,579 @@
+//! Per-site adaptive health: circuit breakers, EWMA latency/failure-rate
+//! tracking, queue-delay estimation and hedge-delay derivation.
+//!
+//! The retry/fallback machinery of this crate reacts to failures *after*
+//! burning attempts on them. [`SiteHealth`] is the complementary
+//! feed-forward half: a deterministic per-site circuit breaker
+//! (Closed → Open on a consecutive-failure or failure-rate-EWMA
+//! threshold → HalfOpen probe after a seeded cooldown → Closed on probe
+//! success) plus the latency statistics overload-aware dispatch needs —
+//! an EWMA service-time estimate for queue-delay prediction and a
+//! p99-derived hedge delay for straggler detection.
+//!
+//! Everything is deterministic: the only randomness is the cooldown
+//! jitter, drawn from a derived [`RngStream`] child keyed by the site
+//! name and the breaker's open-count, so replays are bit-identical and
+//! independent of what any other subsystem draws.
+
+use ntc_simcore::rng::RngStream;
+use ntc_simcore::units::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Tunables of the overload-aware health layer.
+///
+/// The default ([`HealthConfig::disabled`]) switches every mechanism
+/// off, so configurations that predate the health layer behave — and
+/// serialize — exactly as before.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HealthConfig {
+    /// Per-site circuit breakers: skip sites whose breaker is Open
+    /// instead of burning retry budget (and stalled waits) on them.
+    pub breakers: bool,
+    /// Admission control at dispatch: defer or shed batches whose
+    /// queue-delay estimate exceeds their deadline slack.
+    pub admission: bool,
+    /// Hedged requests: duplicate an invocation that exceeds its
+    /// p99-derived hedge delay onto the next healthy site.
+    pub hedge: bool,
+    /// Consecutive failures on one site that trip its breaker Open.
+    pub failure_threshold: u32,
+    /// Failure-rate EWMA level that trips the breaker even without a
+    /// consecutive run (flapping sites fail *often*, not *in a row*).
+    pub error_rate_threshold: f64,
+    /// Smoothing factor of the failure-rate and latency EWMAs, in
+    /// `(0, 1]`; higher weighs recent observations more.
+    pub ewma_alpha: f64,
+    /// Observations required before the rate threshold and the hedge
+    /// delay bind (EWMAs are meaningless on two samples).
+    pub min_samples: u32,
+    /// Base Open → HalfOpen cooldown; the realised cooldown is jittered
+    /// uniformly in `[base, min(cap, base·2^opens)]` from a seeded
+    /// stream, so repeatedly-tripped sites back off longer.
+    pub cooldown_base: SimDuration,
+    /// Upper bound on any single cooldown.
+    pub cooldown_cap: SimDuration,
+    /// Bounded per-site queue: in-flight invocations admitted before
+    /// the admission controller treats the site as saturated.
+    pub queue_bound: u32,
+    /// How far a deferred batch's dispatch is pushed per deferral.
+    pub defer_step: SimDuration,
+    /// Deferrals one batch may accumulate before it must shed instead.
+    pub max_deferrals: u32,
+    /// Floor on the hedge delay (hedging below network jitter buys
+    /// nothing and doubles cost).
+    pub hedge_min_delay: SimDuration,
+    /// Standard-normal quantile the hedge delay adds to the latency
+    /// EWMA: `hedge = mean + q·std`. The default 2.33 approximates p99.
+    pub hedge_quantile: f64,
+}
+
+impl HealthConfig {
+    /// Every mechanism off: the engine behaves bit-identically to a
+    /// build without the health layer.
+    pub fn disabled() -> Self {
+        HealthConfig {
+            breakers: false,
+            admission: false,
+            hedge: false,
+            failure_threshold: 5,
+            error_rate_threshold: 0.5,
+            ewma_alpha: 0.2,
+            min_samples: 8,
+            cooldown_base: SimDuration::from_secs(30),
+            cooldown_cap: SimDuration::from_mins(10),
+            queue_bound: 64,
+            defer_step: SimDuration::from_mins(10),
+            max_deferrals: 24,
+            hedge_min_delay: SimDuration::from_secs(2),
+            hedge_quantile: 2.33,
+        }
+    }
+
+    /// The full overload-aware stance: breakers, admission control and
+    /// hedging all on, at the disabled-default thresholds.
+    pub fn overload_default() -> Self {
+        HealthConfig { breakers: true, admission: true, hedge: true, ..Self::disabled() }
+    }
+
+    /// Whether any mechanism is on (off ⇒ the engine must not even
+    /// track observations, preserving bit-identical legacy behaviour).
+    pub fn enabled(&self) -> bool {
+        self.breakers || self.admission || self.hedge
+    }
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// Circuit-breaker state of one site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BreakerState {
+    /// Healthy: requests flow.
+    Closed,
+    /// Tripped: requests are skipped until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: exactly one probe request is let through; its
+    /// outcome closes or re-opens the breaker.
+    HalfOpen,
+}
+
+/// What the breaker answers when asked to admit a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Closed: send the request normally.
+    Ready,
+    /// HalfOpen and no probe outstanding: send the request *as the
+    /// probe* — its outcome decides the breaker's fate.
+    Probe,
+    /// Open (or HalfOpen with a probe already in flight): skip this
+    /// site.
+    Unavailable,
+}
+
+/// Deterministic per-site health: breaker state machine plus latency and
+/// failure-rate EWMAs.
+///
+/// Observations are fed by the caller (`record_success`,
+/// `record_failure`, `record_cancelled`); admission questions are asked
+/// via [`check`](SiteHealth::check). All state transitions happen inside
+/// those calls, so a single-threaded event loop sees a pure function of
+/// its own call sequence — replays are bit-identical.
+#[derive(Debug, Clone)]
+pub struct SiteHealth {
+    cfg: HealthConfig,
+    /// The site's stable name, baked into cooldown-jitter derivation
+    /// keys.
+    site: String,
+    state: BreakerState,
+    consecutive_failures: u32,
+    /// EWMA of the failure indicator (1 = failed attempt).
+    failure_rate: f64,
+    /// EWMA of observed invocation latency, microseconds.
+    latency_us: f64,
+    /// EWMA of squared deviation from the latency EWMA (for the
+    /// p99-derived hedge delay).
+    latency_var_us2: f64,
+    samples: u64,
+    /// When an Open breaker may admit its HalfOpen probe.
+    open_until: SimTime,
+    /// Times the breaker has opened (keys the cooldown jitter and backs
+    /// the exponential cooldown growth).
+    opens: u32,
+    /// Total state transitions (Closed→Open, Open→HalfOpen,
+    /// HalfOpen→Closed, HalfOpen→Open), reported per run.
+    transitions: u32,
+    /// Whether the HalfOpen probe slot is taken.
+    probe_outstanding: bool,
+    /// Invocations currently in flight (admission's bounded queue).
+    in_flight: u32,
+}
+
+impl SiteHealth {
+    /// Fresh health for the site named `site` under `cfg`: breaker
+    /// Closed, no observations.
+    pub fn new(site: impl Into<String>, cfg: HealthConfig) -> Self {
+        SiteHealth {
+            cfg,
+            site: site.into(),
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            failure_rate: 0.0,
+            latency_us: 0.0,
+            latency_var_us2: 0.0,
+            samples: 0,
+            open_until: SimTime::ZERO,
+            opens: 0,
+            transitions: 0,
+            probe_outstanding: false,
+            in_flight: 0,
+        }
+    }
+
+    /// The site this health belongs to.
+    pub fn site(&self) -> &str {
+        &self.site
+    }
+
+    /// Current breaker state (without the time-driven Open → HalfOpen
+    /// promotion [`check`](Self::check) performs).
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Total breaker state transitions so far.
+    pub fn transitions(&self) -> u32 {
+        self.transitions
+    }
+
+    /// Times the breaker has tripped Open.
+    pub fn opens(&self) -> u32 {
+        self.opens
+    }
+
+    /// Observations recorded (successes + failures; cancellations are
+    /// deliberately *not* observations).
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Current failure-rate EWMA in `[0, 1]`.
+    pub fn failure_rate(&self) -> f64 {
+        self.failure_rate
+    }
+
+    /// Current latency EWMA.
+    pub fn ewma_latency(&self) -> SimDuration {
+        SimDuration::from_micros(self.latency_us.max(0.0).round() as u64)
+    }
+
+    /// Invocations currently in flight on this site.
+    pub fn in_flight(&self) -> u32 {
+        self.in_flight
+    }
+
+    /// Asks the breaker whether a request may be sent at `at`. With
+    /// breakers disabled the answer is always [`Admission::Ready`].
+    /// Closed sites are never probed; an Open site promotes itself to
+    /// HalfOpen once `at` reaches its cooldown end and hands out exactly
+    /// one [`Admission::Probe`] slot.
+    pub fn check(&mut self, at: SimTime) -> Admission {
+        if !self.cfg.breakers {
+            return Admission::Ready;
+        }
+        match self.state {
+            BreakerState::Closed => Admission::Ready,
+            BreakerState::Open if at >= self.open_until => {
+                self.state = BreakerState::HalfOpen;
+                self.transitions += 1;
+                self.probe_outstanding = true;
+                Admission::Probe
+            }
+            BreakerState::Open => Admission::Unavailable,
+            BreakerState::HalfOpen if !self.probe_outstanding => {
+                self.probe_outstanding = true;
+                Admission::Probe
+            }
+            BreakerState::HalfOpen => Admission::Unavailable,
+        }
+    }
+
+    /// Records a successful attempt observed to take `latency`. A
+    /// HalfOpen probe success closes the breaker.
+    pub fn record_success(&mut self, latency: SimDuration) {
+        self.observe(false, latency.as_micros() as f64);
+        self.consecutive_failures = 0;
+        if self.state == BreakerState::HalfOpen {
+            self.state = BreakerState::Closed;
+            self.transitions += 1;
+            self.probe_outstanding = false;
+        }
+    }
+
+    /// Records a failed attempt at `at`. Trips the breaker when the
+    /// consecutive-failure threshold or (past
+    /// [`min_samples`](HealthConfig::min_samples)) the failure-rate EWMA
+    /// threshold is reached; a HalfOpen probe failure re-opens
+    /// immediately. `rng` is the health layer's root stream — the
+    /// cooldown draw derives its own child per `(site, open-count)`.
+    pub fn record_failure(&mut self, at: SimTime, rng: &RngStream) {
+        // Failures carry no useful service-time signal; feed the rate
+        // EWMA only.
+        self.observe(true, self.latency_us);
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        let rate_tripped = self.samples >= u64::from(self.cfg.min_samples)
+            && self.failure_rate >= self.cfg.error_rate_threshold;
+        match self.state {
+            BreakerState::HalfOpen => self.open(at, rng),
+            BreakerState::Closed
+                if self.consecutive_failures >= self.cfg.failure_threshold.max(1)
+                    || rate_tripped =>
+            {
+                self.open(at, rng);
+            }
+            _ => {}
+        }
+    }
+
+    /// Records the deliberate cancellation of a hedge loser: **not** an
+    /// observation. Neither the failure-rate EWMA, the latency EWMA nor
+    /// the consecutive-failure run moves — a cancelled duplicate says
+    /// nothing about the site's health. Only the probe slot is released
+    /// if the cancelled request was the HalfOpen probe.
+    pub fn record_cancelled(&mut self) {
+        if self.state == BreakerState::HalfOpen && self.probe_outstanding {
+            self.probe_outstanding = false;
+        }
+    }
+
+    /// Marks one invocation as entering this site's bounded queue.
+    pub fn enter(&mut self) {
+        self.in_flight = self.in_flight.saturating_add(1);
+    }
+
+    /// Marks one invocation as leaving this site's bounded queue.
+    pub fn leave(&mut self) {
+        self.in_flight = self.in_flight.saturating_sub(1);
+    }
+
+    /// Whether the bounded per-site queue is at capacity.
+    pub fn saturated(&self) -> bool {
+        self.in_flight >= self.cfg.queue_bound.max(1)
+    }
+
+    /// Estimated queueing delay a new request would see: the latency
+    /// EWMA times the queue occupancy ahead of it, divided by the
+    /// site's concurrency (`width`). Zero until enough samples.
+    pub fn queue_delay(&self, width: u32) -> SimDuration {
+        if self.samples < u64::from(self.cfg.min_samples) {
+            return SimDuration::ZERO;
+        }
+        let waves = f64::from(self.in_flight) / f64::from(width.max(1));
+        SimDuration::from_micros((self.latency_us * waves).round() as u64)
+    }
+
+    /// The p99-derived hedge delay: latency EWMA plus
+    /// [`hedge_quantile`](HealthConfig::hedge_quantile) standard
+    /// deviations, floored at
+    /// [`hedge_min_delay`](HealthConfig::hedge_min_delay). `None` until
+    /// enough samples — hedging on guesswork duplicates everything.
+    pub fn hedge_delay(&self) -> Option<SimDuration> {
+        if !self.cfg.hedge || self.samples < u64::from(self.cfg.min_samples) {
+            return None;
+        }
+        let p99 = self.latency_us + self.cfg.hedge_quantile * self.latency_var_us2.max(0.0).sqrt();
+        Some(SimDuration::from_micros(p99.round() as u64).max(self.cfg.hedge_min_delay))
+    }
+
+    fn observe(&mut self, failed: bool, latency_us: f64) {
+        let a = self.cfg.ewma_alpha.clamp(1e-6, 1.0);
+        if self.samples == 0 {
+            self.failure_rate = if failed { 1.0 } else { 0.0 };
+            self.latency_us = latency_us;
+            self.latency_var_us2 = 0.0;
+        } else {
+            self.failure_rate += a * (if failed { 1.0 } else { 0.0 } - self.failure_rate);
+            if !failed {
+                let dev = latency_us - self.latency_us;
+                self.latency_us += a * dev;
+                self.latency_var_us2 += a * (dev * dev - self.latency_var_us2);
+            }
+        }
+        self.samples += 1;
+    }
+
+    /// Trips the breaker Open at `at` with a seeded, exponentially
+    /// growing cooldown: uniform in `[base, min(cap, base·2^opens)]`,
+    /// drawn from the child stream `cooldown-{site}-{opens}` so the
+    /// schedule replays bit-identically and independently of query
+    /// order elsewhere.
+    fn open(&mut self, at: SimTime, rng: &RngStream) {
+        self.opens = self.opens.saturating_add(1);
+        self.state = BreakerState::Open;
+        self.transitions += 1;
+        self.probe_outstanding = false;
+        let base = self.cfg.cooldown_base.as_micros().max(1);
+        let cap = self.cfg.cooldown_cap.as_micros().max(base);
+        let hi = base.saturating_mul(2u64.saturating_pow(self.opens.min(40))).min(cap);
+        let mut r = rng.derive(&format!("cooldown-{}-{}", self.site, self.opens));
+        self.open_until = at + SimDuration::from_micros(r.uniform_range(base, hi + 1));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> RngStream {
+        RngStream::root(7).derive("health")
+    }
+
+    fn cfg() -> HealthConfig {
+        HealthConfig { failure_threshold: 3, min_samples: 4, ..HealthConfig::overload_default() }
+    }
+
+    fn tripped(cfg: HealthConfig) -> SiteHealth {
+        let mut h = SiteHealth::new("edge", cfg);
+        let r = rng();
+        for _ in 0..cfg.failure_threshold.max(1) {
+            h.record_failure(SimTime::from_secs(10), &r);
+        }
+        assert_eq!(h.state(), BreakerState::Open);
+        h
+    }
+
+    #[test]
+    fn disabled_config_always_admits_and_never_trips_admission() {
+        let mut h = SiteHealth::new("cloud", HealthConfig::disabled());
+        let r = rng();
+        for _ in 0..100 {
+            h.record_failure(SimTime::from_secs(1), &r);
+        }
+        // The state machine itself still trips (the engine simply never
+        // consults it when breakers are off)…
+        assert_eq!(h.state(), BreakerState::Open);
+        // …but check() reports Ready because breakers are disabled.
+        assert_eq!(h.check(SimTime::from_secs(2)), Admission::Ready);
+        assert_eq!(h.hedge_delay(), None, "hedge disabled");
+    }
+
+    #[test]
+    fn consecutive_failures_trip_the_breaker() {
+        // Rate threshold out of reach: only the consecutive run counts.
+        let mut h = SiteHealth::new("edge", HealthConfig { error_rate_threshold: 2.0, ..cfg() });
+        let r = rng();
+        h.record_failure(SimTime::ZERO, &r);
+        h.record_success(SimDuration::from_secs(1));
+        h.record_failure(SimTime::ZERO, &r);
+        h.record_failure(SimTime::ZERO, &r);
+        assert_eq!(h.state(), BreakerState::Closed, "run broken by a success");
+        h.record_failure(SimTime::ZERO, &r);
+        assert_eq!(h.state(), BreakerState::Open, "third consecutive failure trips");
+        assert_eq!(h.opens(), 1);
+    }
+
+    #[test]
+    fn failure_rate_ewma_trips_without_a_consecutive_run() {
+        let mut h = SiteHealth::new(
+            "edge",
+            HealthConfig {
+                failure_threshold: 100,
+                error_rate_threshold: 0.4,
+                ewma_alpha: 0.5,
+                min_samples: 4,
+                ..HealthConfig::overload_default()
+            },
+        );
+        let r = rng();
+        // Alternate success/failure: never 2 in a row, but a ~50% rate.
+        for i in 0..20 {
+            if i % 2 == 0 {
+                h.record_failure(SimTime::from_secs(i), &r);
+            } else {
+                h.record_success(SimDuration::from_secs(1));
+            }
+            if h.state() == BreakerState::Open {
+                return;
+            }
+        }
+        panic!("flapping site never tripped the rate threshold");
+    }
+
+    #[test]
+    fn open_breaker_half_opens_after_cooldown_and_closes_on_probe_success() {
+        let mut h = tripped(cfg());
+        assert_eq!(h.check(SimTime::from_secs(11)), Admission::Unavailable);
+        // Cooldown is jittered within [base, cap]; far future must admit.
+        let later = SimTime::from_secs(10) + HealthConfig::disabled().cooldown_cap;
+        assert_eq!(h.check(later), Admission::Probe);
+        assert_eq!(h.state(), BreakerState::HalfOpen);
+        // Only one probe slot.
+        assert_eq!(h.check(later), Admission::Unavailable);
+        h.record_success(SimDuration::from_secs(1));
+        assert_eq!(h.state(), BreakerState::Closed);
+        assert_eq!(h.check(later), Admission::Ready);
+    }
+
+    #[test]
+    fn probe_failure_reopens_with_longer_cooldown() {
+        let mut h = tripped(cfg());
+        let r = rng();
+        let probe_at = SimTime::from_secs(10) + HealthConfig::disabled().cooldown_cap;
+        assert_eq!(h.check(probe_at), Admission::Probe);
+        h.record_failure(probe_at, &r);
+        assert_eq!(h.state(), BreakerState::Open);
+        assert_eq!(h.opens(), 2);
+        assert_eq!(h.check(probe_at), Admission::Unavailable, "fresh cooldown runs again");
+    }
+
+    #[test]
+    fn cooldowns_are_deterministic_per_seed_and_site() {
+        let trip = |site: &str, seed: u64| {
+            let mut h = SiteHealth::new(site, cfg());
+            let r = RngStream::root(seed).derive("health");
+            for _ in 0..3 {
+                h.record_failure(SimTime::ZERO, &r);
+            }
+            h.open_until
+        };
+        assert_eq!(trip("edge", 1), trip("edge", 1), "same seed, same cooldown");
+        assert_ne!(trip("edge", 1), trip("edge", 2), "different seeds jitter differently");
+        assert_ne!(trip("edge", 1), trip("cloud", 1), "keyed per site");
+    }
+
+    #[test]
+    fn cancellations_are_not_observations() {
+        let mut h = SiteHealth::new("cloud", cfg());
+        let r = rng();
+        h.record_failure(SimTime::ZERO, &r);
+        h.record_failure(SimTime::ZERO, &r);
+        let (rate, samples, run) = (h.failure_rate(), h.samples(), h.consecutive_failures);
+        h.record_cancelled();
+        h.record_cancelled();
+        assert_eq!(h.failure_rate(), rate, "cancellation must not move the rate EWMA");
+        assert_eq!(h.samples(), samples);
+        assert_eq!(h.consecutive_failures, run, "nor the consecutive-failure run");
+        assert_eq!(h.state(), BreakerState::Closed, "two failures + cancels stay under 3");
+    }
+
+    #[test]
+    fn queue_delay_scales_with_occupancy_and_needs_samples() {
+        let mut h = SiteHealth::new("edge", cfg());
+        h.enter();
+        h.enter();
+        assert_eq!(h.queue_delay(1), SimDuration::ZERO, "no samples, no estimate");
+        for _ in 0..8 {
+            h.record_success(SimDuration::from_secs(10));
+        }
+        let two_deep = h.queue_delay(1);
+        assert!(two_deep >= SimDuration::from_secs(19), "2 in flight × ~10 s each: {two_deep}");
+        assert!(h.queue_delay(2) < two_deep, "wider sites queue less");
+        h.leave();
+        assert!(h.queue_delay(1) < two_deep, "draining shortens the estimate");
+        h.leave();
+        h.leave();
+        assert_eq!(h.in_flight(), 0, "leave saturates at zero");
+    }
+
+    #[test]
+    fn saturation_tracks_the_bound() {
+        let mut h = SiteHealth::new("edge", HealthConfig { queue_bound: 2, ..cfg() });
+        assert!(!h.saturated());
+        h.enter();
+        h.enter();
+        assert!(h.saturated());
+        h.leave();
+        assert!(!h.saturated());
+    }
+
+    #[test]
+    fn hedge_delay_is_p99_shaped_and_floored() {
+        let mut h = SiteHealth::new("cloud", cfg());
+        assert_eq!(h.hedge_delay(), None, "no samples, no hedging");
+        // Tight latencies: p99 ≈ mean, so the floor binds.
+        for _ in 0..16 {
+            h.record_success(SimDuration::from_millis(100));
+        }
+        assert_eq!(h.hedge_delay(), Some(HealthConfig::disabled().hedge_min_delay));
+        // Wide latencies: mean + 2.33σ clears the floor.
+        let mut w = SiteHealth::new("cloud", cfg());
+        for i in 0..32 {
+            w.record_success(SimDuration::from_secs(if i % 2 == 0 { 5 } else { 60 }));
+        }
+        let hd = w.hedge_delay().expect("enough samples");
+        assert!(hd > w.ewma_latency(), "p99 sits above the mean: {hd}");
+    }
+
+    #[test]
+    fn transitions_count_every_edge() {
+        let mut h = tripped(cfg()); // Closed → Open
+        assert_eq!(h.transitions(), 1);
+        let probe_at = SimTime::from_secs(10) + HealthConfig::disabled().cooldown_cap;
+        assert_eq!(h.check(probe_at), Admission::Probe); // Open → HalfOpen
+        assert_eq!(h.transitions(), 2);
+        h.record_success(SimDuration::from_secs(1)); // HalfOpen → Closed
+        assert_eq!(h.transitions(), 3);
+    }
+}

@@ -19,12 +19,17 @@
 //! * [`ErrorClass`] / [`FailureCause`] — the retryable-vs-terminal
 //!   classification of every backend error, replacing the engine's old
 //!   all-errors-are-terminal path.
+//! * [`SiteHealth`] / [`HealthConfig`] — the feed-forward half of
+//!   robustness: per-site circuit breakers with EWMA latency and
+//!   failure-rate tracking, queue-delay estimation for admission
+//!   control, and p99-derived hedge delays for straggler duplication.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod classify;
 pub mod config;
+pub mod health;
 pub mod plan;
 pub mod retry;
 
@@ -33,5 +38,6 @@ pub use classify::{
     ErrorClass, FailureCause,
 };
 pub use config::FaultConfig;
+pub use health::{Admission, BreakerState, HealthConfig, SiteHealth};
 pub use plan::{FaultPlan, InjectedFault, SiteOutage};
 pub use retry::{RetryBudget, RetryPolicy};
