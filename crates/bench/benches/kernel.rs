@@ -9,7 +9,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use ntc_bench::kernel::{
-    calendar_churn, engine_run_fresh, engine_run_reused, heap_churn, kernel_engine,
+    calendar_churn, engine_run_fresh, engine_run_reused, heap_churn, ingest_retained,
+    ingest_streaming, kernel_engine, lookup_registry, site_lookup_by_id, site_lookup_by_token,
     sweep_replications,
 };
 use ntc_core::RunScratch;
@@ -54,5 +55,36 @@ fn bench_sweep_e2e(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_event_queue, bench_engine_run, bench_sweep_e2e);
+fn bench_metrics_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel/accumulator");
+    group.sample_size(20);
+    group.bench_function("ingest_summarise_100k", |b| {
+        b.iter(|| black_box(ingest_streaming(100_000)))
+    });
+    group
+        .bench_function("ingest_retained_100k", |b| b.iter(|| black_box(ingest_retained(100_000))));
+    group.finish();
+}
+
+fn bench_site_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel/dispatch");
+    group.sample_size(20);
+    let reg = lookup_registry();
+    group.bench_function("site_lookup_1m", |b| {
+        b.iter(|| black_box(site_lookup_by_token(&reg, 1_000_000)))
+    });
+    group.bench_function("site_lookup_by_id_1m", |b| {
+        b.iter(|| black_box(site_lookup_by_id(&reg, 1_000_000)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_engine_run,
+    bench_sweep_e2e,
+    bench_metrics_ingest,
+    bench_site_lookup
+);
 criterion_main!(benches);

@@ -13,7 +13,8 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use ntc_bench::kernel::{
-    calendar_churn, engine_run_fresh, engine_run_reused, heap_churn, kernel_engine,
+    calendar_churn, engine_run_fresh, engine_run_reused, heap_churn, ingest_retained,
+    ingest_streaming, kernel_engine, lookup_registry, site_lookup_by_id, site_lookup_by_token,
     sweep_replications,
 };
 use ntc_core::RunScratch;
@@ -50,6 +51,13 @@ struct Entry {
 const PRE_ENGINE_RUN_NS: u128 = 143_171;
 const PRE_QUEUE_CHURN_50K_NS: u128 = 2_599_472;
 const PRE_SWEEP_8_NS: [(usize, u128); 3] = [(1, 1_015_925), (2, 1_021_945), (4, 1_073_474)];
+
+/// Pre-PR references for the streaming-metrics/interned-id change
+/// (commit 041ad90, same machine, same harness): the retained ingest
+/// path ([`ingest_retained`]'s workload) and the string-keyed site
+/// lookup ([`site_lookup_by_id`]'s workload).
+const PRE_INGEST_SUMMARISE_100K_NS: u128 = 5_544_737;
+const PRE_SITE_LOOKUP_1M_NS: u128 = 9_278_305;
 
 /// Runs `iters` calls of `op` per round, `rounds` times, and returns the
 /// median per-op nanoseconds.
@@ -116,6 +124,26 @@ fn main() {
         black_box(engine_run_reused(&engine, 1, &mut scratch));
     }));
 
+    results.push(entry(
+        "accumulator/ingest_summarise_100k",
+        7,
+        3,
+        Some(PRE_INGEST_SUMMARISE_100K_NS),
+        || {
+            black_box(ingest_streaming(100_000));
+        },
+    ));
+    results.push(entry("accumulator/ingest_retained_100k", 7, 3, None, || {
+        black_box(ingest_retained(100_000));
+    }));
+    let reg = lookup_registry();
+    results.push(entry("dispatch/site_lookup_1m", 7, 3, Some(PRE_SITE_LOOKUP_1M_NS), || {
+        black_box(site_lookup_by_token(&reg, 1_000_000));
+    }));
+    results.push(entry("dispatch/site_lookup_by_id_1m", 7, 3, None, || {
+        black_box(site_lookup_by_id(&reg, 1_000_000));
+    }));
+
     for (threads, pre) in PRE_SWEEP_8_NS {
         results.push(entry(
             format!("sweep_e2e/replications_8/threads_{threads}"),
@@ -133,10 +161,13 @@ fn main() {
         units: "nanoseconds per operation (median over rounds)",
         regenerate: "cargo run --release -p ntc-bench --bin bench_kernel_baseline",
         note: "pre_refactor_ns_per_op was measured at the commit before the \
-               calendar-queue/scratch-reuse/parallel-sweep change, on the same \
-               machine with this harness; speedup = pre / current. \
-               engine_run/reused_scratch is compared against the old Engine::run \
-               because reuse is the replication path sweeps actually take.",
+               change each entry belongs to (the calendar-queue/scratch-reuse/\
+               parallel-sweep change for the queue/engine/sweep entries, the \
+               streaming-metrics/interned-site-id change for the accumulator \
+               and dispatch entries), on the same machine with this harness; \
+               speedup = pre / current. engine_run/reused_scratch is compared \
+               against the old Engine::run because reuse is the replication \
+               path sweeps actually take.",
         environment_note: "reference numbers were captured in a container exposing a \
                            single CPU core, so sweep_e2e cannot show parallel scaling \
                            there; thread-count invariance of results is covered by \

@@ -11,10 +11,19 @@
 //! * one engine replication — the fresh-engine path every caller used
 //!   before scratch reuse existed, against [`Engine::run_seeded`] on a
 //!   long-lived [`RunScratch`] (the replication fast path);
-//! * an end-to-end sweep — [`run_replications`] at a given thread count.
+//! * an end-to-end sweep — [`run_replications`] at a given thread count;
+//! * the metrics ingest — the retained per-job vector path against the
+//!   streaming [`RunAggregates`] digest;
+//! * the dispatch site access — string-keyed registry lookups against
+//!   token-indexed ones.
 
-use ntc_core::{run_replications, Engine, Environment, OffloadPolicy, RunResult, RunScratch};
+use ntc_core::{
+    run_replications, Engine, Environment, JobResult, OffloadPolicy, RunAggregates, RunResult,
+    RunScratch, SiteId, SiteRegistry, SiteToken,
+};
 use ntc_simcore::event::{reference::HeapQueue, EventQueue};
+use ntc_simcore::rng::RngStream;
+use ntc_simcore::stats::Summary;
 use ntc_simcore::units::{SimDuration, SimTime};
 use ntc_workloads::{Archetype, StreamSpec};
 
@@ -124,6 +133,89 @@ pub fn heap_churn(events: u64, pending: u64) -> u64 {
     acc
 }
 
+/// One deterministic synthetic job outcome for the metrics-ingest
+/// benches; `x` is the xorshift state threaded through the stream. One
+/// draw decides both the latency (0.2–30.2 s) and the 1 % failure flag;
+/// arrivals tick every 500 µs against a 20 s deadline.
+fn synthetic_result(i: u64, x: &mut u64) -> JobResult {
+    let r = xorshift(x);
+    let arrival = SimTime::from_micros(i * 500);
+    let latency = SimDuration::from_micros(200_000 + r % 30_000_000);
+    JobResult {
+        id: i,
+        archetype: Archetype::PhotoPipeline,
+        arrival,
+        dispatched: arrival,
+        finish: arrival + latency,
+        deadline: arrival + SimDuration::from_secs(20),
+        failed: r.is_multiple_of(100),
+        attempts: 1,
+        backoff: SimDuration::ZERO,
+        fallbacks: 0,
+        cause: None,
+    }
+}
+
+/// The pre-PR metrics path over `n` synthetic outcomes: retain every
+/// [`JobResult`] in a vector, then collect the latencies into a second
+/// vector, summarise, and count misses. This is the workload the
+/// `accumulator/ingest_summarise_100k` pre-refactor reference was
+/// measured on.
+pub fn ingest_retained(n: u64) -> (Option<Summary>, u64) {
+    let mut x = 0x9e37_79b9_7f4a_7c15u64;
+    let mut results = Vec::with_capacity(n as usize);
+    for i in 0..n {
+        results.push(synthetic_result(i, &mut x));
+    }
+    let lats: Vec<f64> = results.iter().map(|r| r.latency().as_secs_f64()).collect();
+    let misses = results.iter().filter(|r| !r.met_deadline()).count() as u64;
+    (Summary::of(&lats), misses)
+}
+
+/// The streaming metrics path over the same `n` outcomes: fold each
+/// into [`RunAggregates`] as it is produced — no per-job vector — and
+/// read the summary off the constant-memory digest.
+pub fn ingest_streaming(n: u64) -> (Option<Summary>, u64) {
+    let mut x = 0x9e37_79b9_7f4a_7c15u64;
+    let mut agg = RunAggregates::default();
+    for i in 0..n {
+        agg.record(&synthetic_result(i, &mut x));
+    }
+    agg.finalize();
+    (agg.latency.summary(), agg.deadline_misses)
+}
+
+/// The standard three-site registry the dispatch-lookup benches walk.
+pub fn lookup_registry() -> SiteRegistry {
+    SiteRegistry::standard(&Environment::metro_reference(), &RngStream::root(1))
+}
+
+/// The pre-PR hot-loop site access: `n` string-keyed registry lookups
+/// cycling over the three standard sites, folding the fallback ranks so
+/// the walk cannot be optimised away. This is the workload the
+/// `dispatch/site_lookup_1m` pre-refactor reference was measured on.
+pub fn site_lookup_by_id(reg: &SiteRegistry, n: u64) -> u64 {
+    let ids = [SiteId::edge(), SiteId::cloud(), SiteId::device()];
+    let mut acc = 0u64;
+    for i in 0..n {
+        acc = acc.wrapping_add(u64::from(reg.get(&ids[i as usize % 3]).fallback_rank()));
+    }
+    acc
+}
+
+/// The token-indexed hot-loop site access over the same cycle: tokens
+/// are resolved once at the boundary, then every access is a dense
+/// array index. Must fold to the same value as [`site_lookup_by_id`].
+pub fn site_lookup_by_token(reg: &SiteRegistry, n: u64) -> u64 {
+    let tokens: [SiteToken; 3] =
+        [SiteId::edge(), SiteId::cloud(), SiteId::device()].map(|id| reg.token_of(&id));
+    let mut acc = 0u64;
+    for i in 0..n {
+        acc = acc.wrapping_add(u64::from(reg.site(tokens[i as usize % 3]).fallback_rank()));
+    }
+    acc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,6 +224,25 @@ mod tests {
     fn churn_checksums_agree() {
         assert_eq!(calendar_churn(5_000, 64), heap_churn(5_000, 64));
         assert_eq!(calendar_churn(5_000, 4_096), heap_churn(5_000, 4_096));
+    }
+
+    #[test]
+    fn ingest_paths_agree() {
+        let (rs, rm) = ingest_retained(20_000);
+        let (ss, sm) = ingest_streaming(20_000);
+        let (rs, ss) = (rs.expect("non-empty"), ss.expect("non-empty"));
+        assert_eq!(rs.count, ss.count);
+        assert_eq!(rm, sm, "miss counts are exact on both paths");
+        assert!((rs.mean - ss.mean).abs() <= 1e-9 * rs.mean, "means agree");
+        // Quantiles carry the documented bucket error; the exact-rank
+        // bound is proptested in ntc-simcore.
+        assert!(ss.p95 >= rs.p95 * 0.9 && ss.p95 <= rs.p95 * 1.1);
+    }
+
+    #[test]
+    fn lookup_paths_agree() {
+        let reg = lookup_registry();
+        assert_eq!(site_lookup_by_id(&reg, 999), site_lookup_by_token(&reg, 999));
     }
 
     #[test]

@@ -20,6 +20,7 @@ use serde::Serialize;
 pub mod dispatch;
 pub mod kernel;
 pub mod overload;
+pub mod scale;
 
 /// Parses `--seed <u64>` from the process arguments (default 42).
 pub fn seed_from_args() -> u64 {

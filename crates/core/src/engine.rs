@@ -75,10 +75,33 @@ use crate::deploy::{deploy, Deployment};
 use crate::environment::Environment;
 use crate::policy::OffloadPolicy;
 use crate::report::RunResult;
-use crate::site::{SiteId, SiteRegistry};
+use crate::site::{SiteId, SiteRegistry, SiteToken};
 
 use accounting::{Accounting, HealthMap};
 use admission::{Batch, BatchStates};
+
+/// What a run keeps per job.
+///
+/// `Full` retains one [`JobResult`](crate::report::JobResult) per job in
+/// [`RunResult::jobs`] — the historical behaviour, and the default; every
+/// report metric is exact and the run replays byte-identically to
+/// pre-knob engines. `Aggregates` never materialises the per-job vector:
+/// outcomes fold into streaming
+/// [`RunAggregates`](crate::report::RunAggregates) (Welford moments plus
+/// a log-bucketed latency histogram) at record time, so run memory is
+/// O(1) in the job count — the mode the million-user scale experiment
+/// (fig11) runs in. The simulation itself is identical either way:
+/// retention touches no RNG stream and schedules no events, so counts,
+/// rates and totals agree exactly between modes; only latency
+/// percentiles carry the histogram's documented error bound.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum JobRetention {
+    /// Keep every per-job outcome (exact metrics, O(jobs) memory).
+    #[default]
+    Full,
+    /// Stream outcomes into constant-memory aggregates.
+    Aggregates,
+}
 
 /// Events of the execution loop.
 #[derive(Debug, Clone, Copy)]
@@ -114,8 +137,13 @@ pub(crate) struct HedgePending {
 pub(crate) struct RunCtx<'a> {
     env: &'a Environment,
     deployments: &'a [Deployment],
-    /// Per-deployment site-preference chain (primary first).
-    chains: &'a [Vec<SiteId>],
+    /// Per-deployment site-preference chain (primary first), interned to
+    /// registry tokens once at run start: every hot-path site access is
+    /// an array index, with the string [`SiteId`]s re-materialised only
+    /// for RNG key material and fault classification.
+    chains: &'a [Vec<SiteToken>],
+    /// The interned device site, for per-member device execution.
+    device: SiteToken,
     jobs: &'a [Job],
     batches: &'a [Batch],
     dispatched_at: &'a [SimTime],
@@ -168,7 +196,7 @@ pub struct RunScratch {
     jobs: Vec<Job>,
     deployments: Vec<Deployment>,
     deployment_of: HashMap<Archetype, usize>,
-    chains: Vec<Vec<SiteId>>,
+    chains: Vec<Vec<SiteToken>>,
     batches: Vec<Batch>,
     member_pool: Vec<Vec<usize>>,
     batch_key: HashMap<(usize, SimTime), usize>,
@@ -259,6 +287,25 @@ impl Engine {
         horizon: SimDuration,
         scratch: &mut RunScratch,
     ) -> RunResult {
+        self.run_retained(seed, policy, specs, horizon, scratch, JobRetention::Full)
+    }
+
+    /// [`run_seeded`](Self::run_seeded) with an explicit [`JobRetention`]
+    /// mode. `Full` is exactly `run_seeded`; `Aggregates` runs the same
+    /// simulation (same RNG draws, same event sequence) but streams job
+    /// outcomes into constant-memory [`RunAggregates`]
+    /// (`RunResult::aggregates`) instead of retaining `RunResult::jobs`.
+    ///
+    /// [`RunAggregates`]: crate::report::RunAggregates
+    pub fn run_retained(
+        &self,
+        seed: u64,
+        policy: &OffloadPolicy,
+        specs: &[StreamSpec],
+        horizon: SimDuration,
+        scratch: &mut RunScratch,
+        retention: JobRetention,
+    ) -> RunResult {
         let rng = RngStream::root(seed).derive("engine");
         generate_jobs_into(specs, horizon, &rng.derive("jobs"), &mut scratch.jobs);
 
@@ -288,7 +335,13 @@ impl Engine {
         scratch.health.reset(policy.health(), &sites);
         scratch.hedges.clear();
         scratch.chains.clear();
-        scratch.chains.extend(scratch.deployments.iter().map(Deployment::resolved_chain));
+        scratch.chains.extend(
+            scratch
+                .deployments
+                .iter()
+                .map(|d| d.resolved_chain().iter().map(|id| sites.token_of(id)).collect()),
+        );
+        let device = sites.token_of(&SiteId::device());
         scratch.sim.reset();
         execute::provision_deployments(
             &scratch.deployments,
@@ -322,7 +375,7 @@ impl Engine {
                 .expect("dispatch scheduled from t=0");
         }
         scratch.states.reset(&scratch.deployments, &scratch.batches);
-        scratch.acct.reset(scratch.jobs.len());
+        scratch.acct.reset(scratch.jobs.len(), retention);
 
         // --- The loop. ---
         let work_rng = rng.derive("work");
@@ -331,6 +384,7 @@ impl Engine {
             env: &self.env,
             deployments: &scratch.deployments,
             chains: &scratch.chains,
+            device,
             jobs: &scratch.jobs,
             batches: &scratch.batches,
             dispatched_at: &scratch.dispatched_at,

@@ -9,11 +9,11 @@ use ntc_simcore::rng::RngStream;
 use ntc_simcore::timeseries::TimeSeries;
 use ntc_simcore::units::{DataSize, Energy, Money, SimDuration, SimTime};
 
-use super::{BatchStates, RunCtx};
+use super::{BatchStates, JobRetention, RunCtx};
 use crate::environment::Environment;
 use crate::policy::OffloadPolicy;
-use crate::report::{JobResult, OverloadStats, RunResult};
-use crate::site::{SiteId, SiteRegistry};
+use crate::report::{JobResult, OverloadStats, RunAggregates, RunResult};
+use crate::site::SiteRegistry;
 
 /// The run's per-site health ledger: one [`SiteHealth`] per registered
 /// site, in registry (fallback-rank) order. Empty — and never consulted
@@ -57,20 +57,12 @@ impl HealthMap {
         &self.cfg
     }
 
-    /// Index of `id` in the per-site vector.
+    /// The health record at `idx`.
     ///
-    /// # Panics
-    ///
-    /// Panics when the map is disabled or the site is unregistered —
-    /// callers must gate on [`enabled`](Self::enabled) first.
-    pub(crate) fn index_of(&self, id: &SiteId) -> usize {
-        self.sites
-            .iter()
-            .position(|h| h.site() == id.as_str())
-            .unwrap_or_else(|| panic!("no site health tracked for '{id}'"))
-    }
-
-    /// The health record at `idx` (from [`index_of`](Self::index_of)).
+    /// Health slots share the registry's fallback-rank order — both are
+    /// built by iterating the registry — so a
+    /// [`SiteToken`](crate::site::SiteToken)'s `index()` addresses its
+    /// site's health directly; no string scan.
     pub(crate) fn site(&self, idx: usize) -> &SiteHealth {
         &self.sites[idx]
     }
@@ -98,8 +90,36 @@ impl HealthMap {
     }
 
     /// Breaker transitions per site over the run, keyed by site name.
+    /// Counting happens in the token-indexed ledger during the run; site
+    /// names are materialised here once, at report build.
     fn transitions_by_site(&self) -> BTreeMap<String, u32> {
         self.sites.iter().map(|h| (h.site().to_string(), h.transitions())).collect()
+    }
+}
+
+/// The streaming sink for `JobRetention::Aggregates` runs: folds every
+/// [`JobResult`] into [`RunAggregates`] plus the completions time
+/// series at record time, so no per-job state outlives the recording
+/// call and run memory stays O(1) in the job count.
+#[derive(Debug)]
+pub(crate) struct RunAccumulator {
+    aggregates: RunAggregates,
+    completions: TimeSeries,
+}
+
+impl RunAccumulator {
+    fn new() -> Self {
+        RunAccumulator {
+            aggregates: RunAggregates::default(),
+            completions: TimeSeries::new(SimDuration::from_hours(1)),
+        }
+    }
+
+    /// Folds one job outcome in. Failed jobs mark the completions
+    /// series too, exactly as `Full` assembly counts them.
+    fn record(&mut self, r: &JobResult) {
+        self.aggregates.record(r);
+        self.completions.mark(r.finish);
     }
 }
 
@@ -108,6 +128,9 @@ impl HealthMap {
 #[derive(Debug, Default)]
 pub(crate) struct Accounting {
     pub results: Vec<Option<JobResult>>,
+    /// Streaming sink, present only under `JobRetention::Aggregates`
+    /// (in which case `results` stays empty).
+    accumulator: Option<RunAccumulator>,
     pub device_energy: Energy,
     pub bytes_up: DataSize,
     pub bytes_down: DataSize,
@@ -128,11 +151,20 @@ pub(crate) struct Accounting {
 }
 
 impl Accounting {
-    /// Re-initialises for a run over `jobs` jobs, reusing the result
-    /// buffer's capacity.
-    pub(crate) fn reset(&mut self, jobs: usize) {
+    /// Re-initialises for a run over `jobs` jobs. `Full` retention
+    /// reuses the result buffer's capacity; `Aggregates` leaves it
+    /// empty and installs a fresh streaming accumulator instead.
+    pub(crate) fn reset(&mut self, jobs: usize, retention: JobRetention) {
         self.results.clear();
-        self.results.resize(jobs, None);
+        match retention {
+            JobRetention::Full => {
+                self.results.resize(jobs, None);
+                self.accumulator = None;
+            }
+            JobRetention::Aggregates => {
+                self.accumulator = Some(RunAccumulator::new());
+            }
+        }
         self.device_energy = Energy::ZERO;
         self.bytes_up = DataSize::ZERO;
         self.bytes_down = DataSize::ZERO;
@@ -143,6 +175,16 @@ impl Accounting {
         self.hedges_won = 0;
         self.hedges_lost = 0;
         self.hedge_cancelled = 0;
+    }
+
+    /// Routes one job's final outcome to the retention mode's sink: the
+    /// per-job vector under `Full`, the streaming accumulator under
+    /// `Aggregates`.
+    pub(crate) fn record(&mut self, ji: usize, r: JobResult) {
+        match &mut self.accumulator {
+            Some(acc) => acc.record(&r),
+            None => self.results[ji] = Some(r),
+        }
     }
 
     /// Closes the books: drains every site's bill and assembles the
@@ -158,10 +200,19 @@ impl Accounting {
         sites: &mut SiteRegistry,
         health: &HealthMap,
     ) -> RunResult {
-        let mut completions_per_hour = TimeSeries::new(SimDuration::from_hours(1));
-        for r in self.results.iter().flatten() {
-            completions_per_hour.mark(r.finish);
-        }
+        let (jobs, completions_per_hour, aggregates) = match self.accumulator.take() {
+            Some(mut acc) => {
+                acc.aggregates.finalize();
+                (Vec::new(), acc.completions, Some(acc.aggregates))
+            }
+            None => {
+                let mut completions = TimeSeries::new(SimDuration::from_hours(1));
+                for r in self.results.iter().flatten() {
+                    completions.mark(r.finish);
+                }
+                (self.results.drain(..).flatten().collect(), completions, None)
+            }
+        };
 
         let end = now.max(horizon_end);
         let mut cloud_cost = Money::ZERO;
@@ -180,7 +231,7 @@ impl Accounting {
 
         RunResult {
             policy: policy.name(),
-            jobs: self.results.drain(..).flatten().collect(),
+            jobs,
             cloud_cost,
             edge_cost,
             device_energy: self.device_energy,
@@ -199,6 +250,7 @@ impl Accounting {
                 hedge_cancelled: self.hedge_cancelled,
                 breaker_transitions: health.transitions_by_site(),
             }),
+            aggregates,
         }
     }
 }
@@ -220,19 +272,22 @@ pub(crate) fn record_exit(
         let attempts = states.attempts[comps.clone()].iter().copied().max().unwrap_or(0).max(1);
         let backoff = states.backoff[comps].iter().copied().max().unwrap_or(SimDuration::ZERO);
         for &ji in &ctx.batches[bi].members {
-            acct.results[ji] = Some(JobResult {
-                id: ctx.jobs[ji].id,
-                archetype: ctx.jobs[ji].archetype,
-                arrival: ctx.jobs[ji].arrival,
-                dispatched: ctx.dispatched_at[ji],
-                finish: states.finish[bi],
-                deadline: ctx.jobs[ji].deadline(),
-                failed: false,
-                attempts,
-                backoff,
-                fallbacks: states.fallbacks[bi],
-                cause: None,
-            });
+            acct.record(
+                ji,
+                JobResult {
+                    id: ctx.jobs[ji].id,
+                    archetype: ctx.jobs[ji].archetype,
+                    arrival: ctx.jobs[ji].arrival,
+                    dispatched: ctx.dispatched_at[ji],
+                    finish: states.finish[bi],
+                    deadline: ctx.jobs[ji].deadline(),
+                    failed: false,
+                    attempts,
+                    backoff,
+                    fallbacks: states.fallbacks[bi],
+                    cause: None,
+                },
+            );
         }
     }
 }
@@ -257,18 +312,21 @@ pub(crate) fn fail_batch(
     let backoff = states.backoff[comps].iter().copied().max().unwrap_or(SimDuration::ZERO);
     let fallbacks = states.fallbacks[bi];
     for &ji in &ctx.batches[bi].members {
-        acct.results[ji] = Some(JobResult {
-            id: ctx.jobs[ji].id,
-            archetype: ctx.jobs[ji].archetype,
-            arrival: ctx.jobs[ji].arrival,
-            dispatched: ctx.dispatched_at[ji],
-            finish: t,
-            deadline: ctx.jobs[ji].deadline(),
-            failed: true,
-            attempts,
-            backoff,
-            fallbacks,
-            cause: Some(cause),
-        });
+        acct.record(
+            ji,
+            JobResult {
+                id: ctx.jobs[ji].id,
+                archetype: ctx.jobs[ji].archetype,
+                arrival: ctx.jobs[ji].arrival,
+                dispatched: ctx.dispatched_at[ji],
+                finish: t,
+                deadline: ctx.jobs[ji].deadline(),
+                failed: true,
+                attempts,
+                backoff,
+                fallbacks,
+                cause: Some(cause),
+            },
+        );
     }
 }

@@ -172,13 +172,13 @@ pub(crate) fn admission_verdict(
     }
     let chain = &ctx.chains[b.di];
     let pos = states.chain_pos[bi];
-    let site = sites.get(&chain[pos]);
+    let site = sites.site(chain[pos]);
     if !site.is_remote() {
         // The device is the terminal site: it scales per member and is
         // never overloaded.
         return Verdict::Admit;
     }
-    let h = health.site(health.index_of(site.id()));
+    let h = health.site(chain[pos].index());
     let wait = h.queue_delay(site.concurrency_hint());
     let margin = ctx.env.completion_margin;
     let min_deadline =

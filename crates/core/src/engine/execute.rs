@@ -15,7 +15,7 @@ use ntc_workloads::Job;
 use super::admission::NO_SITE;
 use super::{recovery, Ev, HedgePending, RunCtx, RunState};
 use crate::deploy::Deployment;
-use crate::site::{InvokeRequest, SiteId, SiteOutcome, SiteRegistry, SiteRole};
+use crate::site::{InvokeRequest, SiteOutcome, SiteRegistry, SiteRole, SiteToken};
 
 /// Provisions every deployment's offloaded components on every remote
 /// site of its preference chain: the primary hosts the live functions or
@@ -23,16 +23,16 @@ use crate::site::{InvokeRequest, SiteId, SiteOutcome, SiteRegistry, SiteRole};
 /// can re-route mid-run. Returns keep-warm pings via the event queue.
 pub(crate) fn provision_deployments(
     deployments: &[Deployment],
-    chains: &[Vec<SiteId>],
+    chains: &[Vec<SiteToken>],
     sites: &mut SiteRegistry,
     sim: &mut Simulator<Ev>,
 ) {
     for (di, d) in deployments.iter().enumerate() {
         let chain = &chains[di];
-        sites.get_mut(&chain[0]).attach();
+        sites.site_mut(chain[0]).attach();
         for comp in d.plan.offloaded() {
-            for (ci, sid) in chain.iter().enumerate() {
-                let site = sites.get_mut(sid);
+            for (ci, &tok) in chain.iter().enumerate() {
+                let site = sites.site_mut(tok);
                 if !site.is_remote() {
                     continue;
                 }
@@ -56,7 +56,7 @@ pub(crate) fn handle_ping(
     period: SimDuration,
 ) {
     if t <= ctx.horizon_end {
-        sites.get_mut(&ctx.chains[di][0]).keep_warm(t, di, comp);
+        sites.site_mut(ctx.chains[di][0]).keep_warm(t, di, comp);
         sim.schedule_after(period, Ev::Ping(di, comp, period));
     }
 }
@@ -94,7 +94,7 @@ pub(crate) fn handle_exec(
             }
         }
     }
-    let degraded = ctx.local_override[bi] || !sites.get(&chain[pos]).is_remote();
+    let degraded = ctx.local_override[bi] || !sites.site(chain[pos]).is_remote();
     let side = if degraded { Side::Device } else { d.plan.side(comp) };
     let cix = st.states.ix(bi, comp);
     st.states.exec_side[cix] = side;
@@ -114,10 +114,8 @@ pub(crate) fn handle_exec(
                 member_works: st.member_works.as_slice(),
                 device: &ctx.env.device,
             };
-            let inv = sites
-                .get_mut(&SiteId::device())
-                .invoke(&req)
-                .expect("device execution cannot fail");
+            let inv =
+                sites.site_mut(ctx.device).invoke(&req).expect("device execution cannot fail");
             st.acct.device_energy += inv.device_energy;
             sim.schedule_at(inv.finish, Ev::Done(bi, comp)).expect("future");
         }
@@ -130,11 +128,14 @@ pub(crate) fn handle_exec(
             let work = Cycles::new((annotated.get() as f64 * noise).round() as u64);
             st.states.attempts[cix] += 1;
             let attempt = st.states.attempts[cix];
-            let site_id = &chain[pos];
+            let tok = chain[pos];
             // Fault-free plans answer every key with "no fault", so the
             // key string is only materialised when faults are configured.
+            // The site's *string* id goes into the key — its spelling is
+            // part of the reproducibility contract.
             let fault = if ctx.faults.has_invocation_faults() {
                 let first = ctx.jobs[b.members[0]].id;
+                let site_id = sites.site(tok).id();
                 st.key_buf.clear();
                 write!(st.key_buf, "{first}-{comp}-{site_id}-a{attempt}").expect("string write");
                 ctx.faults.invocation_fault(st.key_buf.as_str())
@@ -144,7 +145,7 @@ pub(crate) fn handle_exec(
             let outcome: SiteOutcome = if let Some(fault) = fault {
                 Err(classify_injected(fault))
             } else {
-                let site = sites.get_mut(site_id);
+                let site = sites.site_mut(tok);
                 match classify_outage(site.id().as_str(), site.outage(ctx.faults, t)) {
                     Some(err) => Err(err),
                     None => site.invoke(&InvokeRequest {
@@ -161,7 +162,7 @@ pub(crate) fn handle_exec(
                 Ok(inv) => {
                     st.acct.device_energy += inv.device_energy;
                     if st.health.enabled() {
-                        let idx = st.health.index_of(site_id);
+                        let idx = tok.index();
                         st.health.site_mut(idx).enter();
                         st.states.inflight_site[cix] = idx as u8;
                         let latency = inv.finish.saturating_duration_since(t);
@@ -191,8 +192,7 @@ pub(crate) fn handle_exec(
                 }
                 Err((class, cause)) => {
                     if st.health.enabled() {
-                        let idx = st.health.index_of(site_id);
-                        st.health.observe_failure(idx, t, &st.health_rng, cause);
+                        st.health.observe_failure(tok.index(), t, &st.health_rng, cause);
                     }
                     recovery::recover(ctx, sites, st, sim, t, bi, comp, class, cause);
                 }
@@ -217,12 +217,11 @@ fn breaker_site(
     let di = ctx.batches[bi].di;
     let chain = &ctx.chains[di];
     (pos..chain.len()).find(|&i| {
-        let site = sites.get(&chain[i]);
-        if i > pos && !site.can_serve(di, comp) {
+        let tok = chain[i];
+        if i > pos && !sites.site(tok).can_serve(di, comp) {
             return false;
         }
-        let idx = st.health.index_of(site.id());
-        st.health.site_mut(idx).check(t) != Admission::Unavailable
+        st.health.site_mut(tok.index()).check(t) != Admission::Unavailable
     })
 }
 
@@ -239,7 +238,7 @@ fn hedge_candidate_exists(
     let di = ctx.batches[bi].di;
     let chain = &ctx.chains[di];
     (pos + 1..chain.len()).any(|i| {
-        let site = sites.get(&chain[i]);
+        let site = sites.site(chain[i]);
         site.is_remote() && site.can_serve(di, comp)
     })
 }
@@ -275,12 +274,13 @@ pub(crate) fn handle_hedge_fire(
     // The duplicate goes to the first breaker-admitting remote site
     // strictly past the primary's position.
     let target = (pending.from_pos + 1..chain.len()).find_map(|i| {
-        let site = sites.get(&chain[i]);
+        let tok = chain[i];
+        let site = sites.site(tok);
         if !site.is_remote() || !site.can_serve(b.di, comp) {
             return None;
         }
-        let idx = st.health.index_of(site.id());
-        (st.health.site_mut(idx).check(t) != Admission::Unavailable).then_some((i, idx))
+        (st.health.site_mut(tok.index()).check(t) != Admission::Unavailable)
+            .then_some((i, tok.index()))
     });
     let Some((target_pos, target_idx)) = target else {
         // Nobody healthy to race against: the primary wins by default.
@@ -297,9 +297,10 @@ pub(crate) fn handle_hedge_fire(
     let annotated =
         d.graph.component(comp).batch_demand_cycles(b.members.len() as u64, b.sum_input);
     let work = Cycles::new((annotated.get() as f64 * noise).round() as u64);
-    let site_id = &chain[target_pos];
+    let tok = chain[target_pos];
     let fault = if ctx.faults.has_invocation_faults() {
         let first = ctx.jobs[b.members[0]].id;
+        let site_id = sites.site(tok).id();
         st.key_buf.clear();
         write!(st.key_buf, "{first}-{comp}-{site_id}-hedge").expect("string write");
         ctx.faults.invocation_fault(st.key_buf.as_str())
@@ -309,7 +310,7 @@ pub(crate) fn handle_hedge_fire(
     let outcome: SiteOutcome = if let Some(fault) = fault {
         Err(classify_injected(fault))
     } else {
-        let site = sites.get_mut(site_id);
+        let site = sites.site_mut(tok);
         match classify_outage(site.id().as_str(), site.outage(ctx.faults, t)) {
             Some(err) => Err(err),
             None => site.invoke(&InvokeRequest {

@@ -95,14 +95,11 @@ pub(crate) fn fall_back_or_fail(
     let di = ctx.batches[bi].di;
     let chain = &ctx.chains[di];
     let pos = st.states.chain_pos[bi];
-    let serves = |i: &usize| sites.get(&chain[*i]).can_serve(di, comp);
+    let serves = |i: &usize| sites.site(chain[*i]).can_serve(di, comp);
     let next = if st.health.breakers() {
         (pos + 1..chain.len())
             .filter(&serves)
-            .find(|&i| {
-                let idx = st.health.index_of(sites.get(&chain[i]).id());
-                st.health.site_mut(idx).check(t) != Admission::Unavailable
-            })
+            .find(|&i| st.health.site_mut(chain[i].index()).check(t) != Admission::Unavailable)
             .or_else(|| (pos + 1..chain.len()).find(&serves))
     } else {
         (pos + 1..chain.len()).find(&serves)

@@ -195,6 +195,97 @@ fn different_seeds_differ() {
     assert_ne!(a.jobs, b.jobs);
 }
 
+// --- Job retention modes. ---
+
+#[test]
+fn aggregates_retention_matches_full_metrics() {
+    use crate::engine::{JobRetention, RunScratch};
+    let e = Engine::new(faulty_env(0.10), 7);
+    let specs = photo_specs(0.02);
+    let horizon = SimDuration::from_hours(2);
+    let mut scratch = RunScratch::new();
+    for policy in [OffloadPolicy::CloudAll, OffloadPolicy::EdgeAll, OffloadPolicy::ntc()] {
+        let full = e.run_seeded(7, &policy, &specs, horizon, &mut scratch);
+        let agg =
+            e.run_retained(7, &policy, &specs, horizon, &mut scratch, JobRetention::Aggregates);
+        assert!(agg.jobs.is_empty(), "{policy}: aggregates mode must not retain jobs");
+        assert!(agg.aggregates.is_some(), "{policy}: aggregates missing");
+        assert!(full.aggregates.is_none(), "{policy}: full mode must not aggregate");
+        // Counts, totals and rates are exact in both modes.
+        assert_eq!(agg.job_count(), full.job_count(), "{policy}");
+        assert_eq!(agg.deadline_misses(), full.deadline_misses(), "{policy}");
+        assert_eq!(agg.miss_rate(), full.miss_rate(), "{policy}");
+        assert_eq!(agg.goodput_per_hour(), full.goodput_per_hour(), "{policy}");
+        assert_eq!(agg.failures(), full.failures(), "{policy}");
+        assert_eq!(agg.total_attempts(), full.total_attempts(), "{policy}");
+        assert_eq!(agg.total_retries(), full.total_retries(), "{policy}");
+        assert_eq!(agg.total_backoff(), full.total_backoff(), "{policy}");
+        assert_eq!(agg.total_fallbacks(), full.total_fallbacks(), "{policy}");
+        assert_eq!(agg.failure_causes(), full.failure_causes(), "{policy}");
+        // The simulation itself is untouched by retention.
+        assert_eq!(agg.cloud_cost, full.cloud_cost, "{policy}");
+        assert_eq!(agg.edge_cost, full.edge_cost, "{policy}");
+        assert_eq!(agg.device_energy, full.device_energy, "{policy}");
+        assert_eq!(agg.bytes_up, full.bytes_up, "{policy}");
+        assert_eq!(agg.bytes_down, full.bytes_down, "{policy}");
+        assert_eq!(agg.completions_per_hour, full.completions_per_hour, "{policy}");
+        // Latency: count/min/max exact, mean to fp accumulation-order
+        // tolerance, percentiles within the histogram's bound.
+        let fs = full.latency_summary().unwrap();
+        let as_ = agg.latency_summary().unwrap();
+        assert_eq!(as_.count, fs.count, "{policy}");
+        assert!((as_.mean - fs.mean).abs() <= 1e-9 * fs.mean.abs(), "{policy}");
+        assert!((as_.min - fs.min).abs() < 1e-9, "{policy}");
+        assert!((as_.max - fs.max).abs() < 1e-9, "{policy}");
+        // Percentiles: the digest reports a bucket upper bound on the
+        // rank-ceil order statistic, so check the documented bound
+        // against the exact order statistics of the retained jobs.
+        let bound = 1.0 + ntc_simcore::metrics::Histogram::RELATIVE_ERROR_BOUND;
+        let mut lats: Vec<f64> = full.jobs.iter().map(|j| j.latency().as_secs_f64()).collect();
+        lats.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (q, a) in [(0.50, as_.p50), (0.95, as_.p95), (0.99, as_.p99)] {
+            let k = ((q * lats.len() as f64).ceil() as usize).max(1);
+            let exact = lats[k - 1];
+            assert!(
+                a + 1e-9 >= exact && a <= exact * bound + 1e-9,
+                "{policy}: q={q} digest {a} outside bound around exact {exact}"
+            );
+        }
+        // Per-archetype breakdowns agree on counts.
+        let fb = full.by_archetype();
+        let ab = agg.by_archetype();
+        assert_eq!(fb.len(), ab.len(), "{policy}");
+        for (f, a) in fb.iter().zip(&ab) {
+            assert_eq!(f.archetype, a.archetype, "{policy}");
+            assert_eq!(f.jobs, a.jobs, "{policy}");
+            assert_eq!(f.misses, a.misses, "{policy}");
+            assert_eq!(f.failures, a.failures, "{policy}");
+            assert!((f.mean_hold_s - a.mean_hold_s).abs() <= 1e-9, "{policy}");
+        }
+    }
+}
+
+#[test]
+fn aggregates_retention_does_not_perturb_subsequent_full_runs() {
+    use crate::engine::{JobRetention, RunScratch};
+    let e = engine();
+    let specs = photo_specs(0.02);
+    let horizon = SimDuration::from_hours(1);
+    let baseline = e.run(&OffloadPolicy::ntc(), &specs, horizon);
+    let mut scratch = RunScratch::new();
+    let _ = e.run_retained(
+        7,
+        &OffloadPolicy::ntc(),
+        &specs,
+        horizon,
+        &mut scratch,
+        JobRetention::Aggregates,
+    );
+    let after = e.run_seeded(7, &OffloadPolicy::ntc(), &specs, horizon, &mut scratch);
+    assert_eq!(after.jobs, baseline.jobs, "scratch reuse across retention modes must be inert");
+    assert_eq!(after.cloud_cost, baseline.cloud_cost);
+}
+
 // --- Fault injection and recovery. ---
 
 fn faulty_env(rate: f64) -> Environment {

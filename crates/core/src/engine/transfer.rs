@@ -14,17 +14,22 @@ use ntc_taskgraph::ComponentId;
 
 use super::admission::{self, Verdict, NO_SITE};
 use super::{accounting, Ev, RunCtx, RunState};
-use crate::site::{SiteId, SiteRegistry};
+use crate::site::{ExecutionSite, SiteRegistry, SiteToken};
 
 /// The site whose network paths carry this batch's offloaded traffic: the
 /// last *remote* site at or before the batch's chain position. After a
 /// last-resort degrade to device, in-flight remote outputs still route
 /// over the site they were produced on.
-fn offload_site(chain: &[SiteId], pos: usize) -> &SiteId {
+fn offload_site<'s>(
+    sites: &'s SiteRegistry,
+    chain: &[SiteToken],
+    pos: usize,
+) -> &'s dyn ExecutionSite {
     chain[..=pos]
         .iter()
         .rev()
-        .find(|s| s.as_str() != "device")
+        .map(|&tok| sites.site(tok))
+        .find(|s| s.is_remote())
         .expect("site chains start at a remote site")
 }
 
@@ -84,7 +89,7 @@ pub(crate) fn handle_dispatch(
     let d = &ctx.deployments[b.di];
     // The upload targets the batch's *current* chain site: identical to
     // the primary unless admission control shed the batch above.
-    let primary = sites.get(offload_site(&ctx.chains[b.di], states.chain_pos[bi]));
+    let primary = offload_site(sites, &ctx.chains[b.di], states.chain_pos[bi]);
     for c in d.graph.entries() {
         let side = if ctx.local_override[bi] { Side::Device } else { d.plan.side(c) };
         let ready = match side {
@@ -140,8 +145,8 @@ pub(crate) fn handle_done(
     // What the component actually ran on (it may have fallen back
     // mid-graph), and where offloaded work now runs.
     let from_side = states.exec_side[states.ix(bi, comp)];
-    let eff = sites.get(offload_site(chain, pos));
-    let degraded = ctx.local_override[bi] || !sites.get(&chain[pos]).is_remote();
+    let eff = offload_site(sites, chain, pos);
+    let degraded = ctx.local_override[bi] || !sites.site(chain[pos]).is_remote();
 
     // Propagate data to successors.
     for f in d.graph.flows_from(comp) {

@@ -57,15 +57,18 @@ pub mod site;
 
 pub use deploy::{deploy, Deployment};
 pub use device::DeviceModel;
-pub use engine::{Engine, RunScratch};
+pub use engine::{Engine, JobRetention, RunScratch};
 pub use environment::Environment;
 pub use ntc_faults::{FailureCause, FaultConfig, HealthConfig, RetryBudget, RetryPolicy};
 pub use policy::{Backend, NtcConfig, OffloadPolicy};
-pub use report::{JobResult, OverloadStats, RunResult};
+pub use report::{
+    ArchetypeAggregate, ArchetypeBreakdown, CauseCount, JobResult, LatencyDigest, OverloadStats,
+    RunAggregates, RunResult,
+};
 pub use runner::{
     across, default_threads, run_replications, run_sweep, run_sweep_with, MetricSummary,
 };
 pub use site::{
     CloudSite, DeviceSite, EdgeSite, ExecutionSite, InvokeRequest, Invoked, SiteId, SiteOutcome,
-    SiteRegistry, SiteRole,
+    SiteRegistry, SiteRole, SiteToken,
 };

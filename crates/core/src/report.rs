@@ -4,7 +4,8 @@
 use std::collections::BTreeMap;
 
 use ntc_faults::FailureCause;
-use ntc_simcore::stats::Summary;
+use ntc_simcore::metrics::Histogram;
+use ntc_simcore::stats::{Summary, Welford};
 use ntc_simcore::timeseries::TimeSeries;
 use ntc_simcore::units::{DataSize, Energy, Money, SimDuration, SimTime};
 use ntc_workloads::Archetype;
@@ -53,12 +54,185 @@ impl JobResult {
     }
 }
 
+/// A constant-memory latency sketch: exact first/second moments
+/// (Welford, in seconds) plus a log-bucketed histogram (microseconds)
+/// for quantiles with relative error below
+/// [`Histogram::RELATIVE_ERROR_BOUND`] (< 1/32 ≈ 3.1%). Count, mean,
+/// min and max are exact; only p50/p95/p99 carry the bucket error.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LatencyDigest {
+    /// Exact streaming mean/variance of the latency, in seconds.
+    pub moments: Welford,
+    /// Log-bucketed latency histogram over microseconds.
+    pub histogram: Histogram,
+}
+
+impl LatencyDigest {
+    /// Folds one latency observation into the digest.
+    pub fn observe(&mut self, latency: SimDuration) {
+        self.moments.record(latency.as_secs_f64());
+        self.histogram.record_duration(latency);
+    }
+
+    /// A [`Summary`] in seconds served from the sketch, or `None` if
+    /// empty. Count, mean, min and max are exact; the percentiles are
+    /// histogram bucket upper bounds (never underestimates, within the
+    /// documented bound).
+    pub fn summary(&self) -> Option<Summary> {
+        if self.moments.count() == 0 {
+            return None;
+        }
+        let q = |p: f64| self.histogram.value_at_quantile(p) as f64 / 1e6;
+        Some(Summary {
+            count: self.moments.count(),
+            mean: self.moments.mean(),
+            min: self.histogram.min().unwrap_or(0) as f64 / 1e6,
+            p50: q(0.50),
+            p95: q(0.95),
+            p99: q(0.99),
+            max: self.histogram.max().unwrap_or(0) as f64 / 1e6,
+        })
+    }
+}
+
+/// One failure cause's lost-job count (named struct rather than a map so
+/// the entry order is an explicit, committed part of the report format).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CauseCount {
+    /// The failure cause.
+    pub cause: FailureCause,
+    /// Jobs lost to it.
+    pub count: u64,
+}
+
+/// One archetype's streaming aggregate within [`RunAggregates`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ArchetypeAggregate {
+    /// The application.
+    pub archetype: Archetype,
+    /// Jobs of this archetype.
+    pub jobs: u64,
+    /// Deadline misses (including failures).
+    pub misses: u64,
+    /// Platform failures.
+    pub failures: u64,
+    /// Streaming latency sketch.
+    pub latency: LatencyDigest,
+    /// Total deliberate hold before dispatch, in seconds (divide by
+    /// `jobs` for the mean).
+    pub hold_s: f64,
+}
+
+/// Streaming whole-run aggregates: everything the per-job methods of
+/// [`RunResult`] derive from `jobs`, folded in one pass at result-record
+/// time with O(1) memory in the job count.
+///
+/// Present on a [`RunResult`] exactly when the run used
+/// `JobRetention::Aggregates`; the report methods transparently serve
+/// from it when the per-job vector is empty. Counts, rates, means and
+/// totals are exact; latency percentiles carry the histogram's
+/// documented error bound.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunAggregates {
+    /// Total jobs.
+    pub jobs: u64,
+    /// Jobs that missed their deadline or failed.
+    pub deadline_misses: u64,
+    /// Jobs lost to platform failures.
+    pub failures: u64,
+    /// Total execution attempts (≥ the job count).
+    pub total_attempts: u64,
+    /// Total retry-backoff wait.
+    pub total_backoff: SimDuration,
+    /// Total backend fallback switches.
+    pub total_fallbacks: u64,
+    /// Lost-job counts per failure cause, sorted by cause name.
+    pub failure_causes: Vec<CauseCount>,
+    /// Whole-run latency sketch.
+    pub latency: LatencyDigest,
+    /// Per-archetype aggregates, sorted by archetype name.
+    pub by_archetype: Vec<ArchetypeAggregate>,
+}
+
+impl RunAggregates {
+    /// Folds one job outcome into the aggregates. The few-element cause
+    /// and archetype tables use linear probes — both are bounded by the
+    /// enum sizes, not the job count.
+    pub fn record(&mut self, r: &JobResult) {
+        self.jobs += 1;
+        if !r.met_deadline() {
+            self.deadline_misses += 1;
+        }
+        if r.failed {
+            self.failures += 1;
+        }
+        self.total_attempts += u64::from(r.attempts);
+        self.total_backoff += r.backoff;
+        self.total_fallbacks += u64::from(r.fallbacks);
+        if let Some(c) = r.cause {
+            match self.failure_causes.iter_mut().find(|e| e.cause.name() == c.name()) {
+                Some(e) => e.count += 1,
+                None => self.failure_causes.push(CauseCount { cause: c, count: 1 }),
+            }
+        }
+        self.latency.observe(r.latency());
+        let hold = (r.dispatched - r.arrival).as_secs_f64();
+        let slot = match self.by_archetype.iter_mut().find(|a| a.archetype == r.archetype) {
+            Some(a) => a,
+            None => {
+                self.by_archetype.push(ArchetypeAggregate {
+                    archetype: r.archetype,
+                    jobs: 0,
+                    misses: 0,
+                    failures: 0,
+                    latency: LatencyDigest::default(),
+                    hold_s: 0.0,
+                });
+                self.by_archetype.last_mut().expect("just pushed")
+            }
+        };
+        slot.jobs += 1;
+        if !r.met_deadline() {
+            slot.misses += 1;
+        }
+        if r.failed {
+            slot.failures += 1;
+        }
+        slot.latency.observe(r.latency());
+        slot.hold_s += hold;
+    }
+
+    /// Sorts the cause and archetype tables into their committed name
+    /// order. Call once when the run closes.
+    pub fn finalize(&mut self) {
+        self.failure_causes.sort_by_key(|e| e.cause.name());
+        self.by_archetype.sort_by_key(|a| a.archetype.name());
+    }
+
+    /// The per-archetype breakdown served from the sketch.
+    fn breakdown(&self) -> Vec<ArchetypeBreakdown> {
+        self.by_archetype
+            .iter()
+            .map(|a| ArchetypeBreakdown {
+                archetype: a.archetype,
+                jobs: a.jobs as usize,
+                misses: a.misses,
+                failures: a.failures,
+                latency: a.latency.summary(),
+                mean_hold_s: a.hold_s / a.jobs as f64,
+            })
+            .collect()
+    }
+}
+
 /// Aggregate outcome of one policy over one job stream.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunResult {
     /// The policy that produced this run.
     pub policy: String,
-    /// Per-job outcomes, in arrival order.
+    /// Per-job outcomes, in arrival order. Empty when the run was made
+    /// with `JobRetention::Aggregates`, in which case `aggregates`
+    /// carries the streaming equivalents.
     pub jobs: Vec<JobResult>,
     /// Total serverless bill (invocations + provisioning + warmers).
     pub cloud_cost: Money,
@@ -82,6 +256,11 @@ pub struct RunResult {
     /// byte for byte.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub overload: Option<OverloadStats>,
+    /// Streaming aggregates, present only for `JobRetention::Aggregates`
+    /// runs (where `jobs` is empty); `None` reproduces the legacy
+    /// report byte for byte.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub aggregates: Option<RunAggregates>,
 }
 
 impl RunResult {
@@ -90,17 +269,29 @@ impl RunResult {
         self.cloud_cost + self.edge_cost + self.device_energy_cost
     }
 
+    /// Total jobs in the run, whichever retention mode produced it.
+    pub fn job_count(&self) -> u64 {
+        match &self.aggregates {
+            Some(a) => a.jobs,
+            None => self.jobs.len() as u64,
+        }
+    }
+
     /// Number of jobs that missed their deadline or failed.
     pub fn deadline_misses(&self) -> u64 {
-        self.jobs.iter().filter(|j| !j.met_deadline()).count() as u64
+        match &self.aggregates {
+            Some(a) => a.deadline_misses,
+            None => self.jobs.iter().filter(|j| !j.met_deadline()).count() as u64,
+        }
     }
 
     /// Deadline-miss rate in `[0, 1]`; zero for an empty run.
     pub fn miss_rate(&self) -> f64 {
-        if self.jobs.is_empty() {
+        let jobs = self.job_count();
+        if jobs == 0 {
             0.0
         } else {
-            self.deadline_misses() as f64 / self.jobs.len() as f64
+            self.deadline_misses() as f64 / jobs as f64
         }
     }
 
@@ -112,36 +303,56 @@ impl RunResult {
         if hours <= 0.0 {
             return 0.0;
         }
-        self.jobs.iter().filter(|j| j.met_deadline()).count() as f64 / hours
+        (self.job_count() - self.deadline_misses()) as f64 / hours
     }
 
     /// Number of jobs lost to platform failures.
     pub fn failures(&self) -> u64 {
-        self.jobs.iter().filter(|j| j.failed).count() as u64
+        match &self.aggregates {
+            Some(a) => a.failures,
+            None => self.jobs.iter().filter(|j| j.failed).count() as u64,
+        }
     }
 
     /// Total execution attempts across all jobs (≥ the job count).
     pub fn total_attempts(&self) -> u64 {
-        self.jobs.iter().map(|j| u64::from(j.attempts)).sum()
+        match &self.aggregates {
+            Some(a) => a.total_attempts,
+            None => self.jobs.iter().map(|j| u64::from(j.attempts)).sum(),
+        }
     }
 
     /// Total retries: attempts beyond each job's first.
     pub fn total_retries(&self) -> u64 {
-        self.jobs.iter().map(|j| u64::from(j.attempts.saturating_sub(1))).sum()
+        match &self.aggregates {
+            // Every job records at least one attempt, so the retry total
+            // is exactly the attempts in excess of the job count.
+            Some(a) => a.total_attempts.saturating_sub(a.jobs),
+            None => self.jobs.iter().map(|j| u64::from(j.attempts.saturating_sub(1))).sum(),
+        }
     }
 
     /// Total time jobs spent waiting in retry backoff.
     pub fn total_backoff(&self) -> SimDuration {
-        self.jobs.iter().map(|j| j.backoff).sum()
+        match &self.aggregates {
+            Some(a) => a.total_backoff,
+            None => self.jobs.iter().map(|j| j.backoff).sum(),
+        }
     }
 
     /// Total backend fallback switches across all jobs.
     pub fn total_fallbacks(&self) -> u64 {
-        self.jobs.iter().map(|j| u64::from(j.fallbacks)).sum()
+        match &self.aggregates {
+            Some(a) => a.total_fallbacks,
+            None => self.jobs.iter().map(|j| u64::from(j.fallbacks)).sum(),
+        }
     }
 
     /// Failed-job counts keyed by failure cause name, sorted by name.
     pub fn failure_causes(&self) -> BTreeMap<&'static str, u64> {
+        if let Some(a) = &self.aggregates {
+            return a.failure_causes.iter().map(|e| (e.cause.name(), e.count)).collect();
+        }
         let mut causes = BTreeMap::new();
         for j in &self.jobs {
             if let Some(c) = j.cause {
@@ -151,45 +362,96 @@ impl RunResult {
         causes
     }
 
-    /// Latency summary in seconds, or `None` for an empty run.
+    /// The whole-run latency summary and the per-archetype breakdown,
+    /// computed together from a single sort over the run's latencies
+    /// (or straight from the streaming sketch, with no sort at all).
+    /// Callers that need both should call this once instead of
+    /// [`latency_summary`](Self::latency_summary) plus
+    /// [`by_archetype`](Self::by_archetype), which each redo the work.
+    pub fn metrics(&self) -> (Option<Summary>, Vec<ArchetypeBreakdown>) {
+        if let Some(a) = &self.aggregates {
+            return (a.latency.summary(), a.breakdown());
+        }
+        struct Group {
+            archetype: Archetype,
+            jobs: usize,
+            misses: u64,
+            failures: u64,
+            hold_sum: f64,
+            latencies: Vec<f64>,
+        }
+        // Counters accumulate in arrival order; latencies are distributed
+        // from one globally value-sorted buffer, whose per-group
+        // subsequences are exactly the ascending per-group sorts (ties
+        // are bit-identical f64s), so every Summary field matches the
+        // sort-per-group result bit for bit.
+        let mut groups: BTreeMap<&'static str, Group> = BTreeMap::new();
+        for j in &self.jobs {
+            let g = groups.entry(j.archetype.name()).or_insert_with(|| Group {
+                archetype: j.archetype,
+                jobs: 0,
+                misses: 0,
+                failures: 0,
+                hold_sum: 0.0,
+                latencies: Vec::new(),
+            });
+            g.jobs += 1;
+            if !j.met_deadline() {
+                g.misses += 1;
+            }
+            if j.failed {
+                g.failures += 1;
+            }
+            g.hold_sum += (j.dispatched - j.arrival).as_secs_f64();
+        }
+        let mut tagged: Vec<(f64, &'static str)> =
+            self.jobs.iter().map(|j| (j.latency().as_secs_f64(), j.archetype.name())).collect();
+        tagged.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let sorted: Vec<f64> = tagged.iter().map(|&(v, _)| v).collect();
+        let latency = Summary::of_sorted(&sorted);
+        for &(v, name) in &tagged {
+            groups.get_mut(name).expect("every job has a group").latencies.push(v);
+        }
+        let breakdown = groups
+            .into_values()
+            .map(|g| ArchetypeBreakdown {
+                archetype: g.archetype,
+                jobs: g.jobs,
+                misses: g.misses,
+                failures: g.failures,
+                latency: Summary::of_sorted(&g.latencies),
+                mean_hold_s: g.hold_sum / g.jobs as f64,
+            })
+            .collect();
+        (latency, breakdown)
+    }
+
+    /// Latency summary in seconds, or `None` for an empty run. Exact in
+    /// `Full` retention; percentiles within the histogram bound in
+    /// `Aggregates`.
     pub fn latency_summary(&self) -> Option<Summary> {
+        if let Some(a) = &self.aggregates {
+            return a.latency.summary();
+        }
         let xs: Vec<f64> = self.jobs.iter().map(|j| j.latency().as_secs_f64()).collect();
         Summary::of(&xs)
     }
 
     /// Mean cost per job, or zero for an empty run.
     pub fn cost_per_job(&self) -> Money {
-        if self.jobs.is_empty() {
+        let jobs = self.job_count();
+        if jobs == 0 {
             Money::ZERO
         } else {
-            self.total_cost() / self.jobs.len() as i64
+            self.total_cost() / jobs as i64
         }
     }
 
     /// Per-archetype outcome breakdown, sorted by archetype name.
+    /// Callers that also need [`latency_summary`](Self::latency_summary)
+    /// should use [`metrics`](Self::metrics), which sorts once for both.
     pub fn by_archetype(&self) -> Vec<ArchetypeBreakdown> {
-        let mut groups: BTreeMap<&'static str, Vec<&JobResult>> = BTreeMap::new();
-        for j in &self.jobs {
-            groups.entry(j.archetype.name()).or_default().push(j);
-        }
-        groups
-            .into_values()
-            .map(|js| {
-                let archetype = js[0].archetype;
-                let latencies: Vec<f64> = js.iter().map(|j| j.latency().as_secs_f64()).collect();
-                let holds: f64 =
-                    js.iter().map(|j| (j.dispatched - j.arrival).as_secs_f64()).sum::<f64>()
-                        / js.len() as f64;
-                ArchetypeBreakdown {
-                    archetype,
-                    jobs: js.len(),
-                    misses: js.iter().filter(|j| !j.met_deadline()).count() as u64,
-                    failures: js.iter().filter(|j| j.failed).count() as u64,
-                    latency: Summary::of(&latencies),
-                    mean_hold_s: holds,
-                }
-            })
-            .collect()
+        self.metrics().1
     }
 
     /// Serialises the full result as pretty JSON.
@@ -277,7 +539,21 @@ mod tests {
             completions_per_hour: TimeSeries::new(SimDuration::from_hours(1)),
             horizon: SimDuration::from_hours(1),
             overload: None,
+            aggregates: None,
         }
+    }
+
+    /// The same run served through streaming aggregates instead of the
+    /// per-job vector.
+    fn aggregated(jobs: Vec<JobResult>) -> RunResult {
+        let mut agg = RunAggregates::default();
+        for j in &jobs {
+            agg.record(j);
+        }
+        agg.finalize();
+        let mut r = run(vec![]);
+        r.aggregates = Some(agg);
+        r
     }
 
     #[test]
@@ -379,5 +655,84 @@ mod tests {
         let back: RunResult = serde_json::from_str(&s).unwrap();
         assert_eq!(back.jobs, r.jobs);
         assert_eq!(back.cloud_cost, r.cloud_cost);
+    }
+
+    #[test]
+    fn aggregates_match_full_retention_counters() {
+        let mut jobs = vec![
+            job(0, 0, 10, 20, false), // met
+            job(1, 0, 30, 20, false), // missed
+            job(2, 0, 10, 20, true),  // failed
+        ];
+        jobs[1].attempts = 3;
+        jobs[1].backoff = SimDuration::from_secs(2);
+        jobs[1].fallbacks = 1;
+        jobs.push(JobResult { archetype: Archetype::SciSweep, ..job(3, 0, 5, 50, false) });
+        let full = run(jobs.clone());
+        let agg = aggregated(jobs);
+        assert_eq!(agg.job_count(), full.job_count());
+        assert_eq!(agg.deadline_misses(), full.deadline_misses());
+        assert_eq!(agg.miss_rate(), full.miss_rate());
+        assert_eq!(agg.goodput_per_hour(), full.goodput_per_hour());
+        assert_eq!(agg.failures(), full.failures());
+        assert_eq!(agg.total_attempts(), full.total_attempts());
+        assert_eq!(agg.total_retries(), full.total_retries());
+        assert_eq!(agg.total_backoff(), full.total_backoff());
+        assert_eq!(agg.total_fallbacks(), full.total_fallbacks());
+        assert_eq!(agg.failure_causes(), full.failure_causes());
+        assert_eq!(agg.cost_per_job(), full.cost_per_job());
+        let (fs, fb) = full.metrics();
+        let (as_, ab) = agg.metrics();
+        let (fs, as_) = (fs.unwrap(), as_.unwrap());
+        assert_eq!(as_.count, fs.count);
+        assert!((as_.mean - fs.mean).abs() <= 1e-9 * fs.mean.abs());
+        assert_eq!(as_.min, fs.min);
+        assert_eq!(as_.max, fs.max);
+        assert_eq!(ab.len(), fb.len());
+        for (a, f) in ab.iter().zip(&fb) {
+            assert_eq!(a.archetype, f.archetype);
+            assert_eq!(a.jobs, f.jobs);
+            assert_eq!(a.misses, f.misses);
+            assert_eq!(a.failures, f.failures);
+            assert_eq!(a.mean_hold_s, f.mean_hold_s);
+        }
+    }
+
+    #[test]
+    fn digest_quantiles_stay_within_documented_bound() {
+        let mut d = LatencyDigest::default();
+        let mut xs = Vec::new();
+        for i in 0..5_000u64 {
+            let us = 1_000 + i * 977;
+            d.observe(SimDuration::from_micros(us));
+            xs.push(us as f64 / 1e6);
+        }
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let s = d.summary().unwrap();
+        assert_eq!(s.count, 5_000);
+        assert_eq!(s.min, xs[0]);
+        assert_eq!(s.max, *xs.last().unwrap());
+        for (q, got) in [(0.50, s.p50), (0.95, s.p95), (0.99, s.p99)] {
+            // Exact rank-k order statistic (k = ceil(q·n), 1-indexed).
+            let k = ((q * xs.len() as f64).ceil() as usize).max(1);
+            let exact = xs[k - 1];
+            assert!(got >= exact, "q={q}: {got} underestimates {exact}");
+            assert!(
+                got <= exact * (1.0 + Histogram::RELATIVE_ERROR_BOUND),
+                "q={q}: {got} exceeds bound over {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn one_sort_metrics_match_per_call_summaries() {
+        let mut jobs = vec![job(0, 0, 12, 20, false), job(1, 3, 10, 20, false)];
+        jobs.push(JobResult { archetype: Archetype::SciSweep, ..job(2, 0, 40, 50, false) });
+        let r = run(jobs);
+        let (summary, breakdown) = r.metrics();
+        assert_eq!(summary, r.latency_summary());
+        assert_eq!(breakdown, r.by_archetype());
+        let photo = breakdown.iter().find(|g| g.archetype == Archetype::PhotoPipeline).unwrap();
+        assert_eq!(photo.latency.unwrap().count, 2);
     }
 }

@@ -95,6 +95,30 @@ impl From<Backend> for SiteId {
     }
 }
 
+/// An interned execution-site identity: the site's position in its
+/// [`SiteRegistry`] (fallback-rank order), assigned once at registry
+/// build time.
+///
+/// Tokens replace [`SiteId`] strings everywhere inside the engine's hot
+/// path — site chains, health slots, breaker counters — turning every
+/// per-event site lookup from a string scan into an array index. String
+/// ids survive only at the serde boundaries (deployment configs, fault
+/// plans, reports) and in RNG key material, where their stable spelling
+/// is part of the determinism contract.
+///
+/// A token is only meaningful for the registry that minted it; the
+/// health ledger shares the same indexing because both are built from
+/// the registry's iteration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SiteToken(u32);
+
+impl SiteToken {
+    /// The token's dense array index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
 /// Why a component is being provisioned on a site.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SiteRole {
@@ -289,6 +313,42 @@ impl SiteRegistry {
             .as_mut()
     }
 
+    /// Interns `id`, returning its [`SiteToken`]. Resolve once (at chain
+    /// construction), then index with [`site`](Self::site) /
+    /// [`site_mut`](Self::site_mut) on the hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no site has that id — a deployment naming an
+    /// unregistered site is a configuration bug.
+    pub fn token_of(&self, id: &SiteId) -> SiteToken {
+        self.sites
+            .iter()
+            .position(|s| s.id() == id)
+            .map(|i| SiteToken(i as u32))
+            .unwrap_or_else(|| panic!("no execution site registered as '{id}'"))
+    }
+
+    /// The site behind `token` (O(1)).
+    pub fn site(&self, token: SiteToken) -> &dyn ExecutionSite {
+        self.sites[token.index()].as_ref()
+    }
+
+    /// Mutable access to the site behind `token` (O(1)).
+    pub fn site_mut(&mut self, token: SiteToken) -> &mut dyn ExecutionSite {
+        self.sites[token.index()].as_mut()
+    }
+
+    /// Number of registered sites.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
     /// All sites, in fallback-rank order.
     pub fn iter(&self) -> impl Iterator<Item = &dyn ExecutionSite> {
         self.sites.iter().map(|s| s.as_ref())
@@ -343,6 +403,25 @@ mod tests {
     fn unknown_site_ids_panic() {
         let reg = SiteRegistry::planning(&Environment::metro_reference());
         let _ = reg.get(&SiteId::new("mars"));
+    }
+
+    #[test]
+    fn tokens_index_registry_order() {
+        let reg = SiteRegistry::planning(&Environment::metro_reference());
+        assert_eq!(reg.len(), 3);
+        assert!(!reg.is_empty());
+        for (i, id) in [SiteId::edge(), SiteId::cloud(), SiteId::device()].iter().enumerate() {
+            let tok = reg.token_of(id);
+            assert_eq!(tok.index(), i, "registry order is fallback-rank order");
+            assert_eq!(reg.site(tok).id(), id);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no execution site")]
+    fn unknown_token_lookups_panic() {
+        let reg = SiteRegistry::planning(&Environment::metro_reference());
+        let _ = reg.token_of(&SiteId::new("mars"));
     }
 
     #[test]

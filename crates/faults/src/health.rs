@@ -14,6 +14,13 @@
 //! jitter, drawn from a derived [`RngStream`] child keyed by the site
 //! name and the breaker's open-count, so replays are bit-identical and
 //! independent of what any other subsystem draws.
+//!
+//! The engine keeps one `SiteHealth` per registered site in a dense
+//! ledger sharing the registry's fallback-rank order, addressed by the
+//! site's interned token index — never by string lookup on the hot
+//! path. The `site` name stored here exists for the cooldown derivation
+//! keys (whose byte layout is part of the reproducibility contract) and
+//! for the once-per-run transition report stringified at report build.
 
 use ntc_simcore::rng::RngStream;
 use ntc_simcore::units::{SimDuration, SimTime};

@@ -84,6 +84,14 @@ impl Default for Histogram {
 }
 
 impl Histogram {
+    /// The documented quantile error bound: a value reported by
+    /// [`value_at_quantile`](Self::value_at_quantile) is the upper bound
+    /// of the containing log-linear bucket (clamped to the observed
+    /// maximum), so it never falls below the exact order statistic and
+    /// exceeds it by strictly less than this relative fraction
+    /// (`1/32 ≈ 3.1%`).
+    pub const RELATIVE_ERROR_BOUND: f64 = 1.0 / SUB_BUCKETS as f64;
+
     /// Creates an empty histogram.
     pub fn new() -> Self {
         Histogram { counts: vec![0; BUCKET_COUNT], total: 0, sum: 0, min: u64::MAX, max: 0 }

@@ -183,13 +183,33 @@ impl Summary {
         }
         let mut sorted = values.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after check"));
+        Self::of_sorted(&sorted)
+    }
+
+    /// Summarises an already-ascending sample without copying or
+    /// re-sorting it; returns `None` if empty or containing NaN.
+    ///
+    /// Every field (including the mean, which is summed in sorted order)
+    /// is bit-identical to what [`Summary::of`] computes for the same
+    /// multiset, so a caller holding one shared sorted buffer can serve
+    /// many summaries from it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sorted` is not ascending (checked only with
+    /// `debug_assert`).
+    pub fn of_sorted(sorted: &[f64]) -> Option<Summary> {
+        if sorted.is_empty() || sorted.iter().any(|v| v.is_nan()) {
+            return None;
+        }
+        debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input must be sorted");
         Some(Summary {
             count: sorted.len() as u64,
             mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
             min: sorted[0],
-            p50: quantile_sorted(&sorted, 0.50)?,
-            p95: quantile_sorted(&sorted, 0.95)?,
-            p99: quantile_sorted(&sorted, 0.99)?,
+            p50: quantile_sorted(sorted, 0.50)?,
+            p95: quantile_sorted(sorted, 0.95)?,
+            p99: quantile_sorted(sorted, 0.99)?,
             max: *sorted.last()?,
         })
     }

@@ -1,0 +1,87 @@
+//! Property tests of the log-bucketed [`Histogram`]'s documented
+//! quantile error bound: for any recorded multiset and any quantile,
+//! `value_at_quantile(q)` must bracket the exact rank-ceil order
+//! statistic from above, within a relative error of
+//! [`Histogram::RELATIVE_ERROR_BOUND`] — never below it. Count, mean,
+//! min and max must stay exact.
+
+use proptest::prelude::*;
+use proptest::TestCaseError;
+
+use ntc_simcore::metrics::Histogram;
+
+/// Records `values`, then checks every claimed-exact statistic and the
+/// quantile bound at a spread of quantiles against a sorted copy.
+fn check(values: &[u64]) -> Result<(), TestCaseError> {
+    let mut h = Histogram::new();
+    let mut exact: Vec<u64> = values.to_vec();
+    for &v in values {
+        h.record(v);
+    }
+    exact.sort_unstable();
+
+    prop_assert_eq!(h.count(), exact.len() as u64);
+    prop_assert_eq!(h.min(), exact.first().copied());
+    prop_assert_eq!(h.max(), exact.last().copied());
+    let mean: f64 = exact.iter().map(|&v| v as f64).sum::<f64>() / exact.len() as f64;
+    prop_assert!((h.mean() - mean).abs() <= 1e-9 * mean.max(1.0), "mean must be exact");
+
+    for q in [0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1.0] {
+        // The histogram's contract: the value at quantile `q` bounds the
+        // k-th smallest recorded value (k = max(1, ceil(q·n)), 1-indexed)
+        // from above, within the documented relative error.
+        let k = ((q * exact.len() as f64).ceil() as usize).max(1).min(exact.len());
+        let x_k = exact[k - 1];
+        let approx = h.value_at_quantile(q);
+        prop_assert!(
+            approx >= x_k,
+            "q={} under-reports: approx {} < exact rank-{} value {}",
+            q,
+            approx,
+            k,
+            x_k
+        );
+        let bound = x_k as f64 * (1.0 + Histogram::RELATIVE_ERROR_BOUND);
+        prop_assert!(
+            (approx as f64) <= bound + 1.0,
+            "q={} overshoots the documented bound: approx {} > {} (exact {})",
+            q,
+            approx,
+            bound,
+            x_k
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Small values: the histogram's linear regime, where buckets are
+    /// exact and quantiles must match the order statistics precisely.
+    #[test]
+    fn quantiles_bound_exact_ranks_linear_regime(
+        values in prop::collection::vec(0u64..64, 1..200),
+    ) {
+        check(&values)?;
+    }
+
+    /// Latency-shaped magnitudes: microsecond values from sub-second to
+    /// hours, exercising many log buckets per sample set.
+    #[test]
+    fn quantiles_bound_exact_ranks_log_regime(
+        values in prop::collection::vec(1_000u64..10_000_000_000, 1..200),
+    ) {
+        check(&values)?;
+    }
+
+    /// Mixed magnitudes with heavy duplication: a few distinct values
+    /// repeated many times, the shape deadline-miss latencies take.
+    #[test]
+    fn quantiles_bound_exact_ranks_with_ties(
+        distinct in prop::collection::vec(1u64..100_000_000, 1..8),
+        picks in prop::collection::vec(0usize..8, 1..300),
+    ) {
+        let values: Vec<u64> =
+            picks.iter().map(|&i| distinct[i % distinct.len()]).collect();
+        check(&values)?;
+    }
+}
